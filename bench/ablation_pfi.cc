@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Ablation study of the design choices DESIGN.md calls out:
+ *
+ *  1. Predictor family behind PFI: exact-match table (deployed) vs
+ *     decision tree vs random forest — held-out prediction error on
+ *     the full and the PFI-selected feature sets.
+ *  2. Selection budgets: how the error budget trades necessary-set
+ *     size against runtime coverage/error.
+ *  3. Profile length: selection quality vs amount of profile data
+ *     (the insufficient-profile regime of Fig. 12).
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "ml/dataset.h"
+#include "ml/feature_selection.h"
+#include "ml/random_forest.h"
+#include "util/bytes.h"
+#include "util/table_printer.h"
+
+using namespace snip;
+
+namespace {
+
+/** Error of predictor @p p on the last 30% of rows, trained on the
+ *  first 70% (tree/forest train on all — table supports rows). */
+double
+holdoutError(ml::Predictor &p, const ml::Dataset &ds,
+             const std::vector<size_t> &cols)
+{
+    p.train(ds, cols);
+    size_t start = ds.numRows() * 7 / 10;
+    uint64_t wrong = 0, total = 0;
+    for (size_t row = start; row < ds.numRows(); ++row) {
+        total += ds.weight(row);
+        if (p.predict(ds, row) != ds.label(row))
+            wrong += ds.weight(row);
+    }
+    return total ? static_cast<double>(wrong) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchOptions opts = bench::parseOptions(argc, argv);
+    bench::printHeader("Ablations: predictor family, budgets, "
+                       "profile length",
+                       "design-choice ablations (DESIGN.md §5)");
+
+    bench::ProfiledGame pg = bench::profileGame("ab_evolution", opts);
+    const events::FieldSchema &schema = pg.game->schema();
+    ml::Dataset ds(pg.profile.ofType(events::EventType::Drag), schema);
+
+    std::vector<size_t> all_cols(ds.numFeatures());
+    for (size_t i = 0; i < all_cols.size(); ++i)
+        all_cols[i] = i;
+
+    ml::SelectionConfig scfg;
+    scfg.max_error = 0.002;
+    scfg.max_conditional_error = 0.012;
+    ml::SelectionResult sel = ml::selectNecessaryInputs(ds, scfg);
+    std::vector<size_t> sel_cols;
+    for (events::FieldId fid : sel.selected)
+        sel_cols.push_back(ds.columnOf(fid));
+
+    // --- 1. predictor family ---
+    std::cout << "(1) predictor family (drag events, "
+              << ds.numRows() << " records)\n";
+    util::TablePrinter fam({"predictor", "features", "holdout error"});
+    {
+        ml::TablePredictor table;
+        ml::DecisionTree tree;
+        ml::RandomForest forest;
+        fam.addRow({"exact-match table", "all",
+                    util::TablePrinter::pct(
+                        holdoutError(table, ds, all_cols), 2)});
+        fam.addRow({"exact-match table", "PFI-selected",
+                    util::TablePrinter::pct(
+                        holdoutError(table, ds, sel_cols), 2)});
+        fam.addRow({"decision tree", "PFI-selected",
+                    util::TablePrinter::pct(
+                        holdoutError(tree, ds, sel_cols), 2)});
+        fam.addRow({"random forest (16 trees)", "PFI-selected",
+                    util::TablePrinter::pct(
+                        holdoutError(forest, ds, sel_cols), 2)});
+    }
+    fam.print(std::cout);
+    std::cout << "(the deployed mechanism must be the exact-match "
+                 "table: only exact matches\n justify substituting "
+                 "memoized outputs)\n\n";
+
+    // --- 2. error-budget sweep ---
+    std::cout << "(2) selection error-budget sweep (drag events)\n";
+    util::TablePrinter bud({"abs budget", "cond budget",
+                            "selected bytes", "holdout hit rate",
+                            "holdout wrong hits"});
+    const double abs_budgets[] = {0.05, 0.01, 0.002, 0.0005};
+    for (double b : abs_budgets) {
+        ml::SelectionConfig c;
+        c.max_error = b;
+        c.max_conditional_error = b * 6;
+        ml::SelectionResult r = ml::selectNecessaryInputs(ds, c);
+        bud.addRow({util::TablePrinter::pct(b, 2),
+                    util::TablePrinter::pct(b * 6, 2),
+                    util::formatSize(
+                        static_cast<double>(r.selected_bytes)),
+                    util::TablePrinter::pct(r.selected_hit_rate),
+                    util::TablePrinter::pct(r.selected_error, 3)});
+    }
+    bud.print(std::cout);
+    std::cout << "\n";
+
+    // --- 3. profile-length sweep ---
+    std::cout << "(3) profile-length sweep (drag events)\n";
+    util::TablePrinter len({"records", "selected fields",
+                            "selected bytes", "wrong hits"});
+    const size_t fractions[] = {20, 60, 200, 1000, SIZE_MAX};
+    for (size_t n : fractions) {
+        auto recs = pg.profile.ofType(events::EventType::Drag);
+        if (n != SIZE_MAX && recs.size() > n)
+            recs.resize(n);
+        if (recs.size() < 16)
+            continue;
+        ml::Dataset d2(std::move(recs), schema);
+        ml::SelectionResult r = ml::selectNecessaryInputs(d2, scfg);
+        len.addRow({std::to_string(d2.numRows()),
+                    std::to_string(r.selected.size()),
+                    util::formatSize(
+                        static_cast<double>(r.selected_bytes)),
+                    util::TablePrinter::pct(r.selected_error, 3)});
+    }
+    len.print(std::cout);
+    std::cout << "(small profiles under-select: the Fig. 12 "
+                 "insufficient-profile regime)\n";
+    return 0;
+}

@@ -1,0 +1,78 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace snip {
+namespace bench {
+
+BenchOptions
+parseOptions(int argc, char **argv)
+{
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            opts.quick = true;
+        } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+            opts.csv_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+            opts.seed = std::strtoull(argv[++i], nullptr, 0);
+        } else {
+            util::fatal("unknown argument '%s' (expected --quick, "
+                        "--csv <path>, --seed <n>)", argv[i]);
+        }
+    }
+    return opts;
+}
+
+ProfiledGame
+profileGame(const std::string &game_name, const BenchOptions &opts,
+            double profile_s)
+{
+    ProfiledGame pg;
+    pg.game = games::makeGame(game_name);
+
+    core::BaselineScheme baseline;
+    core::SimulationConfig cfg;
+    cfg.duration_s = profile_s > 0 ? profile_s : opts.profileSeconds();
+    cfg.record_events = true;
+    cfg.seed = opts.seed;
+    core::SessionResult res =
+        core::runSession(*pg.game, baseline, cfg);
+
+    auto replica = games::makeGame(game_name);
+    pg.profile = trace::Replayer::replay(res.trace, *replica);
+    return pg;
+}
+
+core::SnipModel
+buildModel(const ProfiledGame &pg, const BenchOptions &opts)
+{
+    core::SnipConfig cfg;
+    cfg.seed = util::mixCombine(opts.seed, 0x5e1ec7ULL);
+    cfg.overrides.force_keep = pg.game->params().recommended_overrides;
+    return core::buildSnipModel(pg.profile, *pg.game, cfg);
+}
+
+core::SimulationConfig
+evalConfig(const BenchOptions &opts)
+{
+    core::SimulationConfig cfg;
+    cfg.duration_s = opts.evalSeconds();
+    cfg.seed = util::mixCombine(opts.seed, 0xe7a1ULL);
+    return cfg;
+}
+
+void
+printHeader(const std::string &title, const std::string &paper_ref)
+{
+    std::printf("=== %s ===\n", title.c_str());
+    std::printf("reproduces: %s (SNIP, IISWC 2020)\n\n",
+                paper_ref.c_str());
+}
+
+}  // namespace bench
+}  // namespace snip

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fig. 2: normalized SoC energy breakdown (sensors / memory / CPU /
+ * IPs) of the seven games under baseline execution. Paper bands:
+ * CPU 40-60%, IPs 34-51%, sensors+memory < 10%.
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "util/csv_writer.h"
+#include "util/table_printer.h"
+
+using namespace snip;
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchOptions opts = bench::parseOptions(argc, argv);
+    bench::printHeader("Fig. 2: component energy breakdown",
+                       "Fig. 2 — CPU 40-60%, IPs 34-51%, "
+                       "sensors+memory < 10% of SoC energy");
+
+    util::TablePrinter table({"game", "sensors", "memory", "cpu",
+                              "ips", "avg power"});
+    std::unique_ptr<util::CsvWriter> csv;
+    std::ofstream csv_file;
+    if (!opts.csv_path.empty()) {
+        csv_file.open(opts.csv_path);
+        csv = std::make_unique<util::CsvWriter>(
+            csv_file, std::vector<std::string>{
+                          "game", "sensors", "memory", "cpu", "ips",
+                          "avg_power_w"});
+    }
+
+    for (const auto &name : games::allGameNames()) {
+        auto game = games::makeGame(name);
+        core::BaselineScheme baseline;
+        core::SimulationConfig cfg = bench::evalConfig(opts);
+        cfg.duration_s = opts.profileSeconds() / 2;
+        core::SessionResult res =
+            core::runSession(*game, baseline, cfg);
+        const soc::EnergyReport &r = res.report;
+
+        double sens = r.socGroupFraction(soc::EnergyGroup::Sensors);
+        double mem = r.socGroupFraction(soc::EnergyGroup::Memory);
+        double cpu = r.socGroupFraction(soc::EnergyGroup::Cpu);
+        double ips = r.socGroupFraction(soc::EnergyGroup::Ips);
+        table.addRow({game->displayName(), util::TablePrinter::pct(sens),
+                      util::TablePrinter::pct(mem),
+                      util::TablePrinter::pct(cpu),
+                      util::TablePrinter::pct(ips),
+                      util::formatPower(r.averagePower())});
+        if (csv) {
+            csv->row({name, std::to_string(sens), std::to_string(mem),
+                      std::to_string(cpu), std::to_string(ips),
+                      std::to_string(r.averagePower())});
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\npaper bands: cpu 40-60%, ips 34-51%, "
+                 "sensors+memory < 10%\n";
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Fig. 6: the impracticality of the naive union-of-locations lookup
+ * table — table size (input-only and input+output rows) versus the
+ * % of execution it can short-circuit, for AB Evolution. Paper
+ * anchors: ~5 GB at 1% coverage, exceeds 6 GB memory at ~3%, and
+ * 64 GB SD-card capacity at ~39%.
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/lookup_table.h"
+#include "util/bytes.h"
+#include "util/csv_writer.h"
+#include "util/table_printer.h"
+
+using namespace snip;
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchOptions opts = bench::parseOptions(argc, argv);
+    bench::printHeader(
+        "Fig. 6: naive lookup-table size vs execution coverage",
+        "Fig. 6 — 5 GB @ 1%, > memory (6 GB) @ 3%, > SD card "
+        "(64 GB) @ 39% for AB Evolution");
+
+    // Long trace: the naive table only gains coverage as records
+    // accumulate, which is exactly the point of the figure.
+    double secs = opts.quick ? 300.0 : 1500.0;
+    bench::ProfiledGame pg =
+        bench::profileGame("ab_evolution", opts, secs);
+    core::NaiveTableAnalysis naive(pg.profile, pg.game->schema(), 48);
+
+    std::cout << "row size: input-only "
+              << util::formatSize(
+                     static_cast<double>(naive.rowInputBytes()))
+              << ", input+output "
+              << util::formatSize(
+                     static_cast<double>(naive.rowTotalBytes()))
+              << " (union of all locations)\n\n";
+
+    util::TablePrinter table({"coverage", "entries", "input-only",
+                              "input+output"});
+    std::unique_ptr<util::CsvWriter> csv;
+    std::ofstream csv_file;
+    if (!opts.csv_path.empty()) {
+        csv_file.open(opts.csv_path);
+        csv = std::make_unique<util::CsvWriter>(
+            csv_file, std::vector<std::string>{
+                          "coverage", "entries", "input_bytes",
+                          "input_output_bytes"});
+    }
+
+    double last_cov = -1.0;
+    for (const auto &p : naive.curve()) {
+        if (p.coverage - last_cov < 0.01 &&
+            &p != &naive.curve().back())
+            continue;  // compact the printed curve
+        last_cov = p.coverage;
+        table.addRow({util::TablePrinter::pct(p.coverage),
+                      std::to_string(p.entries),
+                      util::formatSize(
+                          static_cast<double>(p.input_bytes)),
+                      util::formatSize(static_cast<double>(
+                          p.input_output_bytes))});
+        if (csv) {
+            csv->row({std::to_string(p.coverage),
+                      std::to_string(p.entries),
+                      std::to_string(p.input_bytes),
+                      std::to_string(p.input_output_bytes)});
+        }
+    }
+    table.print(std::cout);
+
+    const double kGb = 1024.0 * 1024.0 * 1024.0;
+    uint64_t at1 = naive.bytesForCoverage(0.01);
+    std::cout << "\ntable at 1% coverage: "
+              << (at1 ? util::formatSize(static_cast<double>(at1))
+                      : std::string("(not reached)"))
+              << "  [paper: ~5 GB]\n";
+    std::cout << "exceeds 6 GB memory at coverage: ";
+    bool found = false;
+    for (const auto &p : naive.curve()) {
+        if (static_cast<double>(p.input_output_bytes) > 6 * kGb) {
+            std::cout << util::TablePrinter::pct(p.coverage)
+                      << "  [paper: ~3%]\n";
+            found = true;
+            break;
+        }
+    }
+    if (!found)
+        std::cout << "(not reached in this trace)\n";
+    std::cout << "final coverage "
+              << util::TablePrinter::pct(naive.finalCoverage())
+              << " needs "
+              << util::formatSize(static_cast<double>(
+                     naive.curve().back().input_output_bytes))
+              << "  [paper: 39% needs 64 GB]\n";
+    return 0;
+}

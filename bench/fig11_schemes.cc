@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Fig. 11: the headline evaluation — for every game, the energy
+ * saved by Max CPU / Max IP / SNIP / No-Overheads-SNIP relative to
+ * baseline (11a), the % of execution each scheme short-circuits
+ * (11b), and SNIP's lookup overheads (11c). Paper anchors:
+ * Max CPU 0.5-13%, Max IP 0.7-9%, SNIP 24-37% (avg 32%, ~1.6 h
+ * extra battery), coverage 40-61% (avg 52%), overheads avg ~3%
+ * with Memory Game the ~12% outlier, Colorphun comparing ~7.5 kB
+ * per event.
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "soc/battery.h"
+#include "util/bytes.h"
+#include "util/csv_writer.h"
+#include "util/table_printer.h"
+
+using namespace snip;
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchOptions opts = bench::parseOptions(argc, argv);
+    bench::printHeader(
+        "Fig. 11: energy benefits, coverage, and overheads",
+        "Fig. 11a/b/c — SNIP saves 24-37% (avg 32%) by "
+        "short-circuiting 40-61% (avg 52%) of execution; overheads "
+        "avg ~3%");
+
+    util::TablePrinter savings({"game", "Max CPU", "Max IP", "SNIP",
+                                "No Overheads", "extra battery"});
+    util::TablePrinter coverage({"game", "Max CPU", "Max IP (ip work)",
+                                 "SNIP", "SNIP err fields"});
+    util::TablePrinter overheads({"game", "overhead energy",
+                                  "compares/event", "bytes/event",
+                                  "table size"});
+
+    std::unique_ptr<util::CsvWriter> csv;
+    std::ofstream csv_file;
+    if (!opts.csv_path.empty()) {
+        csv_file.open(opts.csv_path);
+        csv = std::make_unique<util::CsvWriter>(
+            csv_file, std::vector<std::string>{
+                          "game", "scheme", "energy_j", "savings",
+                          "coverage_instr", "coverage_ip",
+                          "err_field_rate", "lookup_bytes_per_event"});
+    }
+
+    soc::EnergyModel em = soc::EnergyModel::snapdragon821();
+    soc::Battery battery(em.battery_mah, em.battery_volts);
+    double save_sum = 0.0, cov_sum = 0.0, extra_h_sum = 0.0;
+    int n_games = 0;
+
+    for (const auto &name : games::allGameNames()) {
+        bench::ProfiledGame pg = bench::profileGame(name, opts);
+        core::SimulationConfig ecfg = bench::evalConfig(opts);
+
+        double baseline_e = 0.0, baseline_p = 0.0;
+        double row_save[4] = {};
+        double snip_cov = 0.0, snip_err = 0.0, maxcpu_cov = 0.0,
+               maxip_cov = 0.0;
+        double lookup_e = 0.0, snip_e = 1.0;
+        double cand_per_ev = 0.0, bytes_per_ev = 0.0;
+        uint64_t table_bytes = 0;
+
+        const core::SchemeKind kinds[] = {
+            core::SchemeKind::Baseline, core::SchemeKind::MaxCpu,
+            core::SchemeKind::MaxIp, core::SchemeKind::Snip,
+            core::SchemeKind::NoOverheads};
+        for (int k = 0; k < 5; ++k) {
+            // Fresh model per scheme run: the table mutates (online
+            // fill) during evaluation.
+            core::SnipModel model = bench::buildModel(pg, opts);
+            auto scheme = core::makeScheme(kinds[k], &model);
+            core::SessionResult res =
+                core::runSession(*pg.game, *scheme, ecfg);
+            double e = res.report.total();
+            if (k == 0) {
+                baseline_e = e;
+                baseline_p = res.report.averagePower();
+            } else {
+                row_save[k - 1] = 1.0 - e / baseline_e;
+            }
+            switch (kinds[k]) {
+              case core::SchemeKind::MaxCpu:
+                maxcpu_cov = res.stats.coverageInstr();
+                break;
+              case core::SchemeKind::MaxIp:
+                maxip_cov = res.stats.coverageIpWork();
+                break;
+              case core::SchemeKind::Snip:
+                snip_cov = res.stats.coverageInstr();
+                snip_err = res.stats.errorFieldRate();
+                lookup_e = res.stats.lookup_energy_j;
+                snip_e = e;
+                cand_per_ev =
+                    static_cast<double>(res.stats.lookup_candidates) /
+                    static_cast<double>(res.stats.events);
+                bytes_per_ev =
+                    static_cast<double>(res.stats.lookup_bytes) /
+                    static_cast<double>(res.stats.events);
+                table_bytes = model.table->totalBytes();
+                break;
+              default:
+                break;
+            }
+            if (csv) {
+                csv->row({name, core::schemeName(kinds[k]),
+                          std::to_string(e),
+                          std::to_string(1.0 - e / baseline_e),
+                          std::to_string(res.stats.coverageInstr()),
+                          std::to_string(res.stats.coverageIpWork()),
+                          std::to_string(res.stats.errorFieldRate()),
+                          std::to_string(bytes_per_ev)});
+            }
+        }
+
+        double base_h = battery.hoursToEmpty(baseline_p);
+        double snip_h =
+            battery.hoursToEmpty(baseline_p * (1.0 - row_save[2]));
+        char extra[32];
+        std::snprintf(extra, sizeof(extra), "+%.1f h",
+                      snip_h - base_h);
+
+        savings.addRow({pg.game->displayName(),
+                        util::TablePrinter::pct(row_save[0]),
+                        util::TablePrinter::pct(row_save[1]),
+                        util::TablePrinter::pct(row_save[2]),
+                        util::TablePrinter::pct(row_save[3]), extra});
+        coverage.addRow({pg.game->displayName(),
+                         util::TablePrinter::pct(maxcpu_cov),
+                         util::TablePrinter::pct(maxip_cov),
+                         util::TablePrinter::pct(snip_cov),
+                         util::TablePrinter::pct(snip_err, 3)});
+        overheads.addRow(
+            {pg.game->displayName(),
+             util::TablePrinter::pct(lookup_e / snip_e),
+             util::TablePrinter::num(cand_per_ev, 1),
+             util::formatSize(bytes_per_ev),
+             util::formatSize(static_cast<double>(table_bytes))});
+
+        save_sum += row_save[2];
+        cov_sum += snip_cov;
+        extra_h_sum += snip_h - base_h;
+        ++n_games;
+    }
+
+    std::cout << "(a) energy savings vs baseline "
+                 "[paper: MaxCPU 0.5-13%, MaxIP 0.7-9%, SNIP 24-37%]\n";
+    savings.print(std::cout);
+    std::cout << "\n(b) % execution short-circuited "
+                 "[paper: SNIP 40-61%, avg 52%]\n";
+    coverage.print(std::cout);
+    std::cout << "\n(c) SNIP lookup overheads "
+                 "[paper: avg ~3%, Memory Game ~12%, Colorphun "
+                 "~7.5 kB/event]\n";
+    overheads.print(std::cout);
+    std::cout << "\naverages: SNIP saves "
+              << util::TablePrinter::pct(save_sum / n_games)
+              << " [paper 32%], coverage "
+              << util::TablePrinter::pct(cov_sum / n_games)
+              << " [paper 52%], extra battery "
+              << util::TablePrinter::num(extra_h_sum / n_games, 1)
+              << " h [paper ~1.6 h]\n";
+    return 0;
+}

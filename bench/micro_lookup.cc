@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) of the SNIP runtime hot path:
+ * MemoTable lookup (hash + candidate compare) and insert, across
+ * table sizes, plus the handler-execution ground-truth computation
+ * the simulator performs per event.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/memo_table.h"
+#include "core/snip.h"
+#include "games/registry.h"
+#include "trace/recorder.h"
+#include "core/simulation.h"
+
+using namespace snip;
+
+namespace {
+
+/** Shared fixture: a profiled game + deployed model. */
+struct Fixture {
+    std::unique_ptr<games::Game> game;
+    trace::Profile profile;
+    core::SnipModel model;
+    std::vector<events::EventObject> events;
+
+    Fixture()
+    {
+        game = games::makeGame("ab_evolution");
+        core::BaselineScheme baseline;
+        core::SimulationConfig cfg;
+        cfg.duration_s = 60.0;
+        cfg.record_events = true;
+        core::SessionResult res =
+            core::runSession(*game, baseline, cfg);
+        auto replica = games::makeGame("ab_evolution");
+        profile = trace::Replayer::replay(res.trace, *replica);
+        core::SnipConfig scfg;
+        model = core::buildSnipModel(profile, *game, scfg);
+        events = res.trace.events;
+        game->reset();
+    }
+};
+
+Fixture &
+fixture()
+{
+    static Fixture f;
+    return f;
+}
+
+void
+BM_MemoTableLookup(benchmark::State &state)
+{
+    Fixture &f = fixture();
+    size_t i = 0;
+    uint64_t hits = 0;
+    for (auto _ : state) {
+        const auto &ev = f.events[i++ % f.events.size()];
+        core::MemoLookup res = f.model.table->lookup(ev, *f.game);
+        hits += res.hit;
+        benchmark::DoNotOptimize(res);
+    }
+    state.counters["hit_rate"] = benchmark::Counter(
+        static_cast<double>(hits) /
+        static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_MemoTableLookup);
+
+void
+BM_MemoTableInsert(benchmark::State &state)
+{
+    Fixture &f = fixture();
+    core::MemoTable table(f.game->schema());
+    for (const auto &t : f.model.types)
+        table.setSelected(t.type, t.selection.selected);
+    size_t i = 0;
+    for (auto _ : state) {
+        table.insert(f.profile.records[i++ % f.profile.records.size()]);
+    }
+    state.counters["entries"] =
+        static_cast<double>(table.entryCount());
+}
+BENCHMARK(BM_MemoTableInsert);
+
+void
+BM_HandlerProcess(benchmark::State &state)
+{
+    Fixture &f = fixture();
+    size_t i = 0;
+    for (auto _ : state) {
+        games::HandlerExecution ex =
+            f.game->process(f.events[i++ % f.events.size()]);
+        benchmark::DoNotOptimize(ex);
+    }
+}
+BENCHMARK(BM_HandlerProcess);
+
+void
+BM_EventGeneration(benchmark::State &state)
+{
+    Fixture &f = fixture();
+    util::Rng rng(42);
+    double now = 0.0;
+    for (auto _ : state) {
+        events::EventObject ev =
+            f.game->makeEvent(events::EventType::Drag, now, rng);
+        now += 0.01;
+        benchmark::DoNotOptimize(ev);
+    }
+}
+BENCHMARK(BM_EventGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,367 @@
+/**
+ * @file
+ * snip — command-line driver for the SNIP pipeline.
+ *
+ *   snip games
+ *       List the available game workloads.
+ *   snip characterize --game G [--seconds S] [--seed N]
+ *       Baseline session: energy breakdown, battery projection,
+ *       useless-event and repetition statistics.
+ *   snip record --game G --out events.bin [--seconds S] [--seed N]
+ *       Record a play session's event stream (the phone-side step).
+ *   snip select --in events.bin --out profile.bin [--verbose]
+ *       Replay the stream offline, run PFI selection, report the
+ *       necessary inputs per event type (the cloud-side step).
+ *   snip eval --game G [--seconds S] [--scheme snip|baseline|
+ *             maxcpu|maxip|nooverheads] [--audit N]
+ *       Profile + deploy + evaluate one scheme; prints savings,
+ *       coverage, error rate, and QoE.
+ *   snip learn --game G [--epochs E]
+ *       Continuous-learning loop (Fig. 12 style) with per-epoch
+ *       error rates.
+ *
+ * Every command is deterministic under --seed.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/continuous_learning.h"
+#include "core/qoe.h"
+#include "core/simulation.h"
+#include "core/snip.h"
+#include "games/registry.h"
+#include "trace/field_stats.h"
+#include "trace/recorder.h"
+#include "trace/trace_log.h"
+#include "util/bytes.h"
+#include "util/logging.h"
+#include "util/table_printer.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace snip;
+
+/** Parsed `--key value` options plus positional command. */
+struct Args {
+    std::string command;
+    std::map<std::string, std::string> opts;
+
+    std::string
+    get(const std::string &key, const std::string &fallback = "") const
+    {
+        auto it = opts.find(key);
+        return it == opts.end() ? fallback : it->second;
+    }
+
+    double
+    getD(const std::string &key, double fallback) const
+    {
+        auto it = opts.find(key);
+        return it == opts.end() ? fallback : std::atof(it->second.c_str());
+    }
+
+    uint64_t
+    getU(const std::string &key, uint64_t fallback) const
+    {
+        auto it = opts.find(key);
+        return it == opts.end()
+                   ? fallback
+                   : std::strtoull(it->second.c_str(), nullptr, 0);
+    }
+};
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args args;
+    if (argc < 2)
+        return args;
+    args.command = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a.rfind("--", 0) == 0) {
+            std::string key = a.substr(2);
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                args.opts[key] = argv[++i];
+            else
+                args.opts[key] = "1";
+        } else {
+            util::fatal("unexpected argument '%s'", a.c_str());
+        }
+    }
+    return args;
+}
+
+int
+cmdGames()
+{
+    util::TablePrinter t({"name", "display", "events/s", "types",
+                          "input locations"});
+    for (const auto &name : games::allGameNames()) {
+        auto g = games::makeGame(name);
+        t.addRow({name, g->displayName(),
+                  util::TablePrinter::num(g->totalEventRate(), 1),
+                  std::to_string(g->params().mix.size()),
+                  std::to_string(g->schema().size())});
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdCharacterize(const Args &args)
+{
+    auto game = games::makeGame(args.get("game", "ab_evolution"));
+    core::BaselineScheme baseline;
+    core::SimulationConfig cfg;
+    cfg.duration_s = args.getD("seconds", 120.0);
+    cfg.seed = args.getU("seed", 77);
+    cfg.record_events = true;
+    core::SessionResult res = core::runSession(*game, baseline, cfg);
+
+    std::printf("%s", res.report.toString().c_str());
+    soc::Battery battery(cfg.model.battery_mah, cfg.model.battery_volts);
+    std::printf("battery projection: %.1f h from 100%%\n",
+                battery.hoursToEmpty(res.report.averagePower()));
+
+    auto replica = games::makeGame(game->name());
+    trace::Profile profile =
+        trace::Replayer::replay(res.trace, *replica);
+    trace::FieldStatistics stats(profile, game->schema());
+    std::printf("events: %zu  useless: %.1f%%  exact repeats: %.1f%%  "
+                "output redundancy: %.1f%%\n",
+                profile.records.size(),
+                100.0 * stats.uselessFraction(),
+                100.0 * stats.exactRepeatFraction(),
+                100.0 * stats.outputRedundancyFraction());
+    return 0;
+}
+
+int
+cmdRecord(const Args &args)
+{
+    std::string out = args.get("out");
+    if (out.empty())
+        util::fatal("record: --out <file> is required");
+    auto game = games::makeGame(args.get("game", "ab_evolution"));
+    core::BaselineScheme baseline;
+    core::SimulationConfig cfg;
+    cfg.duration_s = args.getD("seconds", 300.0);
+    cfg.seed = args.getU("seed", 77);
+    cfg.record_events = true;
+    core::SessionResult res = core::runSession(*game, baseline, cfg);
+
+    util::ByteBuffer buf;
+    trace::encodeEventTrace(res.trace, buf);
+    trace::saveBuffer(buf, out);
+    std::printf("recorded %zu events of %s -> %s (%s)\n",
+                res.trace.events.size(), game->name().c_str(),
+                out.c_str(),
+                util::formatSize(static_cast<double>(buf.size()))
+                    .c_str());
+    return 0;
+}
+
+int
+cmdSelect(const Args &args)
+{
+    std::string in = args.get("in");
+    if (in.empty())
+        util::fatal("select: --in <events.bin> is required");
+    util::ByteBuffer buf = trace::loadBuffer(in);
+    trace::EventTrace tr = trace::decodeEventTrace(buf);
+    auto game = games::makeGame(tr.game);
+    trace::Profile profile = trace::Replayer::replay(tr, *game);
+
+    std::string out = args.get("out");
+    if (!out.empty()) {
+        util::ByteBuffer pbuf;
+        trace::encodeProfile(profile, pbuf);
+        trace::saveBuffer(pbuf, out);
+        std::printf("profile -> %s (%s)\n", out.c_str(),
+                    util::formatSize(static_cast<double>(pbuf.size()))
+                        .c_str());
+    }
+
+    core::SnipConfig cfg;
+    cfg.seed = args.getU("seed", 0x51139);
+    cfg.overrides.force_keep = game->params().recommended_overrides;
+    core::SnipModel model = core::buildSnipModel(profile, *game, cfg);
+
+    std::printf("game %s: %zu records, %zu event types deployed\n",
+                tr.game.c_str(), profile.records.size(),
+                model.types.size());
+    for (const auto &t : model.types) {
+        std::printf("  %-12s %2zu necessary fields (%llu B), "
+                    "holdout wrong hits %.2f%%, hit rate %.0f%%\n",
+                    events::eventTypeName(t.type),
+                    t.selection.selected.size(),
+                    static_cast<unsigned long long>(
+                        t.selection.selected_bytes),
+                    100.0 * t.selection.selected_error,
+                    100.0 * t.selection.selected_hit_rate);
+        if (!args.get("verbose").empty()) {
+            for (events::FieldId fid : t.selection.selected)
+                std::printf("      %s\n",
+                            game->schema().def(fid).name.c_str());
+        }
+    }
+    std::printf("deployable table: %zu entries, %s\n",
+                model.table->entryCount(),
+                util::formatSize(static_cast<double>(
+                                     model.table->totalBytes()))
+                    .c_str());
+    return 0;
+}
+
+int
+cmdEval(const Args &args)
+{
+    auto game = games::makeGame(args.get("game", "ab_evolution"));
+    std::string scheme_name = args.get("scheme", "snip");
+
+    // Profile + model.
+    core::BaselineScheme baseline;
+    core::SimulationConfig pcfg;
+    pcfg.duration_s = args.getD("profile-seconds", 300.0);
+    pcfg.seed = args.getU("seed", 77);
+    pcfg.record_events = true;
+    core::SessionResult prof =
+        core::runSession(*game, baseline, pcfg);
+    auto replica = games::makeGame(game->name());
+    trace::Profile profile =
+        trace::Replayer::replay(prof.trace, *replica);
+    core::SnipConfig scfg;
+    scfg.overrides.force_keep = game->params().recommended_overrides;
+    core::SnipModel model = core::buildSnipModel(profile, *game, scfg);
+
+    core::SimulationConfig ecfg;
+    ecfg.duration_s = args.getD("seconds", 60.0);
+    ecfg.seed = util::mixCombine(pcfg.seed, 0xe7a1);
+
+    core::BaselineScheme base_eval;
+    double e_base =
+        core::runSession(*game, base_eval, ecfg).report.total();
+
+    std::unique_ptr<core::Scheme> scheme;
+    if (scheme_name == "baseline") {
+        scheme = core::makeScheme(core::SchemeKind::Baseline);
+    } else if (scheme_name == "maxcpu") {
+        scheme = core::makeScheme(core::SchemeKind::MaxCpu);
+    } else if (scheme_name == "maxip") {
+        scheme = core::makeScheme(core::SchemeKind::MaxIp);
+    } else if (scheme_name == "nooverheads") {
+        scheme = core::makeScheme(core::SchemeKind::NoOverheads,
+                                  &model);
+    } else if (scheme_name == "snip") {
+        core::SnipRuntimeConfig rcfg;
+        rcfg.audit_every =
+            static_cast<uint32_t>(args.getU("audit", 0));
+        scheme = std::make_unique<core::SnipScheme>(model, rcfg);
+    } else {
+        util::fatal("unknown scheme '%s'", scheme_name.c_str());
+    }
+
+    core::SessionResult res = core::runSession(*game, *scheme, ecfg);
+    core::QoeReport qoe =
+        core::scoreQoe(res.stats, res.report.elapsed());
+
+    std::printf("scheme: %s on %s (%.0f s)\n", scheme_name.c_str(),
+                game->displayName().c_str(), ecfg.duration_s);
+    std::printf("energy: %s (baseline %s) -> %.1f%% saved\n",
+                util::formatEnergy(res.report.total()).c_str(),
+                util::formatEnergy(e_base).c_str(),
+                100.0 * (1.0 - res.report.total() / e_base));
+    std::printf("coverage: %.1f%% of execution; %llu/%llu events "
+                "short-circuited\n",
+                100.0 * res.stats.coverageInstr(),
+                static_cast<unsigned long long>(
+                    res.stats.shortcircuits),
+                static_cast<unsigned long long>(res.stats.events));
+    std::printf("errors: %.3f%% output fields; QoE %s (%.2f "
+                "perceptible glitches/min, %.2f corruptions/min)\n",
+                100.0 * res.stats.errorFieldRate(),
+                qoe.acceptable ? "acceptable" : "NOT acceptable",
+                qoe.perceptible_glitches_per_minute,
+                qoe.corruptions_per_minute);
+    if (res.stats.lookup_bytes) {
+        std::printf("lookup: %s/event compared, %.1f%% of energy\n",
+                    util::formatSize(
+                        static_cast<double>(res.stats.lookup_bytes) /
+                        static_cast<double>(res.stats.events))
+                        .c_str(),
+                    100.0 * res.stats.lookup_energy_j /
+                        res.report.total());
+    }
+    return 0;
+}
+
+int
+cmdLearn(const Args &args)
+{
+    std::string name = args.get("game", "ab_evolution");
+    auto game = games::makeGame(name);
+    auto replica = games::makeGame(name);
+    core::LearningConfig cfg;
+    cfg.epochs = static_cast<int>(args.getU("epochs", 24));
+    cfg.session_s = args.getD("seconds", 15.0);
+    cfg.initial_profile_records = 24;
+    cfg.snip.min_records_per_type = 8;
+    cfg.sim.seed = args.getU("seed", 77);
+    cfg.confidence_gate = !args.get("gate").empty();
+    core::ContinuousLearner learner(*game, *replica, cfg);
+    auto epochs = learner.run();
+    std::printf("epoch  deployed  err fields  coverage  table\n");
+    for (const auto &e : epochs) {
+        std::printf("%5d  %-8s  %9.3f%%  %7.1f%%  %s\n", e.epoch,
+                    e.deployed ? "yes" : "WAIT",
+                    100.0 * e.error_field_rate, 100.0 * e.coverage,
+                    util::formatSize(static_cast<double>(
+                                         e.table_bytes))
+                        .c_str());
+    }
+    return 0;
+}
+
+void
+usage()
+{
+    std::printf(
+        "snip — selective event processing pipeline driver\n"
+        "\n"
+        "usage: snip <command> [options]\n"
+        "  games                                list workloads\n"
+        "  characterize --game G [--seconds S]  baseline stats\n"
+        "  record --game G --out F [--seconds S] record events\n"
+        "  select --in F [--out P] [--verbose]  replay + PFI\n"
+        "  eval --game G [--scheme S] [--audit N] deploy + measure\n"
+        "  learn --game G [--epochs E] [--gate]  continuous learning\n"
+        "common: --seed N\n");
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args = parseArgs(argc, argv);
+    if (args.command == "games")
+        return cmdGames();
+    if (args.command == "characterize")
+        return cmdCharacterize(args);
+    if (args.command == "record")
+        return cmdRecord(args);
+    if (args.command == "select")
+        return cmdSelect(args);
+    if (args.command == "eval")
+        return cmdEval(args);
+    if (args.command == "learn")
+        return cmdLearn(args);
+    usage();
+    return args.command.empty() ? 0 : 1;
+}

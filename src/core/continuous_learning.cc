@@ -1,0 +1,107 @@
+#include "core/continuous_learning.h"
+
+#include "trace/recorder.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace snip {
+namespace core {
+
+ContinuousLearner::ContinuousLearner(games::Game &game,
+                                     games::Game &replica,
+                                     LearningConfig cfg)
+    : game_(game), replica_(replica), cfg_(std::move(cfg))
+{
+    if (game_.name() != replica_.name())
+        util::fatal("ContinuousLearner: replica runs %s, game runs %s",
+                    replica_.name().c_str(), game_.name().c_str());
+    if (cfg_.relearn_every < 1)
+        util::fatal("ContinuousLearner: relearn_every must be >= 1");
+}
+
+double
+ContinuousLearner::testedError(const SnipModel &model) const
+{
+    // Aggregate of the per-type selection errors, weighted by the
+    // record counts behind them.
+    double weighted = 0.0;
+    double total = 0.0;
+    for (const auto &t : model.types) {
+        double w = 1.0;
+        weighted += t.selection.selected_error * w;
+        total += w;
+    }
+    return total > 0 ? weighted / total : 1.0;
+}
+
+std::vector<EpochResult>
+ContinuousLearner::run()
+{
+    SimulationConfig scfg = cfg_.sim;
+    scfg.duration_s = cfg_.session_s;
+    scfg.record_events = true;
+
+    // Seed profile: one baseline session, replayed offline, then
+    // truncated to the artificially insufficient size.
+    scfg.seed = util::mixCombine(cfg_.sim.seed, 0xbadc0ffeULL);
+    BaselineScheme baseline;
+    SessionResult seed_session = runSession(game_, baseline, scfg);
+    trace::Profile profile =
+        trace::Replayer::replay(seed_session.trace, replica_)
+            .truncated(cfg_.initial_profile_records);
+
+    std::vector<EpochResult> results;
+    SnipModel model;
+    for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+        if (epoch % cfg_.relearn_every == 0) {
+            SnipConfig sc = cfg_.snip;
+            sc.seed = util::mixCombine(cfg_.snip.seed,
+                                       static_cast<uint64_t>(epoch));
+            model = buildSnipModel(profile, game_, sc);
+        }
+
+        bool deployed = true;
+        if (cfg_.confidence_gate &&
+            (profile.records.size() < cfg_.gate_min_records ||
+             testedError(model) > cfg_.gate_threshold))
+            deployed = false;
+
+        scfg.seed = util::mixCombine(cfg_.sim.seed,
+                                     0x1000ULL + epoch);
+        EpochResult er;
+        er.epoch = epoch;
+        er.profile_records = profile.records.size();
+        er.table_bytes = model.table ? model.table->totalBytes() : 0;
+        er.deployed = deployed;
+
+        SessionResult res = [&] {
+            if (deployed) {
+                SnipScheme scheme(model);
+                return runSession(game_, scheme, scfg);
+            }
+            BaselineScheme b;
+            return runSession(game_, b, scfg);
+        }();
+        er.error_field_rate = res.stats.errorFieldRate();
+        er.coverage = res.stats.coverageInstr();
+        er.energy_j = res.report.total();
+        results.push_back(er);
+
+        // "Send events to cloud": replay this session and grow the
+        // profile, dropping the oldest records beyond the cap.
+        trace::Profile grown =
+            trace::Replayer::replay(res.trace, replica_);
+        profile.append(grown);
+        if (profile.records.size() > cfg_.max_profile_records) {
+            size_t excess =
+                profile.records.size() - cfg_.max_profile_records;
+            profile.records.erase(profile.records.begin(),
+                                  profile.records.begin() +
+                                      static_cast<long>(excess));
+        }
+    }
+    return results;
+}
+
+}  // namespace core
+}  // namespace snip

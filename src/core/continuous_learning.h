@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Continuous learning (paper §V-B Option 2 and Fig. 12): loop
+ * record -> replay -> PFI -> deploy across play sessions. The first
+ * deployment is built from an artificially insufficient profile, so
+ * early sessions short-circuit erroneously; as every session's
+ * events are shipped to the "cloud" and replayed into the growing
+ * profile, re-learning drives the erroneous-output-field rate
+ * toward zero. An optional confidence gate withholds
+ * short-circuiting until the model's tested error clears a
+ * threshold (the paper's suggested way to avoid exposing users to
+ * the bad early epochs).
+ */
+
+#ifndef SNIP_CORE_CONTINUOUS_LEARNING_H
+#define SNIP_CORE_CONTINUOUS_LEARNING_H
+
+#include <vector>
+
+#include "core/simulation.h"
+
+namespace snip {
+namespace core {
+
+/** Learner knobs. */
+struct LearningConfig {
+    /** Number of play sessions (training epochs). */
+    int epochs = 50;
+    /** Length of each play session (s). */
+    double session_s = 30.0;
+    /**
+     * Records kept from the seed session's profile — kept small to
+     * reproduce the paper's insufficient-initial-profile setup.
+     */
+    size_t initial_profile_records = 30;
+    /** Cap on the accumulated profile (drop-oldest beyond it). */
+    size_t max_profile_records = 200000;
+    /** Re-run PFI selection every this many epochs (>= 1). */
+    int relearn_every = 1;
+    /** Withhold short-circuiting until tested error <= gate AND
+     *  enough profile evidence has accumulated. */
+    bool confidence_gate = false;
+    double gate_threshold = 0.005;
+    size_t gate_min_records = 600;
+
+    SnipConfig snip;
+    SimulationConfig sim;
+};
+
+/** Per-epoch outcome. */
+struct EpochResult {
+    int epoch = 0;
+    /** Erroneous-output-field rate during the session (Fig. 12 y). */
+    double error_field_rate = 0.0;
+    /** Instruction-weighted short-circuit coverage. */
+    double coverage = 0.0;
+    /** Whole-session energy (J). */
+    double energy_j = 0.0;
+    /** Profile records accumulated before this session. */
+    size_t profile_records = 0;
+    /** Deployed table size (bytes). */
+    uint64_t table_bytes = 0;
+    /** Whether short-circuiting was enabled (confidence gate). */
+    bool deployed = true;
+};
+
+/** Run the continuous-learning loop on one game. */
+class ContinuousLearner
+{
+  public:
+    /**
+     * @param game The game under study (reset per session).
+     * @param replica A second instance of the same game used as the
+     *        cloud emulator for replay (must share parameters).
+     */
+    ContinuousLearner(games::Game &game, games::Game &replica,
+                      LearningConfig cfg = {});
+
+    /** Run all epochs and return the error trajectory. */
+    std::vector<EpochResult> run();
+
+  private:
+    /** Tested error of a model on the accumulated profile. */
+    double testedError(const SnipModel &model) const;
+
+    games::Game &game_;
+    games::Game &replica_;
+    LearningConfig cfg_;
+};
+
+}  // namespace core
+}  // namespace snip
+
+#endif  // SNIP_CORE_CONTINUOUS_LEARNING_H

@@ -1,0 +1,184 @@
+#include "core/federated.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/simulation.h"
+#include "games/registry.h"
+#include "trace/recorder.h"
+#include "trace/trace_log.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace snip {
+namespace core {
+
+namespace {
+
+/** One user's recorded play: event trace + replayed profile. */
+struct UserData {
+    trace::EventTrace trace;
+    trace::Profile profile;
+};
+
+std::vector<UserData>
+recordUsers(const std::string &game_name, const FederatedConfig &cfg)
+{
+    std::vector<UserData> users;
+    for (int u = 0; u < cfg.num_users; ++u) {
+        auto game = games::makeGame(game_name);
+        BaselineScheme baseline;
+        SimulationConfig scfg;
+        scfg.duration_s = cfg.session_s;
+        scfg.record_events = true;
+        scfg.seed = util::mixCombine(cfg.seed,
+                                     0x05e7000ULL + static_cast<uint64_t>(u));
+        SessionResult res = runSession(*game, baseline, scfg);
+        auto replica = games::makeGame(game_name);
+        UserData ud;
+        ud.trace = res.trace;
+        ud.profile = trace::Replayer::replay(res.trace, *replica);
+        users.push_back(std::move(ud));
+    }
+    return users;
+}
+
+uint64_t
+traceBytes(const trace::EventTrace &t)
+{
+    util::ByteBuffer buf;
+    trace::encodeEventTrace(t, buf);
+    uint64_t bytes = buf.size();
+    // Replaying camera-driven games offline needs the recorded
+    // camera feed as well (the paper screen-records it); count a
+    // compressed frame per CameraFrame event.
+    constexpr uint64_t kCompressedFrameBytes = 100 * 1024;
+    for (const auto &ev : t.events)
+        if (ev.type == events::EventType::CameraFrame)
+            bytes += kCompressedFrameBytes;
+    return bytes;
+}
+
+}  // namespace
+
+FederatedResult
+buildCentralized(const std::string &game_name,
+                 const FederatedConfig &cfg)
+{
+    auto game = games::makeGame(game_name);
+    auto users = recordUsers(game_name, cfg);
+
+    FederatedResult out;
+    trace::Profile merged;
+    merged.game = game_name;
+    for (const auto &u : users) {
+        merged.append(u.profile);
+        out.cost.uploaded_bytes += traceBytes(u.trace);
+    }
+    out.cost.selection_records = merged.records.size();
+
+    SnipConfig scfg = cfg.snip;
+    scfg.overrides.force_keep = game->params().recommended_overrides;
+    out.model = buildSnipModel(merged, *game, scfg);
+    for (const auto &t : out.model.types)
+        out.deployed_types.emplace_back(
+            t.type, t.selection.selected.size());
+    return out;
+}
+
+FederatedResult
+buildFederated(const std::string &game_name,
+               const FederatedConfig &cfg)
+{
+    auto game = games::makeGame(game_name);
+    auto users = recordUsers(game_name, cfg);
+
+    // Per-user local selection (runs on-device / per-silo; the
+    // backend's serial compute is a single user's job).
+    std::vector<SnipModel> locals;
+    uint64_t max_user_records = 0;
+    for (int u = 0; u < cfg.num_users; ++u) {
+        SnipConfig scfg = cfg.snip;
+        scfg.seed = util::mixCombine(cfg.snip.seed,
+                                     static_cast<uint64_t>(u));
+        scfg.overrides.force_keep =
+            game->params().recommended_overrides;
+        locals.push_back(
+            buildSnipModel(users[u].profile, *game, scfg));
+        max_user_records = std::max<uint64_t>(
+            max_user_records, users[u].profile.records.size());
+    }
+
+    // Majority vote per type over the selected field sets.
+    FederatedResult out;
+    out.cost.selection_records = max_user_records;
+    size_t votes_needed = static_cast<size_t>(
+        cfg.vote_fraction * cfg.num_users + 0.9999);
+
+    out.model.game = game_name;
+    out.model.table = std::make_unique<MemoTable>(game->schema());
+    std::map<events::EventType, std::map<events::FieldId, size_t>>
+        votes;
+    for (const auto &local : locals)
+        for (const auto &t : local.types)
+            for (events::FieldId fid : t.selection.selected)
+                ++votes[t.type][fid];
+
+    for (const auto &tv : votes) {
+        std::vector<events::FieldId> selected;
+        for (const auto &fv : tv.second)
+            if (fv.second >= votes_needed)
+                selected.push_back(fv.first);
+        if (selected.empty())
+            continue;
+        out.model.table->setSelected(tv.first, selected);
+        TypeModel tm;
+        tm.type = tv.first;
+        tm.selection.selected = selected;
+        for (events::FieldId fid : selected)
+            tm.selection.selected_bytes +=
+                game->schema().def(fid).size_bytes;
+        out.model.types.push_back(std::move(tm));
+        out.deployed_types.emplace_back(tv.first, selected.size());
+    }
+
+    // Each device projects its local profile onto the agreed fields
+    // and uploads only the table entries.
+    for (const auto &u : users) {
+        MemoTable local_table(game->schema());
+        for (const auto &t : out.model.types)
+            local_table.setSelected(t.type, t.selection.selected);
+        for (const auto &rec : u.profile.records)
+            local_table.insert(rec);
+        out.cost.uploaded_bytes += local_table.totalBytes();
+        // Server-side union.
+        for (const auto &rec : u.profile.records)
+            out.model.table->insert(rec);
+    }
+    return out;
+}
+
+FederatedEval
+evaluateModel(const std::string &game_name, SnipModel &model,
+              uint64_t seed, double session_s)
+{
+    auto game = games::makeGame(game_name);
+    SimulationConfig cfg;
+    cfg.duration_s = session_s;
+    cfg.seed = seed;
+
+    BaselineScheme baseline;
+    double e_base = runSession(*game, baseline, cfg).report.total();
+
+    SnipScheme scheme(model);
+    SessionResult res = runSession(*game, scheme, cfg);
+
+    FederatedEval ev;
+    ev.coverage = res.stats.coverageInstr();
+    ev.error_field_rate = res.stats.errorFieldRate();
+    ev.energy_savings = 1.0 - res.report.total() / e_base;
+    return ev;
+}
+
+}  // namespace core
+}  // namespace snip

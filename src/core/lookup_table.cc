@@ -1,0 +1,183 @@
+#include "core/lookup_table.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace snip {
+namespace core {
+
+NaiveTableAnalysis::NaiveTableAnalysis(const trace::Profile &profile,
+                                       const events::FieldSchema &schema,
+                                       size_t curve_points)
+{
+    rowInputBytes_ = schema.totalInputBytes();
+    rowTotalBytes_ = rowInputBytes_ + schema.totalOutputBytes();
+
+    uint64_t total_instr = profile.totalInstructions();
+    if (total_instr == 0)
+        util::fatal("NaiveTableAnalysis: empty profile");
+
+    std::unordered_set<uint64_t> seen;
+    uint64_t covered_instr = 0;
+    size_t step = std::max<size_t>(1, profile.records.size() /
+                                          std::max<size_t>(1,
+                                                           curve_points));
+    size_t i = 0;
+    for (const auto &rec : profile.records) {
+        uint64_t key = events::hashFields(rec.inputs);
+        if (seen.count(key))
+            covered_instr += rec.cpu_instructions;
+        else
+            seen.insert(key);
+        if (++i % step == 0 || i == profile.records.size()) {
+            CoveragePoint p;
+            p.coverage = static_cast<double>(covered_instr) /
+                         static_cast<double>(total_instr);
+            p.entries = seen.size();
+            p.input_bytes = p.entries * rowInputBytes_;
+            p.input_output_bytes = p.entries * rowTotalBytes_;
+            curve_.push_back(p);
+        }
+    }
+}
+
+double
+NaiveTableAnalysis::finalCoverage() const
+{
+    return curve_.empty() ? 0.0 : curve_.back().coverage;
+}
+
+uint64_t
+NaiveTableAnalysis::bytesForCoverage(double coverage) const
+{
+    for (const auto &p : curve_) {
+        if (p.coverage >= coverage)
+            return p.input_output_bytes;
+    }
+    return 0;
+}
+
+InEventTableResult
+analyzeInEventTable(const trace::Profile &profile,
+                    const events::FieldSchema &schema)
+{
+    InEventTableResult res;
+    uint64_t total_instr = profile.totalInstructions();
+    if (total_instr == 0)
+        util::fatal("analyzeInEventTable: empty profile");
+
+    struct KeyInfo {
+        // Distinct output signatures with instruction weights and a
+        // representative record index per signature.
+        std::map<uint64_t, uint64_t> out_weight;
+        std::map<uint64_t, size_t> out_repr;
+        uint64_t in_event_bytes = 0;
+        uint64_t max_output_bytes = 0;
+    };
+    std::unordered_map<uint64_t, KeyInfo> keys;
+
+    // Pass 1: in record order, find which executions hit an
+    // already-seen key (coverage / ambiguity accounting), while
+    // building the per-key output statistics.
+    uint64_t hit_instr = 0;
+    uint64_t ambiguous_instr = 0;
+    std::vector<uint64_t> rec_key(profile.records.size());
+    std::vector<char> rec_hit(profile.records.size(), 0);
+
+    for (size_t i = 0; i < profile.records.size(); ++i) {
+        const auto &rec = profile.records[i];
+        // Key: In.Event-category input fields only.
+        uint64_t key = 0x13e4e27ULL +
+                       static_cast<uint64_t>(rec.type) * 0x9e37ULL;
+        uint64_t in_event_bytes = 0;
+        for (const auto &fv : rec.inputs) {
+            const auto &d = schema.def(fv.id);
+            if (d.in_cat == events::InputCategory::Event) {
+                key ^= util::mixCombine(fv.id, fv.value);
+                in_event_bytes += d.size_bytes;
+            }
+        }
+        rec_key[i] = key;
+        auto it = keys.find(key);
+        if (it != keys.end()) {
+            hit_instr += rec.cpu_instructions;
+            rec_hit[i] = 1;
+            if (it->second.out_weight.size() > 1)
+                ambiguous_instr += rec.cpu_instructions;
+        }
+        KeyInfo &ki = keys[key];
+        uint64_t osig = events::hashFields(rec.outputs);
+        ki.out_weight[osig] += rec.cpu_instructions;
+        ki.out_repr.emplace(osig, i);
+        ki.in_event_bytes = in_event_bytes;
+        uint64_t out_bytes = 0;
+        for (const auto &fv : rec.outputs)
+            out_bytes += schema.def(fv.id).size_bytes;
+        ki.max_output_bytes = std::max(ki.max_output_bytes, out_bytes);
+    }
+
+    // Pass 2: evaluate the final table's majority short-circuits on
+    // every hit record.
+    uint64_t err_hits = 0, hits = 0;
+    uint64_t err_temp = 0, err_hist = 0, err_ext = 0;
+    for (size_t i = 0; i < profile.records.size(); ++i) {
+        if (!rec_hit[i])
+            continue;
+        ++hits;
+        const auto &rec = profile.records[i];
+        const KeyInfo &ki = keys[rec_key[i]];
+        uint64_t best_sig = 0, best_w = 0;
+        for (const auto &ow : ki.out_weight) {
+            if (ow.second > best_w) {
+                best_w = ow.second;
+                best_sig = ow.first;
+            }
+        }
+        uint64_t actual = events::hashFields(rec.outputs);
+        if (actual == best_sig)
+            continue;
+        ++err_hits;
+        size_t repr = ki.out_repr.at(best_sig);
+        OutputDiff d = diffOutputs(profile.records[repr].outputs,
+                                   rec.outputs, schema);
+        if (d.wrong_extern)
+            ++err_ext;
+        else if (d.wrong_history)
+            ++err_hist;
+        else
+            ++err_temp;
+    }
+
+    res.entries = keys.size();
+    for (const auto &kv : keys)
+        res.table_bytes +=
+            kv.second.in_event_bytes + kv.second.max_output_bytes;
+    res.naive_bytes =
+        profile.records.size() *
+        (schema.totalInputBytes() + schema.totalOutputBytes());
+    res.coverage = static_cast<double>(hit_instr) /
+                   static_cast<double>(total_instr);
+    res.ambiguous = static_cast<double>(ambiguous_instr) /
+                    static_cast<double>(total_instr);
+    if (hits) {
+        res.erroneous_hit_fraction =
+            static_cast<double>(err_hits) / static_cast<double>(hits);
+    }
+    if (err_hits) {
+        res.err_temp_only =
+            static_cast<double>(err_temp) / static_cast<double>(err_hits);
+        res.err_history =
+            static_cast<double>(err_hist) / static_cast<double>(err_hits);
+        res.err_extern =
+            static_cast<double>(err_ext) / static_cast<double>(err_hits);
+    }
+    return res;
+}
+
+}  // namespace core
+}  // namespace snip

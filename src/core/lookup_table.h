@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The two straw-man lookup-table designs the paper analyzes before
+ * SNIP:
+ *
+ *  - NaiveTableAnalysis (§III, Fig. 6): every record is the union of
+ *    all input locations (and optionally all output locations); an
+ *    execution is covered when its full input record was observed
+ *    before. Tracks the (table size, execution coverage) curve —
+ *    the curve that runs into gigabytes.
+ *
+ *  - InEventTableAnalysis (§IV-B, Fig. 8): records keyed on the
+ *    In.Event fields only. Small, but the same key can map to
+ *    multiple outputs (ambiguity); short-circuiting with the
+ *    majority output produces erroneous executions whose category
+ *    breakdown (Out.Temp vs Out.History/Extern) decides viability.
+ *
+ * Both work on profiles; sizes are computed analytically (entries x
+ * row bytes), never materialized — a 64 GB "table" is a number, not
+ * an allocation.
+ */
+
+#ifndef SNIP_CORE_LOOKUP_TABLE_H
+#define SNIP_CORE_LOOKUP_TABLE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/output_diff.h"
+#include "trace/profile.h"
+
+namespace snip {
+namespace core {
+
+/** One point of the Fig. 6 curve. */
+struct CoveragePoint {
+    /** Instruction-weighted fraction of execution covered. */
+    double coverage = 0.0;
+    /** Table size with input-only rows (bytes). */
+    uint64_t input_bytes = 0;
+    /** Table size with input+output rows (bytes). */
+    uint64_t input_output_bytes = 0;
+    /** Distinct records stored. */
+    uint64_t entries = 0;
+};
+
+/** §III union-of-locations table analysis. */
+class NaiveTableAnalysis
+{
+  public:
+    /**
+     * Scan @p profile in record order, inserting each distinct full
+     * input record and noting which executions would have hit.
+     * @param curve_points Number of curve samples to keep.
+     */
+    NaiveTableAnalysis(const trace::Profile &profile,
+                       const events::FieldSchema &schema,
+                       size_t curve_points = 64);
+
+    /** The (size, coverage) trajectory. */
+    const std::vector<CoveragePoint> &curve() const { return curve_; }
+
+    /** Final coverage after the whole profile. */
+    double finalCoverage() const;
+
+    /** Bytes of one input-only row (union of input locations). */
+    uint64_t rowInputBytes() const { return rowInputBytes_; }
+    /** Bytes of one input+output row. */
+    uint64_t rowTotalBytes() const { return rowTotalBytes_; }
+
+    /**
+     * Table size (input+output rows) needed to reach a coverage
+     * level; returns 0 when the profile never reaches it.
+     */
+    uint64_t bytesForCoverage(double coverage) const;
+
+  private:
+    std::vector<CoveragePoint> curve_;
+    uint64_t rowInputBytes_ = 0;
+    uint64_t rowTotalBytes_ = 0;
+};
+
+/** Result of the §IV-B In.Event-only analysis. */
+struct InEventTableResult {
+    /** Distinct In.Event keys stored. */
+    uint64_t entries = 0;
+    /** Table bytes (In.Event key + outputs per row). */
+    uint64_t table_bytes = 0;
+    /** Naive input+output table bytes on the same profile. */
+    uint64_t naive_bytes = 0;
+    /** Instruction-weighted fraction of executions hitting a key
+     *  seen before (matchable at all). */
+    double coverage = 0.0;
+    /** Fraction of execution hitting keys with >1 distinct output
+     *  (cannot know which output is right — Fig. 8a's 22%). */
+    double ambiguous = 0.0;
+    /** Fraction of *hits* whose majority-output short-circuit would
+     *  be wrong. */
+    double erroneous_hit_fraction = 0.0;
+    /** Of erroneous short-circuits: damage confined to Out.Temp. */
+    double err_temp_only = 0.0;
+    /** Of erroneous short-circuits: Out.History damaged. */
+    double err_history = 0.0;
+    /** Of erroneous short-circuits: Out.Extern damaged. */
+    double err_extern = 0.0;
+};
+
+/** Run the In.Event-only analysis over a profile. */
+InEventTableResult analyzeInEventTable(const trace::Profile &profile,
+                                       const events::FieldSchema &schema);
+
+}  // namespace core
+}  // namespace snip
+
+#endif  // SNIP_CORE_LOOKUP_TABLE_H

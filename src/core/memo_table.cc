@@ -1,0 +1,191 @@
+#include "core/memo_table.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace snip {
+namespace core {
+
+MemoTable::MemoTable(const events::FieldSchema &schema)
+    : schema_(&schema)
+{
+}
+
+void
+MemoTable::setSelected(events::EventType type,
+                       std::vector<events::FieldId> selected)
+{
+    TypeTable &tt = types_[static_cast<int>(type)];
+    if (tt.entries)
+        util::fatal("MemoTable::setSelected(%s) after inserts; clear() "
+                    "first", events::eventTypeName(type));
+    std::sort(selected.begin(), selected.end());
+    tt.selected = std::move(selected);
+    tt.selected_event.clear();
+    tt.selected_bytes = 0;
+    for (events::FieldId fid : tt.selected) {
+        const auto &d = schema_->def(fid);
+        tt.selected_bytes += d.size_bytes;
+        if (d.side == events::FieldSide::Input &&
+            d.in_cat == events::InputCategory::Event)
+            tt.selected_event.push_back(fid);
+    }
+}
+
+const std::vector<events::FieldId> &
+MemoTable::selected(events::EventType type) const
+{
+    return types_[static_cast<int>(type)].selected;
+}
+
+uint64_t
+MemoTable::selectedBytes(events::EventType type) const
+{
+    return types_[static_cast<int>(type)].selected_bytes;
+}
+
+uint64_t
+MemoTable::eventSubkey(
+    const TypeTable &tt,
+    const std::vector<events::FieldValue> &fields) const
+{
+    uint64_t h = 0xe4e27000ULL;
+    for (events::FieldId fid : tt.selected_event) {
+        const events::FieldValue *fv = events::findField(fields, fid);
+        uint64_t v = fv ? fv->value : ~0ULL;
+        h = util::mixCombine(h, util::mixCombine(fid, v));
+    }
+    return h;
+}
+
+void
+MemoTable::insert(const games::HandlerExecution &rec)
+{
+    TypeTable &tt = types_[static_cast<int>(rec.type)];
+    if (tt.selected.empty())
+        return;  // type not deployed
+
+    // Project inputs onto the selected set (both sorted by id).
+    std::vector<events::FieldValue> key;
+    size_t si = 0;
+    for (const auto &fv : rec.inputs) {
+        while (si < tt.selected.size() && tt.selected[si] < fv.id)
+            ++si;
+        if (si < tt.selected.size() && tt.selected[si] == fv.id)
+            key.push_back(fv);
+    }
+
+    uint64_t subkey = eventSubkey(tt, rec.inputs);
+    auto &bucket = tt.buckets[subkey];
+    for (const auto &e : bucket) {
+        if (e.key_fields == key)
+            return;  // already memoized (append-only semantics)
+    }
+    MemoEntry entry;
+    entry.key_fields = std::move(key);
+    entry.outputs = rec.outputs;
+    uint64_t bytes = 0;
+    for (const auto &fv : entry.key_fields)
+        bytes += schema_->def(fv.id).size_bytes;
+    for (const auto &fv : entry.outputs)
+        bytes += schema_->def(fv.id).size_bytes;
+    entry.entry_bytes = static_cast<uint32_t>(bytes);
+    tt.bytes += bytes + kEntryHeaderBytes;
+    ++tt.entries;
+    bucket.push_back(std::move(entry));
+}
+
+MemoLookup
+MemoTable::lookup(const events::EventObject &ev,
+                  const games::Game &game) const
+{
+    const TypeTable &tt = types_[static_cast<int>(ev.type)];
+    MemoLookup res;
+    if (tt.selected.empty())
+        return res;
+
+    // Gathering the necessary inputs costs their size even when the
+    // table has no candidates (they must be loaded to compare).
+    res.bytes_scanned = tt.selected_bytes;
+
+    auto it = tt.buckets.find(eventSubkey(tt, ev.fields));
+    if (it == tt.buckets.end())
+        return res;
+
+    // Gather current values of the selected fields once.
+    std::vector<events::FieldValue> gathered;
+    gathered.reserve(tt.selected.size());
+    for (events::FieldId fid : tt.selected) {
+        const auto &d = schema_->def(fid);
+        if (d.in_cat == events::InputCategory::Event) {
+            const events::FieldValue *fv =
+                events::findField(ev.fields, fid);
+            if (fv)
+                gathered.push_back(*fv);
+        } else {
+            uint64_t v;
+            if (game.gatherInputValue(fid, v))
+                gathered.push_back({fid, v});
+        }
+    }
+
+    for (const MemoEntry &e : it->second) {
+        ++res.candidates;
+        res.bytes_scanned += e.entry_bytes + kEntryHeaderBytes;
+        bool match = true;
+        for (const auto &kf : e.key_fields) {
+            const events::FieldValue *gv =
+                events::findField(gathered, kf.id);
+            if (!gv || gv->value != kf.value) {
+                match = false;
+                break;
+            }
+        }
+        if (match) {
+            res.hit = true;
+            res.entry = &e;
+            const_cast<MemoEntry &>(e).hits++;
+            return res;
+        }
+    }
+    return res;
+}
+
+size_t
+MemoTable::entryCount() const
+{
+    size_t n = 0;
+    for (const auto &tt : types_)
+        n += tt.entries;
+    return n;
+}
+
+size_t
+MemoTable::entryCount(events::EventType type) const
+{
+    return types_[static_cast<int>(type)].entries;
+}
+
+uint64_t
+MemoTable::totalBytes() const
+{
+    uint64_t n = 0;
+    for (const auto &tt : types_)
+        n += tt.bytes;
+    return n;
+}
+
+void
+MemoTable::clear()
+{
+    for (auto &tt : types_) {
+        tt.buckets.clear();
+        tt.entries = 0;
+        tt.bytes = 0;
+    }
+}
+
+}  // namespace core
+}  // namespace snip

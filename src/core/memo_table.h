@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The deployed SNIP lookup table (paper §V-B, "Using the lookup
+ * table during execution"): per event type it keeps the PFI-selected
+ * necessary input fields and a set of entries mapping observed
+ * necessary-input values to memoized outputs.
+ *
+ * Runtime lookup follows the paper's mechanism: the table is indexed
+ * by a hash of the *event-object* portion of the necessary inputs
+ * (computable before any processing); every candidate entry under
+ * that index is then compared against the freshly gathered values of
+ * all its stored necessary fields. The scan volume (candidates x
+ * entry size) is exactly the Fig. 11c overhead term.
+ */
+
+#ifndef SNIP_CORE_MEMO_TABLE_H
+#define SNIP_CORE_MEMO_TABLE_H
+
+#include <array>
+#include <unordered_map>
+#include <vector>
+
+#include "events/event.h"
+#include "events/field.h"
+#include "games/game.h"
+#include "games/handler.h"
+
+namespace snip {
+namespace core {
+
+/** One memoized entry: necessary-input values -> outputs. */
+struct MemoEntry {
+    /** Stored necessary-field values (canonical id order). Fields
+     *  the profiled execution did not read are simply not stored;
+     *  comparison only checks stored fields. */
+    std::vector<events::FieldValue> key_fields;
+    /** Memoized output writes. */
+    std::vector<events::FieldValue> outputs;
+    /** Entry payload size in bytes (keys + outputs). */
+    uint32_t entry_bytes = 0;
+    /** Times this entry produced a short-circuit. */
+    uint64_t hits = 0;
+};
+
+/** Result of one runtime lookup. */
+struct MemoLookup {
+    bool hit = false;
+    /** Entry that matched (valid when hit). */
+    const MemoEntry *entry = nullptr;
+    /** Candidate entries scanned under the event-hash index. */
+    uint32_t candidates = 0;
+    /** Total bytes gathered + compared during the scan. */
+    uint64_t bytes_scanned = 0;
+};
+
+/** Per-game deployed lookup table. */
+class MemoTable
+{
+  public:
+    /** Bind to a game's schema. */
+    explicit MemoTable(const events::FieldSchema &schema);
+
+    /**
+     * Configure the necessary (selected) fields of one event type.
+     * Must be called before inserting records of that type.
+     */
+    void setSelected(events::EventType type,
+                     std::vector<events::FieldId> selected);
+
+    /** Selected fields of a type (empty when unconfigured). */
+    const std::vector<events::FieldId> &
+    selected(events::EventType type) const;
+
+    /** Sum of selected-field sizes for a type (bytes). */
+    uint64_t selectedBytes(events::EventType type) const;
+
+    /**
+     * Insert (or refresh) an entry from a profiled/observed
+     * execution: its inputs are projected onto the selected fields.
+     * Duplicate keys keep the first-inserted outputs (the paper's
+     * table is append-only between re-learns).
+     */
+    void insert(const games::HandlerExecution &rec);
+
+    /**
+     * Look up an event at runtime. Event-side values come from
+     * @p ev; history-side values are read from @p game's live state.
+     */
+    MemoLookup lookup(const events::EventObject &ev,
+                      const games::Game &game) const;
+
+    /** Number of entries across all types. */
+    size_t entryCount() const;
+    /** Entries of one type. */
+    size_t entryCount(events::EventType type) const;
+    /** Total table payload bytes (entries + per-entry header). */
+    uint64_t totalBytes() const;
+
+    /** Per-entry header/index overhead modeled (bytes). */
+    static constexpr uint32_t kEntryHeaderBytes = 256;
+
+    /** Drop all entries (the profiler's "clear the table" action). */
+    void clear();
+
+  private:
+    struct TypeTable {
+        std::vector<events::FieldId> selected;   // sorted
+        std::vector<events::FieldId> selected_event;    // In.Event subset
+        uint64_t selected_bytes = 0;
+        /** Event-subkey hash -> candidate entries. */
+        std::unordered_map<uint64_t, std::vector<MemoEntry>> buckets;
+        size_t entries = 0;
+        uint64_t bytes = 0;
+    };
+
+    uint64_t eventSubkey(const TypeTable &tt,
+                         const std::vector<events::FieldValue> &fields)
+        const;
+
+    const events::FieldSchema *schema_;
+    std::array<TypeTable, events::kNumEventTypes> types_;
+};
+
+}  // namespace core
+}  // namespace snip
+
+#endif  // SNIP_CORE_MEMO_TABLE_H

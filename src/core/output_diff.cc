@@ -1,0 +1,47 @@
+#include "core/output_diff.h"
+
+namespace snip {
+namespace core {
+
+OutputDiff
+diffOutputs(const std::vector<events::FieldValue> &applied,
+            const std::vector<events::FieldValue> &truth,
+            const events::FieldSchema &schema)
+{
+    OutputDiff d;
+    size_t a = 0, t = 0;
+    auto classify = [&](events::FieldId fid) {
+        ++d.fields_wrong;
+        switch (schema.def(fid).out_cat) {
+          case events::OutputCategory::Temp:
+            ++d.wrong_temp;
+            break;
+          case events::OutputCategory::History:
+            ++d.wrong_history;
+            break;
+          case events::OutputCategory::Extern:
+            ++d.wrong_extern;
+            break;
+        }
+    };
+    while (a < applied.size() || t < truth.size()) {
+        ++d.fields_total;
+        if (t >= truth.size() ||
+            (a < applied.size() && applied[a].id < truth[t].id)) {
+            classify(applied[a].id);  // spurious write
+            ++a;
+        } else if (a >= applied.size() || truth[t].id < applied[a].id) {
+            classify(truth[t].id);    // missing write
+            ++t;
+        } else {
+            if (applied[a].value != truth[t].value)
+                classify(truth[t].id);
+            ++a;
+            ++t;
+        }
+    }
+    return d;
+}
+
+}  // namespace core
+}  // namespace snip

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Output comparison: given the outputs a short-circuit applied and
+ * the outputs full processing would have produced, classify the
+ * damage by output category (paper §IV-B): wrong Out.Temp values
+ * are tolerable glitches; wrong Out.History/Out.Extern corrupt
+ * future executions.
+ */
+
+#ifndef SNIP_CORE_OUTPUT_DIFF_H
+#define SNIP_CORE_OUTPUT_DIFF_H
+
+#include <cstdint>
+#include <vector>
+
+#include "events/field.h"
+
+namespace snip {
+namespace core {
+
+/** Field-level comparison of two output sets. */
+struct OutputDiff {
+    /** Output fields in the truth set (union with predicted). */
+    uint32_t fields_total = 0;
+    /** Fields whose value differs (or are missing on one side). */
+    uint32_t fields_wrong = 0;
+    uint32_t wrong_temp = 0;
+    uint32_t wrong_history = 0;
+    uint32_t wrong_extern = 0;
+
+    bool anyWrong() const { return fields_wrong > 0; }
+    /** All damage confined to Out.Temp (tolerable). */
+    bool tempOnly() const
+    {
+        return fields_wrong > 0 && wrong_history == 0 &&
+               wrong_extern == 0;
+    }
+};
+
+/**
+ * Compare @p applied against @p truth (both canonical id order).
+ * A field present on only one side counts as wrong in its category.
+ */
+OutputDiff diffOutputs(const std::vector<events::FieldValue> &applied,
+                       const std::vector<events::FieldValue> &truth,
+                       const events::FieldSchema &schema);
+
+}  // namespace core
+}  // namespace snip
+
+#endif  // SNIP_CORE_OUTPUT_DIFF_H

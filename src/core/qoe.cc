@@ -1,0 +1,30 @@
+#include "core/qoe.h"
+
+#include "util/logging.h"
+
+namespace snip {
+namespace core {
+
+QoeReport
+scoreQoe(const SessionStats &stats, util::Time session_s,
+         const QoeModel &model)
+{
+    if (session_s <= 0)
+        util::fatal("scoreQoe: non-positive session length %f",
+                    session_s);
+    double minutes = session_s / 60.0;
+    QoeReport r;
+    r.glitches_per_minute =
+        static_cast<double>(stats.err_temp_only) / minutes;
+    r.perceptible_glitches_per_minute =
+        r.glitches_per_minute * model.glitchPerceptibility();
+    r.corruptions_per_minute =
+        static_cast<double>(stats.err_history + stats.err_extern) /
+        minutes;
+    r.acceptable = r.corruptions_per_minute == 0.0 &&
+                   r.perceptible_glitches_per_minute < 1.0;
+    return r;
+}
+
+}  // namespace core
+}  // namespace snip

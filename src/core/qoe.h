@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Quality-of-experience model for SNIP's tolerable errors
+ * (paper §IV-B): a wrong Out.Temp value is a single-frame visual or
+ * haptic glitch (< 16.7 ms at 60 fps), roughly an order of magnitude
+ * below human visual reaction time (~190-250 ms [19]), so isolated
+ * glitches are very unlikely to be perceived; corrupted
+ * Out.History/Out.Extern writes, in contrast, change the game and
+ * are always counted as experience-breaking. The paper defers a
+ * user study; this model quantifies the same argument so benches
+ * and the watchdog can report experience impact, not just field
+ * error rates.
+ */
+
+#ifndef SNIP_CORE_QOE_H
+#define SNIP_CORE_QOE_H
+
+#include "core/simulation.h"
+
+namespace snip {
+namespace core {
+
+/** Perceptibility model parameters. */
+struct QoeModel {
+    /** Display refresh interval (s) — glitch duration floor. */
+    double frame_interval_s = 1.0 / 60.0;
+    /** Median human visual reaction time (s), [19] in the paper. */
+    double reaction_time_s = 0.19;
+    /**
+     * Probability a single-frame glitch is noticed, modeled as the
+     * duration ratio capped at 1 (a glitch an entire reaction-time
+     * long is certainly seen).
+     */
+    double glitchPerceptibility() const
+    {
+        double p = frame_interval_s / reaction_time_s;
+        return p > 1.0 ? 1.0 : p;
+    }
+};
+
+/** Experience impact of one session. */
+struct QoeReport {
+    /** Out.Temp-only erroneous short-circuits per minute. */
+    double glitches_per_minute = 0.0;
+    /** Expected *noticed* glitches per minute. */
+    double perceptible_glitches_per_minute = 0.0;
+    /** Gameplay-corrupting errors (history/extern) per minute. */
+    double corruptions_per_minute = 0.0;
+    /** True when the session meets the "almost error free" bar:
+     *  no corruption and under one noticed glitch per minute. */
+    bool acceptable = false;
+};
+
+/** Score a session's stats under the QoE model. */
+QoeReport scoreQoe(const SessionStats &stats, util::Time session_s,
+                   const QoeModel &model = {});
+
+}  // namespace core
+}  // namespace snip
+
+#endif  // SNIP_CORE_QOE_H

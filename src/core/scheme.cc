@@ -1,0 +1,151 @@
+#include "core/scheme.h"
+
+#include "util/logging.h"
+
+namespace snip {
+namespace core {
+
+const char *
+schemeName(SchemeKind k)
+{
+    switch (k) {
+      case SchemeKind::Baseline: return "Baseline";
+      case SchemeKind::MaxCpu: return "Max CPU";
+      case SchemeKind::MaxIp: return "Max IP";
+      case SchemeKind::Snip: return "SNIP";
+      case SchemeKind::NoOverheads: return "No Overheads";
+    }
+    return "?";
+}
+
+Decision
+BaselineScheme::decide(const games::Game &, const events::EventObject &,
+                       const games::HandlerExecution &)
+{
+    return {};
+}
+
+Decision
+MaxCpuScheme::decide(const games::Game &, const events::EventObject &,
+                     const games::HandlerExecution &truth)
+{
+    Decision d;
+    d.charge_lookup = false;
+    if (seen_.count(truth.necessary_hash))
+        d.cpu_skip_fraction = truth.maxcpu_fraction;
+    return d;
+}
+
+void
+MaxCpuScheme::observe(const games::HandlerExecution &truth)
+{
+    seen_.insert(truth.necessary_hash);
+}
+
+Decision
+MaxIpScheme::decide(const games::Game &, const events::EventObject &ev,
+                    const games::HandlerExecution &)
+{
+    Decision d;
+    d.charge_lookup = false;
+    // IP results (rendered tiles, decoded blocks) are reusable only
+    // when the triggering event object repeats exactly.
+    if (seen_.count(events::hashFields(ev.fields)))
+        d.skip_ips = true;
+    seen_.insert(events::hashFields(ev.fields));
+    return d;
+}
+
+void
+MaxIpScheme::observe(const games::HandlerExecution &)
+{
+}
+
+SnipScheme::SnipScheme(SnipModel &model, SnipRuntimeConfig cfg,
+                       bool charge_overheads)
+    : model_(model), cfg_(cfg), chargeOverheads_(charge_overheads)
+{
+    if (!model_.table)
+        util::fatal("SnipScheme: model has no table");
+}
+
+Decision
+SnipScheme::decide(const games::Game &game, const events::EventObject &ev,
+                   const games::HandlerExecution &)
+{
+    Decision d;
+    d.charge_lookup = chargeOverheads_;
+    auditPending_ = false;
+    MemoLookup res = model_.table->lookup(ev, game);
+    d.lookup_bytes = res.bytes_scanned;
+    d.lookup_candidates = res.candidates;
+    if (res.hit) {
+        // Audit watchdog: periodically let a would-be hit run at
+        // full cost so the table's output can be checked against
+        // ground truth in observe().
+        if (cfg_.audit_every > 0 &&
+            ++hitCounter_ % cfg_.audit_every == 0) {
+            auditPending_ = true;
+            auditOutputs_ = res.entry->outputs;
+            return d;  // processed fully; observe() compares
+        }
+        d.shortcircuit = true;
+        d.outputs = res.entry->outputs;
+    }
+    return d;
+}
+
+void
+SnipScheme::observe(const games::HandlerExecution &truth)
+{
+    if (auditPending_) {
+        auditPending_ = false;
+        ++auditsRun_;
+        ++windowAudits_;
+        if (auditOutputs_ != truth.outputs) {
+            ++auditsFailed_;
+            ++windowFailures_;
+        }
+        if (windowAudits_ >= cfg_.audit_window) {
+            double rate = static_cast<double>(windowFailures_) /
+                          static_cast<double>(windowAudits_);
+            if (rate > cfg_.audit_clear_threshold) {
+                model_.table->clear();
+                ++tableClears_;
+                util::warn("snip watchdog: audited error rate %.1f%% "
+                           "exceeded %.1f%%; table cleared",
+                           rate * 100.0,
+                           cfg_.audit_clear_threshold * 100.0);
+            }
+            windowAudits_ = 0;
+            windowFailures_ = 0;
+        }
+    }
+    if (cfg_.online_fill)
+        model_.table->insert(truth);
+}
+
+std::unique_ptr<Scheme>
+makeScheme(SchemeKind kind, SnipModel *model)
+{
+    switch (kind) {
+      case SchemeKind::Baseline:
+        return std::make_unique<BaselineScheme>();
+      case SchemeKind::MaxCpu:
+        return std::make_unique<MaxCpuScheme>();
+      case SchemeKind::MaxIp:
+        return std::make_unique<MaxIpScheme>();
+      case SchemeKind::Snip:
+      case SchemeKind::NoOverheads:
+        if (!model)
+            util::fatal("makeScheme(%s) requires a SnipModel",
+                        schemeName(kind));
+        return std::make_unique<SnipScheme>(
+            *model, SnipRuntimeConfig{},
+            kind == SchemeKind::Snip);
+    }
+    util::panic("makeScheme: bad kind");
+}
+
+}  // namespace core
+}  // namespace snip

@@ -1,0 +1,240 @@
+#include "core/simulation.h"
+
+#include <algorithm>
+#include <array>
+
+#include "core/output_diff.h"
+#include "events/binder.h"
+#include "events/sensor_manager.h"
+#include "trace/recorder.h"
+#include "util/bytes.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace snip {
+namespace core {
+
+double
+SessionStats::coverageInstr() const
+{
+    return instr_total
+               ? static_cast<double>(instr_skipped) /
+                     static_cast<double>(instr_total)
+               : 0.0;
+}
+
+double
+SessionStats::coverageIpWork() const
+{
+    return ip_work_total > 0 ? ip_work_skipped / ip_work_total : 0.0;
+}
+
+double
+SessionStats::errorFieldRate() const
+{
+    return output_fields_total
+               ? static_cast<double>(output_fields_wrong) /
+                     static_cast<double>(output_fields_total)
+               : 0.0;
+}
+
+SessionResult
+runSession(games::Game &game, Scheme &scheme, const SimulationConfig &cfg)
+{
+    if (cfg.duration_s <= 0)
+        util::fatal("runSession: non-positive duration %f",
+                    cfg.duration_s);
+
+    game.reset();
+    soc::Soc soc(cfg.model);
+    soc.setInUse(true);
+
+    events::SensorManager sensor_mgr(soc);
+    events::BinderChannel binder(soc);
+    trace::EventRecorder recorder(game.name());
+    if (cfg.record_events) {
+        binder.setTap([&recorder](const events::EventObject &ev) {
+            recorder.onEvent(ev);
+        });
+    }
+
+    util::Rng rng(util::mixCombine(cfg.seed,
+                                   util::fnv1a(game.name())));
+    SessionStats stats;
+
+    // Per-mix-entry next arrival times (jittered periodic arrivals).
+    const auto &mix = game.params().mix;
+    std::vector<double> next_at(mix.size());
+    for (size_t i = 0; i < mix.size(); ++i)
+        next_at[i] = rng.uniformReal() / mix[i].rate_hz;
+
+    // Per-IP last-use clock for the sleep policy.
+    std::array<double, soc::kNumIpKinds> ip_last_use;
+    ip_last_use.fill(0.0);
+    auto touch_ip = [&](soc::IpKind k, double now) {
+        ip_last_use[static_cast<int>(k)] = now;
+    };
+
+    const games::GameParams &gp = game.params();
+    double frame_dt = 1.0 / gp.frame_rate;
+    double now = 0.0;
+
+    auto process_event = [&](size_t mix_idx, double at) {
+        events::EventObject ev =
+            game.makeEvent(mix[mix_idx].type, at, rng);
+        sensor_mgr.deliver(ev);
+        binder.transfer(ev);
+
+        games::HandlerExecution truth = game.process(ev);
+        Decision d = scheme.decide(game, ev, truth);
+
+        ++stats.events;
+        stats.instr_total += truth.cpu_instructions;
+        stats.ip_work_total += truth.ipWorkUnits();
+        stats.output_fields_total +=
+            static_cast<uint64_t>(truth.outputs.size());
+        if (truth.useless)
+            ++stats.useless_events;
+
+        if (d.lookup_bytes > 0 && d.charge_lookup) {
+            uint64_t instr = cfg.lookup_instr_base +
+                             static_cast<uint64_t>(
+                                 cfg.lookup_instr_per_byte *
+                                 static_cast<double>(d.lookup_bytes));
+            double before = soc.cpu().dynamicEnergy() +
+                            soc.memory().dynamicEnergy();
+            soc.executeCpu(instr, soc::CpuCluster::Big);
+            soc.accessMemory(d.lookup_bytes);
+            stats.lookup_energy_j += soc.cpu().dynamicEnergy() +
+                                     soc.memory().dynamicEnergy() -
+                                     before;
+        }
+        stats.lookup_bytes += d.lookup_bytes;
+        stats.lookup_candidates += d.lookup_candidates;
+
+        if (d.shortcircuit) {
+            ++stats.shortcircuits;
+            stats.instr_skipped += truth.cpu_instructions;
+            stats.ip_work_skipped += truth.ipWorkUnits();
+            game.applyOutputs(d.outputs);
+            OutputDiff diff =
+                diffOutputs(d.outputs, truth.outputs, game.schema());
+            stats.output_fields_wrong += diff.fields_wrong;
+            if (diff.anyWrong()) {
+                ++stats.erroneous_shortcircuits;
+                if (diff.wrong_extern)
+                    ++stats.err_extern;
+                else if (diff.wrong_history)
+                    ++stats.err_history;
+                else
+                    ++stats.err_temp_only;
+            }
+            return;
+        }
+
+        // Full (or partially skipped) processing.
+        uint64_t skipped = static_cast<uint64_t>(
+            static_cast<double>(truth.cpu_instructions) *
+            d.cpu_skip_fraction);
+        stats.instr_skipped += skipped;
+        soc.executeCpu(truth.cpu_instructions - skipped,
+                       soc::CpuCluster::Big);
+        soc.accessMemory(truth.memory_bytes);
+        if (d.skip_ips) {
+            stats.ip_work_skipped += truth.ipWorkUnits();
+        } else {
+            for (const auto &c : truth.ip_calls) {
+                soc.invokeIp(c.kind, c.work_units);
+                touch_ip(c.kind, at);
+            }
+        }
+        if (truth.useless)
+            stats.useless_instr_executed +=
+                truth.cpu_instructions - skipped;
+        game.applyOutputs(truth.outputs);
+        scheme.observe(truth);
+    };
+
+    while (now < cfg.duration_s) {
+        double frame_end = std::min(now + frame_dt, cfg.duration_s);
+
+        // Deliver all events arriving within this frame, in time
+        // order across mix entries.
+        for (;;) {
+            size_t best = SIZE_MAX;
+            for (size_t i = 0; i < mix.size(); ++i) {
+                if (next_at[i] < frame_end &&
+                    (best == SIZE_MAX || next_at[i] < next_at[best]))
+                    best = i;
+            }
+            if (best == SIZE_MAX)
+                break;
+            process_event(best, next_at[best]);
+            next_at[best] += rng.uniformReal(0.7, 1.3) /
+                             mix[best].rate_hz;
+        }
+
+        // Per-frame background load (composition, UI animation,
+        // audio stream, game-loop tick on the little cluster).
+        soc.invokeIp(soc::IpKind::Display, gp.frame_display_units);
+        touch_ip(soc::IpKind::Display, frame_end);
+        if (gp.frame_gpu_units > 0) {
+            soc.invokeIp(soc::IpKind::Gpu, gp.frame_gpu_units);
+            touch_ip(soc::IpKind::Gpu, frame_end);
+        }
+        if (gp.audio_units_per_s > 0) {
+            soc.invokeIp(soc::IpKind::Audio,
+                         gp.audio_units_per_s * frame_dt);
+            touch_ip(soc::IpKind::Audio, frame_end);
+        }
+        soc.executeCpu(
+            static_cast<uint64_t>(gp.frame_cpu_minstr * 1e6),
+            soc::CpuCluster::Little);
+
+        // IP sleep policy: gate blocks idle longer than the
+        // scheme's timeout. The display never gates while the
+        // screen is on.
+        double timeout = scheme.ipSleepTimeout();
+        for (int k = 0; k < soc::kNumIpKinds; ++k) {
+            auto kind = static_cast<soc::IpKind>(k);
+            if (kind == soc::IpKind::Display)
+                continue;
+            if (frame_end - ip_last_use[k] > timeout)
+                soc.ip(kind).setSleeping(true);
+        }
+
+        soc.advance(frame_end - now);
+        now = frame_end;
+    }
+
+    SessionResult result{soc.report(), stats, recorder.trace()};
+    return result;
+}
+
+util::Power
+idlePhonePower(const soc::EnergyModel &model)
+{
+    // The paper's "idle phone" reference (~20 h) is a device that is
+    // on — screen lit at the launcher, radios up — but not playing:
+    // display refresh plus background OS work, no game processing.
+    soc::Soc soc(model);
+    soc.setInUse(true);
+    for (int k = 0; k < soc::kNumIpKinds; ++k) {
+        if (static_cast<soc::IpKind>(k) != soc::IpKind::Display)
+            soc.ip(static_cast<soc::IpKind>(k)).setSleeping(true);
+    }
+    // One simulated minute of 60 fps launcher idling.
+    const double frame_dt = 1.0 / 60.0;
+    for (int f = 0; f < 3600; ++f) {
+        soc.invokeIp(soc::IpKind::Display, 1.0);
+        soc.executeCpu(1'500'000, soc::CpuCluster::Little);
+        if (f % 30 == 0)
+            soc.executeCpu(6'000'000, soc::CpuCluster::Little);
+        soc.accessMemory(200'000);
+        soc.advance(frame_dt);
+    }
+    return soc.report().averagePower();
+}
+
+}  // namespace core
+}  // namespace snip

@@ -1,0 +1,70 @@
+#include "core/snip.h"
+
+#include "ml/dataset.h"
+#include "util/logging.h"
+
+namespace snip {
+namespace core {
+
+uint64_t
+SnipModel::selectedBytes() const
+{
+    uint64_t total = 0;
+    for (const auto &t : types)
+        total += t.selection.selected_bytes;
+    return total;
+}
+
+SnipModel
+buildSnipModel(const trace::Profile &profile, const games::Game &game,
+               const SnipConfig &cfg)
+{
+    SnipModel model;
+    model.game = profile.game;
+    model.table = std::make_unique<MemoTable>(game.schema());
+
+    std::vector<events::FieldId> forced;
+    for (const auto &name : cfg.overrides.force_keep) {
+        events::FieldId fid = game.schema().find(name);
+        if (fid == events::kInvalidField)
+            util::fatal("developer override names unknown field '%s'",
+                        name.c_str());
+        forced.push_back(fid);
+    }
+
+    for (events::EventType t : profile.typesPresent()) {
+        auto records = profile.ofType(t);
+        if (records.size() < cfg.min_records_per_type) {
+            util::warn("snip: %s has only %zu records of %s; leaving "
+                       "type undeployed", profile.game.c_str(),
+                       records.size(), events::eventTypeName(t));
+            continue;
+        }
+        ml::Dataset ds(std::move(records), game.schema());
+
+        ml::SelectionConfig sel;
+        sel.max_error = cfg.max_error;
+        sel.max_conditional_error = cfg.max_conditional_error;
+        sel.pfi.repeats = cfg.pfi_repeats;
+        sel.pfi.seed = util::mixCombine(cfg.seed,
+                                        static_cast<uint64_t>(t));
+        for (events::FieldId fid : forced) {
+            if (ds.columnOf(fid) != SIZE_MAX)
+                sel.forced_keep.push_back(fid);
+        }
+
+        TypeModel tm;
+        tm.type = t;
+        tm.selection = ml::selectNecessaryInputs(ds, sel);
+        model.table->setSelected(t, tm.selection.selected);
+        model.types.push_back(std::move(tm));
+    }
+
+    // Pre-fill the table from the profile (the OTA payload).
+    for (const auto &rec : profile.records)
+        model.table->insert(rec);
+    return model;
+}
+
+}  // namespace core
+}  // namespace snip

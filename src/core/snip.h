@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The SNIP pipeline facade (paper Fig. 10): from a recorded profile
+ * to a deployable model — per-event-type PFI feature selection plus
+ * the initial memoization table — with optional developer overrides
+ * (Option 1 of §V-B).
+ */
+
+#ifndef SNIP_CORE_SNIP_H
+#define SNIP_CORE_SNIP_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/memo_table.h"
+#include "ml/feature_selection.h"
+#include "trace/profile.h"
+
+namespace snip {
+namespace core {
+
+/** Developer overrides fed into selection (§V-B Option 1). */
+struct DeveloperOverrides {
+    /** Field names that must stay in the necessary set. */
+    std::vector<std::string> force_keep;
+    /**
+     * Field names whose erroneous short-circuiting the developer
+     * marked tolerable (Out.Temp-like). Reserved for error-budget
+     * accounting in reports.
+     */
+    std::vector<std::string> tolerate_errors;
+};
+
+/** Pipeline knobs. */
+struct SnipConfig {
+    /** Per-type wrong-hit error budget for selection. */
+    double max_error = 0.002;
+    /** Conditional (wrong hits / hits) budget for selection. */
+    double max_conditional_error = 0.012;
+    /** PFI permutation repeats. */
+    int pfi_repeats = 2;
+    uint64_t seed = 0x51139ULL;
+    DeveloperOverrides overrides;
+    /**
+     * Minimum records of a type required to attempt selection;
+     * sparser types are left undeployed (processed as baseline).
+     */
+    size_t min_records_per_type = 32;
+};
+
+/** Per-event-type selection outcome. */
+struct TypeModel {
+    events::EventType type = events::EventType::Touch;
+    ml::SelectionResult selection;
+};
+
+/** The deployable artifact: selections + initial table. */
+struct SnipModel {
+    std::string game;
+    std::vector<TypeModel> types;
+    /** Table pre-filled from the profile (the OTA payload). */
+    std::unique_ptr<MemoTable> table;
+
+    /** Sum of selected necessary-input bytes across types. */
+    uint64_t selectedBytes() const;
+};
+
+/**
+ * Run PFI selection per event type on @p profile and build the
+ * deployable table. @p game supplies the schema and (for override
+ * name resolution) the field registry.
+ */
+SnipModel buildSnipModel(const trace::Profile &profile,
+                         const games::Game &game,
+                         const SnipConfig &cfg = {});
+
+}  // namespace core
+}  // namespace snip
+
+#endif  // SNIP_CORE_SNIP_H

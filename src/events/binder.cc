@@ -1,0 +1,24 @@
+#include "events/binder.h"
+
+namespace snip {
+namespace events {
+
+BinderChannel::BinderChannel(soc::Soc &soc, const BinderCosts &costs)
+    : soc_(soc), costs_(costs)
+{
+}
+
+void
+BinderChannel::transfer(const EventObject &ev)
+{
+    uint32_t bytes = ev.sizeBytes();
+    soc_.executeCpu(costs_.instr_per_txn, soc::CpuCluster::Little);
+    soc_.accessMemory(static_cast<uint64_t>(bytes) * costs_.copies);
+    ++txns_;
+    payloadBytes_ += bytes;
+    if (tap_)
+        tap_(ev);
+}
+
+}  // namespace events
+}  // namespace snip

@@ -1,0 +1,59 @@
+#include "events/event.h"
+
+namespace snip {
+namespace events {
+
+const char *
+eventTypeName(EventType t)
+{
+    switch (t) {
+      case EventType::Touch: return "touch";
+      case EventType::Swipe: return "swipe";
+      case EventType::Drag: return "drag";
+      case EventType::MultiTouch: return "multi_touch";
+      case EventType::Gyro: return "gyro";
+      case EventType::CameraFrame: return "camera_frame";
+      case EventType::Gps: return "gps";
+      case EventType::NumTypes: break;
+    }
+    return "?";
+}
+
+uint32_t
+eventObjectBytes(EventType t)
+{
+    // In.Event objects span 2..640 B with a fixed size per type
+    // (paper Fig. 7a). Values mirror Android event packing: a bare
+    // key/button event is tiny, MotionEvent batches grow with
+    // pointer history, camera-frame metadata is the largest.
+    switch (t) {
+      case EventType::Touch: return 24;
+      case EventType::Swipe: return 96;
+      case EventType::Drag: return 160;
+      case EventType::MultiTouch: return 320;
+      case EventType::Gyro: return 48;
+      case EventType::CameraFrame: return 640;
+      case EventType::Gps: return 32;
+      case EventType::NumTypes: break;
+    }
+    return 2;
+}
+
+uint32_t
+rawSamplesPerEvent(EventType t)
+{
+    switch (t) {
+      case EventType::Touch: return 4;
+      case EventType::Swipe: return 24;
+      case EventType::Drag: return 48;
+      case EventType::MultiTouch: return 40;
+      case EventType::Gyro: return 8;
+      case EventType::CameraFrame: return 1;
+      case EventType::Gps: return 2;
+      case EventType::NumTypes: break;
+    }
+    return 1;
+}
+
+}  // namespace events
+}  // namespace snip

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * High-level input events as delivered to game event handlers:
+ * the Android-like event types the paper's games consume, and the
+ * EventObject (the In.Event record) with its fixed per-type size.
+ */
+
+#ifndef SNIP_EVENTS_EVENT_H
+#define SNIP_EVENTS_EVENT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "events/field.h"
+
+namespace snip {
+namespace events {
+
+/** High-level event types produced by the sensor framework. */
+enum class EventType : uint8_t {
+    Touch = 0,    ///< Single tap (MotionEvent ACTION_DOWN/UP).
+    Swipe,        ///< Directional swipe (MotionEvent series).
+    Drag,         ///< Sustained drag (catapult stretch, steering).
+    MultiTouch,   ///< Multi-pointer gesture (pinch, two-finger).
+    Gyro,         ///< Rotation/tilt sample batch.
+    CameraFrame,  ///< One processed camera frame (AR games).
+    Gps,          ///< Position fix.
+    NumTypes,
+};
+
+/** Number of event types. */
+constexpr int kNumEventTypes = static_cast<int>(EventType::NumTypes);
+
+/** Display name of an event type. */
+const char *eventTypeName(EventType t);
+
+/**
+ * Fixed In.Event object size per type, in bytes. The paper reports
+ * In.Event objects of 2..640 bytes with a fixed size per type
+ * (§IV-A); these mirror Android's MotionEvent/SensorEvent packing.
+ */
+uint32_t eventObjectBytes(EventType t);
+
+/**
+ * Raw sensor samples consumed by the hub to synthesize one event of
+ * this type (a swipe is a series of touch samples, etc.).
+ */
+uint32_t rawSamplesPerEvent(EventType t);
+
+/**
+ * A high-level event as handed to a game's event handler: the
+ * In.Event record. Field values are game-schema fields of category
+ * InputCategory::Event.
+ */
+struct EventObject {
+    EventType type = EventType::Touch;
+    /** Monotonic sequence number within a session. */
+    uint64_t seq = 0;
+    /** Delivery timestamp (simulated seconds). */
+    double timestamp = 0.0;
+    /** In.Event field values (canonical id order). */
+    std::vector<FieldValue> fields;
+
+    /** Object size in bytes (fixed per type). */
+    uint32_t sizeBytes() const { return eventObjectBytes(type); }
+};
+
+}  // namespace events
+}  // namespace snip
+
+#endif  // SNIP_EVENTS_EVENT_H

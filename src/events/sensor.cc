@@ -1,0 +1,77 @@
+#include "events/sensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace snip {
+namespace events {
+
+const char *
+sensorKindName(SensorKind k)
+{
+    switch (k) {
+      case SensorKind::Touchscreen: return "touchscreen";
+      case SensorKind::Gyroscope: return "gyroscope";
+      case SensorKind::Accelerometer: return "accelerometer";
+      case SensorKind::Camera: return "camera";
+      case SensorKind::Gps: return "gps";
+      case SensorKind::NumKinds: break;
+    }
+    return "?";
+}
+
+SensorKind
+sensorForEvent(EventType t)
+{
+    switch (t) {
+      case EventType::Touch:
+      case EventType::Swipe:
+      case EventType::Drag:
+      case EventType::MultiTouch:
+        return SensorKind::Touchscreen;
+      case EventType::Gyro:
+        return SensorKind::Gyroscope;
+      case EventType::CameraFrame:
+        return SensorKind::Camera;
+      case EventType::Gps:
+        return SensorKind::Gps;
+      case EventType::NumTypes:
+        break;
+    }
+    return SensorKind::Touchscreen;
+}
+
+Sensor::Sensor(SensorKind kind, double rate_hz, int resolution_bits)
+    : kind_(kind), rateHz_(rate_hz), resolutionBits_(resolution_bits)
+{
+    if (rate_hz <= 0)
+        util::fatal("Sensor %s: non-positive rate %f",
+                    sensorKindName(kind), rate_hz);
+    if (resolution_bits < 1 || resolution_bits > 32)
+        util::fatal("Sensor %s: bad resolution %d bits",
+                    sensorKindName(kind), resolution_bits);
+}
+
+int
+Sensor::effectiveBits() const
+{
+    return lowFidelity_ ? std::max(1, resolutionBits_ / 2)
+                        : resolutionBits_;
+}
+
+uint64_t
+Sensor::quantize(double reading, double lo, double hi) const
+{
+    if (hi <= lo)
+        util::panic("Sensor::quantize: bad range [%f, %f]", lo, hi);
+    double x = std::clamp(reading, lo, hi);
+    double norm = (x - lo) / (hi - lo);
+    uint64_t levels = (1ULL << effectiveBits()) - 1;
+    return static_cast<uint64_t>(std::llround(norm *
+                                              static_cast<double>(levels)));
+}
+
+}  // namespace events
+}  // namespace snip

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Physical sensor models. Each Sensor produces raw sample batches
+ * for the sensor hub; the hub turns them into high-level events.
+ * A sensor's fidelity mode trades sampling energy for value
+ * resolution (the low-fidelity opportunity the paper discusses and
+ * rejects as insufficient in §II-C).
+ */
+
+#ifndef SNIP_EVENTS_SENSOR_H
+#define SNIP_EVENTS_SENSOR_H
+
+#include <cstdint>
+#include <string>
+
+#include "events/event.h"
+#include "util/rng.h"
+
+namespace snip {
+namespace events {
+
+/** Kinds of physical sensors feeding the hub. */
+enum class SensorKind : uint8_t {
+    Touchscreen = 0,
+    Gyroscope,
+    Accelerometer,
+    Camera,
+    Gps,
+    NumKinds,
+};
+
+/** Display name of a sensor kind. */
+const char *sensorKindName(SensorKind k);
+
+/** Which physical sensor sources a given high-level event type. */
+SensorKind sensorForEvent(EventType t);
+
+/**
+ * A physical sensor: sampling rate, value resolution, and fidelity
+ * mode. Games' user models draw raw values through sensors so that
+ * quantization behaviour is centralized.
+ */
+class Sensor
+{
+  public:
+    /**
+     * @param kind Sensor kind.
+     * @param rate_hz Native sampling rate.
+     * @param resolution_bits ADC resolution (full-fidelity).
+     */
+    Sensor(SensorKind kind, double rate_hz, int resolution_bits);
+
+    SensorKind kind() const { return kind_; }
+    double rateHz() const { return rateHz_; }
+    int resolutionBits() const { return resolutionBits_; }
+
+    /**
+     * Low-fidelity mode halves the effective resolution (and would
+     * save sensor energy on real hardware).
+     */
+    void setLowFidelity(bool low) { lowFidelity_ = low; }
+    bool lowFidelity() const { return lowFidelity_; }
+
+    /**
+     * Quantize a raw physical reading in [lo, hi] to this sensor's
+     * current resolution, returning an integer code.
+     */
+    uint64_t quantize(double reading, double lo, double hi) const;
+
+    /** Effective resolution in bits given the fidelity mode. */
+    int effectiveBits() const;
+
+  private:
+    SensorKind kind_;
+    double rateHz_;
+    int resolutionBits_;
+    bool lowFidelity_ = false;
+};
+
+}  // namespace events
+}  // namespace snip
+
+#endif  // SNIP_EVENTS_SENSOR_H

@@ -1,0 +1,27 @@
+#include "events/sensor_manager.h"
+
+namespace snip {
+namespace events {
+
+SensorManager::SensorManager(soc::Soc &soc, const FrameworkCosts &costs)
+    : soc_(soc), costs_(costs)
+{
+}
+
+void
+SensorManager::deliver(const EventObject &ev)
+{
+    uint64_t raw = rawSamplesPerEvent(ev.type);
+    if (ev.type == EventType::CameraFrame)
+        soc_.captureCameraFrame();
+    else
+        soc_.sampleSensors(raw);
+    soc_.executeCpu(costs_.instr_per_raw_sample * raw +
+                        costs_.instr_per_event,
+                    soc::CpuCluster::Little);
+    soc_.accessMemory(costs_.bytes_per_raw_sample * raw);
+    ++delivered_;
+}
+
+}  // namespace events
+}  // namespace snip

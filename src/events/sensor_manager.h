@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The OS sensor framework: turns raw sensor samples into high-level
+ * events (Android's SensorManager role) and charges the SoC for the
+ * plumbing — sensor-hub sampling energy plus efficiency-core cycles
+ * for sample filtering and event assembly. This cost is paid for
+ * *every* event, short-circuited or not; SNIP only removes handler
+ * processing downstream of delivery.
+ */
+
+#ifndef SNIP_EVENTS_SENSOR_MANAGER_H
+#define SNIP_EVENTS_SENSOR_MANAGER_H
+
+#include <cstdint>
+
+#include "events/event.h"
+#include "soc/soc.h"
+
+namespace snip {
+namespace events {
+
+/** Framework plumbing cost constants. */
+struct FrameworkCosts {
+    /** Efficiency-core instructions to filter one raw sample. */
+    uint64_t instr_per_raw_sample = 900;
+    /** Efficiency-core instructions to assemble one event object. */
+    uint64_t instr_per_event = 14000;
+    /** Memory bytes touched per raw sample (hub FIFO drain). */
+    uint64_t bytes_per_raw_sample = 16;
+};
+
+/**
+ * SensorManager: accounts the sensor-to-event path on the SoC and
+ * counts delivered events.
+ */
+class SensorManager
+{
+  public:
+    /**
+     * @param soc SoC to charge.
+     * @param costs Plumbing cost constants.
+     */
+    SensorManager(soc::Soc &soc, const FrameworkCosts &costs = {});
+
+    /**
+     * Deliver one event: charge raw sampling (or a camera capture),
+     * filtering, and event assembly.
+     */
+    void deliver(const EventObject &ev);
+
+    /** Events delivered so far. */
+    uint64_t eventsDelivered() const { return delivered_; }
+
+  private:
+    soc::Soc &soc_;
+    FrameworkCosts costs_;
+    uint64_t delivered_ = 0;
+};
+
+}  // namespace events
+}  // namespace snip
+
+#endif  // SNIP_EVENTS_SENSOR_MANAGER_H

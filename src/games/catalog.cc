@@ -1,0 +1,638 @@
+#include "games/catalog.h"
+
+namespace snip {
+namespace games {
+
+namespace {
+
+using events::EventType;
+using soc::IpKind;
+
+/**
+ * In.Event layouts per type. Coarse semantic fields (UI zone, swipe
+ * direction, detected AR plane...) are the *necessary* fields; raw
+ * coordinates, pressure series, and timestamps are noise the game
+ * logic ignores. Sizes sum exactly to eventObjectBytes(type).
+ */
+
+std::vector<EventFieldSpec>
+touchFields(uint32_t zones)
+{
+    return {
+        {"zone", 2, true, zones, events::kInvalidField},
+        {"x_raw", 4, false, 4096, events::kInvalidField},
+        {"y_raw", 4, false, 4096, events::kInvalidField},
+        {"pressure", 2, false, 256, events::kInvalidField},
+        {"pointer", 2, false, 8, events::kInvalidField},
+        {"action", 2, false, 4, events::kInvalidField},
+        {"ts", 4, false, 65536, events::kInvalidField},
+        {"pad", 4, false, 65536, events::kInvalidField},
+    };
+}
+
+std::vector<EventFieldSpec>
+swipeFields(uint32_t zones)
+{
+    return {
+        {"dir", 2, true, 8, events::kInvalidField},
+        {"from", 2, true, zones, events::kInvalidField},
+        {"to", 2, true, zones, events::kInvalidField},
+        {"speed", 2, false, 8, events::kInvalidField},
+        {"x0", 4, false, 4096, events::kInvalidField},
+        {"y0", 4, false, 4096, events::kInvalidField},
+        {"x1", 4, false, 4096, events::kInvalidField},
+        {"y1", 4, false, 4096, events::kInvalidField},
+        {"pressure_series", 32, false, 1u << 20, events::kInvalidField},
+        {"hist_pts", 24, false, 1u << 20, events::kInvalidField},
+        {"meta", 4, false, 256, events::kInvalidField},
+        {"ts", 4, false, 65536, events::kInvalidField},
+        {"pad", 8, false, 65536, events::kInvalidField},
+    };
+}
+
+std::vector<EventFieldSpec>
+dragFields(uint32_t dist_buckets)
+{
+    return {
+        {"dir", 2, true, 8, events::kInvalidField},
+        {"dist", 2, true, dist_buckets, events::kInvalidField},
+        {"zone", 2, true, 16, events::kInvalidField},
+        {"force", 2, false, 8, events::kInvalidField},
+        {"path", 96, false, 1u << 20, events::kInvalidField},
+        {"x", 4, false, 4096, events::kInvalidField},
+        {"y", 4, false, 4096, events::kInvalidField},
+        {"vx", 4, false, 4096, events::kInvalidField},
+        {"vy", 4, false, 4096, events::kInvalidField},
+        {"meta", 16, false, 65536, events::kInvalidField},
+        {"ts", 4, false, 65536, events::kInvalidField},
+        {"pad", 20, false, 65536, events::kInvalidField},
+    };
+}
+
+std::vector<EventFieldSpec>
+multiTouchFields()
+{
+    return {
+        {"gesture", 2, true, 10, events::kInvalidField},
+        {"zone_a", 2, true, 16, events::kInvalidField},
+        {"zone_b", 2, true, 16, events::kInvalidField},
+        {"scale", 2, true, 12, events::kInvalidField},
+        {"pts", 192, false, 1u << 20, events::kInvalidField},
+        {"trail", 80, false, 1u << 20, events::kInvalidField},
+        {"meta", 36, false, 65536, events::kInvalidField},
+        {"ts", 4, false, 65536, events::kInvalidField},
+    };
+}
+
+std::vector<EventFieldSpec>
+gyroFields()
+{
+    return {
+        {"orient", 2, true, 12, events::kInvalidField},
+        {"tilt", 2, true, 16, events::kInvalidField},
+        {"ax", 8, false, 1u << 20, events::kInvalidField},
+        {"ay", 8, false, 1u << 20, events::kInvalidField},
+        {"az", 8, false, 1u << 20, events::kInvalidField},
+        {"bias", 12, false, 65536, events::kInvalidField},
+        {"ts", 8, false, 65536, events::kInvalidField},
+    };
+}
+
+std::vector<EventFieldSpec>
+cameraFields(uint32_t planes)
+{
+    return {
+        {"plane", 2, true, planes, events::kInvalidField},
+        {"light", 2, true, 16, events::kInvalidField},
+        {"motion", 2, true, 16, events::kInvalidField},
+        {"feat", 64, false, 1u << 20, events::kInvalidField},
+        {"exposure", 16, false, 65536, events::kInvalidField},
+        {"hist", 512, false, 1u << 20, events::kInvalidField},
+        {"meta", 36, false, 65536, events::kInvalidField},
+        {"ts", 4, false, 65536, events::kInvalidField},
+        {"pad", 2, false, 256, events::kInvalidField},
+    };
+}
+
+}  // namespace
+
+GameParams
+makeColorphun()
+{
+    GameParams p;
+    p.name = "colorphun";
+    p.display = "Colorphun";
+    p.salt = 101;
+    p.mix = {{EventType::Touch, 6.0}};
+    p.frame_gpu_units = 0.12;
+    p.frame_cpu_minstr = 0.4;
+    p.audio_units_per_s = 8.0;
+    p.history_fields = {
+        {"mode", 4, 6, 0, events::kInvalidField, events::kInvalidField},
+        {"streak", 4, 8, 0, events::kInvalidField, events::kInvalidField},
+        {"palette", 4, 5, 1, events::kInvalidField, events::kInvalidField},
+        {"clutter", 4, 4, 1, events::kInvalidField, events::kInvalidField},
+        {"score", 8, 0, 0, events::kInvalidField, events::kInvalidField},
+    };
+    p.extern_fields = {"assets"};
+
+    HandlerSpec touch;
+    touch.type = EventType::Touch;
+    touch.event_fields = touchFields(24);
+    touch.necessary_history = {"mode", "streak", "palette"};
+    touch.scoring_history = {"score"};
+    touch.complexity_field = "clutter";
+    touch.history_block_bytes = 1024;
+    touch.max_history_blocks = 4;
+    touch.extern_field = "assets";
+    touch.extern_per_million = 350;
+    touch.temp_outputs = 3;
+    touch.history_outputs = {"mode", "streak", "palette", "clutter"};
+    touch.extern_output = "leaderboard";
+    touch.output_cardinality = 40;
+    touch.useless_per_myriad = 1750;
+    touch.scoring_per_cent = 15;
+    touch.minstr_mean = 135.0;
+    touch.minstr_spread = 0.3;
+    touch.ip_calls = {{IpKind::Gpu, 38.0}, {IpKind::Display, 3.5},
+                      {IpKind::Audio, 2.0}};
+    touch.maxcpu_repeat_fraction = 0.5;
+    p.handlers = {touch};
+
+    p.user.zipf_s = 1.02;
+    p.user.exact_repeat_prob = 0.05;
+    p.user.burst_continue_prob = 0.25;
+    return p;
+}
+
+GameParams
+makeMemoryGame()
+{
+    GameParams p;
+    p.name = "memory_game";
+    p.display = "Memory Game";
+    p.salt = 102;
+    p.mix = {{EventType::Touch, 6.0}};
+    p.frame_gpu_units = 0.08;
+    p.frame_cpu_minstr = 0.3;
+    p.audio_units_per_s = 5.0;
+    // A wide board: the necessary state is eight 48-byte row
+    // descriptors, which makes SNIP's per-event comparisons large —
+    // the paper's Memory Game lookup-overhead outlier (Fig. 11c).
+    p.history_fields = {
+        {"row0", 512, 5, 0, events::kInvalidField, events::kInvalidField},
+        {"row1", 512, 5, 1, events::kInvalidField, events::kInvalidField},
+        {"row2", 512, 5, 2, events::kInvalidField, events::kInvalidField},
+        {"row3", 512, 5, 3, events::kInvalidField, events::kInvalidField},
+        {"row4", 512, 5, 0, events::kInvalidField, events::kInvalidField},
+        {"row5", 512, 5, 1, events::kInvalidField, events::kInvalidField},
+        {"row6", 512, 5, 2, events::kInvalidField, events::kInvalidField},
+        {"row7", 512, 5, 3, events::kInvalidField, events::kInvalidField},
+        {"phase", 4, 5, 0, events::kInvalidField, events::kInvalidField},
+        {"pairs", 8, 0, 0, events::kInvalidField, events::kInvalidField},
+    };
+    p.extern_fields = {"assets"};
+
+    HandlerSpec touch;
+    touch.type = EventType::Touch;
+    touch.event_fields = touchFields(20);
+    touch.necessary_history = {"row0", "row1", "row2", "row3",
+                               "row4", "row5", "row6", "row7", "phase"};
+    touch.scoring_history = {"pairs"};
+    touch.complexity_field = "phase";
+    touch.history_block_bytes = 512;
+    touch.max_history_blocks = 4;
+    touch.extern_field = "assets";
+    touch.extern_per_million = 300;
+    touch.temp_outputs = 2;
+    touch.history_outputs = {"row0", "row3", "row5", "phase"};
+    touch.extern_output = "sync";
+    touch.output_cardinality = 64;
+    touch.useless_per_myriad = 2200;
+    touch.scoring_per_cent = 10;
+    touch.minstr_mean = 150.0;
+    touch.minstr_spread = 0.25;
+    touch.ip_calls = {{IpKind::Gpu, 40.0}, {IpKind::Display, 4.0},
+                      {IpKind::Codec, 3.0}};
+    touch.maxcpu_repeat_fraction = 0.4;
+    p.handlers = {touch};
+
+    p.recommended_overrides = {"h.row0", "h.row3", "h.row5", "h.phase",
+                               "h.pairs", "touch.zone"};
+    p.user.zipf_s = 1.18;
+    p.user.exact_repeat_prob = 0.04;
+    p.user.burst_continue_prob = 0.38;
+    return p;
+}
+
+GameParams
+makeCandyCrush()
+{
+    GameParams p;
+    p.name = "candy_crush";
+    p.display = "Candy Crush";
+    p.salt = 103;
+    p.mix = {{EventType::Swipe, 8.0}, {EventType::Touch, 3.0}};
+    p.frame_gpu_units = 0.25;
+    p.frame_cpu_minstr = 0.5;
+    p.audio_units_per_s = 15.0;
+    p.history_fields = {
+        {"board_zone", 6, 6, 0, events::kInvalidField,
+         events::kInvalidField},
+        {"combo", 4, 6, 0, events::kInvalidField, events::kInvalidField},
+        {"boosters", 4, 4, 1, events::kInvalidField, events::kInvalidField},
+        {"fill", 4, 6, 3, events::kInvalidField, events::kInvalidField},
+        {"score", 8, 0, 0, events::kInvalidField, events::kInvalidField},
+    };
+    p.extern_fields = {"assets"};
+
+    HandlerSpec swipe;
+    swipe.type = EventType::Swipe;
+    swipe.event_fields = swipeFields(8);
+    swipe.necessary_history = {"board_zone", "combo", "boosters"};
+    swipe.scoring_history = {"score"};
+    swipe.complexity_field = "fill";
+    swipe.history_block_bytes = 3072;
+    swipe.max_history_blocks = 8;
+    swipe.extern_field = "assets";
+    swipe.extern_per_million = 400;
+    swipe.temp_outputs = 4;
+    swipe.history_outputs = {"board_zone", "combo", "fill"};
+    swipe.extern_output = "leaderboard";
+    swipe.output_cardinality = 56;
+    swipe.useless_per_myriad = 3300;
+    swipe.scoring_per_cent = 16;
+    swipe.minstr_mean = 150.0;
+    swipe.minstr_spread = 0.3;
+    swipe.ip_calls = {{IpKind::Gpu, 34.0}, {IpKind::Display, 3.0},
+                      {IpKind::Dsp, 6.0}, {IpKind::Audio, 2.0}};
+    swipe.maxcpu_repeat_fraction = 0.3;
+
+    HandlerSpec touch;
+    touch.type = EventType::Touch;
+    touch.event_fields = touchFields(20);
+    touch.necessary_history = {"boosters", "combo"};
+    touch.scoring_history = {"score"};
+    touch.complexity_field = "fill";
+    touch.history_block_bytes = 2048;
+    touch.max_history_blocks = 4;
+    touch.temp_outputs = 2;
+    touch.history_outputs = {"boosters"};
+    touch.output_cardinality = 32;
+    touch.useless_per_myriad = 2300;
+    touch.scoring_per_cent = 8;
+    touch.minstr_mean = 60.0;
+    touch.minstr_spread = 0.25;
+    touch.ip_calls = {{IpKind::Gpu, 10.0}, {IpKind::Display, 1.5},
+                      {IpKind::Audio, 1.0}};
+    touch.maxcpu_repeat_fraction = 0.35;
+
+    p.handlers = {swipe, touch};
+
+    p.user.zipf_s = 1.38;
+    p.user.exact_repeat_prob = 0.04;
+    p.user.burst_continue_prob = 0.58;
+    return p;
+}
+
+GameParams
+makeGreenwall()
+{
+    GameParams p;
+    p.name = "greenwall";
+    p.display = "Greenwall";
+    p.salt = 104;
+    p.mix = {{EventType::Swipe, 12.0}, {EventType::Touch, 2.0}};
+    p.frame_gpu_units = 0.3;
+    p.frame_cpu_minstr = 0.5;
+    p.audio_units_per_s = 12.0;
+    p.history_fields = {
+        {"wave", 4, 6, 0, events::kInvalidField, events::kInvalidField},
+        {"fruit_set", 4, 6, 2, events::kInvalidField,
+         events::kInvalidField},
+        {"multiplier", 4, 4, 1, events::kInvalidField,
+         events::kInvalidField},
+        {"debris", 4, 6, 2, events::kInvalidField, events::kInvalidField},
+        {"score", 8, 0, 0, events::kInvalidField, events::kInvalidField},
+    };
+    p.extern_fields = {"assets"};
+
+    HandlerSpec swipe;
+    swipe.type = EventType::Swipe;
+    swipe.event_fields = swipeFields(8);
+    swipe.necessary_history = {"wave", "fruit_set", "multiplier"};
+    swipe.scoring_history = {"score"};
+    swipe.complexity_field = "debris";
+    swipe.history_block_bytes = 2048;
+    swipe.max_history_blocks = 10;
+    swipe.extern_field = "assets";
+    swipe.extern_per_million = 350;
+    swipe.temp_outputs = 3;
+    swipe.history_outputs = {"wave", "fruit_set", "debris"};
+    swipe.extern_output = "leaderboard";
+    swipe.output_cardinality = 48;
+    swipe.useless_per_myriad = 2900;
+    swipe.scoring_per_cent = 18;
+    swipe.minstr_mean = 120.0;
+    swipe.minstr_spread = 0.3;
+    swipe.ip_calls = {{IpKind::Gpu, 30.0}, {IpKind::Display, 2.5},
+                      {IpKind::Dsp, 5.0}, {IpKind::Audio, 1.5}};
+    swipe.maxcpu_repeat_fraction = 0.3;
+
+    HandlerSpec touch;
+    touch.type = EventType::Touch;
+    touch.event_fields = touchFields(12);
+    touch.necessary_history = {"multiplier"};
+    touch.scoring_history = {"score"};
+    touch.temp_outputs = 2;
+    touch.history_outputs = {"multiplier"};
+    touch.output_cardinality = 24;
+    touch.useless_per_myriad = 1500;
+    touch.scoring_per_cent = 6;
+    touch.minstr_mean = 45.0;
+    touch.minstr_spread = 0.25;
+    touch.ip_calls = {{IpKind::Gpu, 7.0}, {IpKind::Display, 1.0}};
+    touch.maxcpu_repeat_fraction = 0.35;
+
+    p.handlers = {swipe, touch};
+
+    p.user.zipf_s = 1.28;
+    p.user.exact_repeat_prob = 0.035;
+    p.user.burst_continue_prob = 0.52;
+    return p;
+}
+
+GameParams
+makeAbEvolution()
+{
+    GameParams p;
+    p.name = "ab_evolution";
+    p.display = "AB Evolution";
+    p.salt = 105;
+    p.mix = {{EventType::Drag, 18.0}, {EventType::Touch, 4.0},
+             {EventType::Gyro, 10.0}};
+    p.frame_gpu_units = 0.5;
+    p.frame_cpu_minstr = 0.8;
+    p.audio_units_per_s = 18.0;
+    p.history_fields = {
+        {"stretch", 4, 8, 2, events::kInvalidField, events::kInvalidField},
+        {"aim", 4, 8, 6, events::kInvalidField, events::kInvalidField},
+        {"birds", 4, 6, 5, events::kInvalidField, events::kInvalidField},
+        {"target_cfg", 6, 6, 0, events::kInvalidField,
+         events::kInvalidField},
+        {"scene", 4, 6, 3, events::kInvalidField, events::kInvalidField},
+        {"menu", 4, 5, 0, events::kInvalidField, events::kInvalidField},
+        {"orient_state", 4, 4, 0, events::kInvalidField,
+         events::kInvalidField},
+        {"score", 8, 0, 0, events::kInvalidField, events::kInvalidField},
+    };
+    p.extern_fields = {"assets"};
+
+    // The drag handler carries the paper's signature plateau: once
+    // the catapult is at max stretch, further outward drags change
+    // nothing (AB Evolution's 43% useless events, Fig. 4).
+    HandlerSpec drag;
+    drag.type = EventType::Drag;
+    drag.event_fields = dragFields(8);
+    drag.necessary_history = {"stretch", "aim", "target_cfg"};
+    drag.scoring_history = {"score"};
+    drag.complexity_field = "scene";
+    drag.history_block_bytes = 4096;
+    drag.max_history_blocks = 12;
+    drag.extern_field = "assets";
+    drag.extern_per_million = 400;
+    drag.temp_outputs = 4;
+    drag.history_outputs = {"stretch", "aim", "scene"};
+    drag.extern_output = "leaderboard";
+    drag.output_cardinality = 56;
+    drag.useless_per_myriad = 3300;
+    drag.scoring_per_cent = 15;
+    drag.plateau_history_field = "stretch";
+    drag.plateau_event_field = "dist";
+    drag.minstr_mean = 110.0;
+    drag.minstr_spread = 0.35;
+    drag.ip_calls = {{IpKind::Gpu, 23.0}, {IpKind::Display, 2.0},
+                     {IpKind::Dsp, 6.0}, {IpKind::Audio, 1.5}};
+    drag.maxcpu_repeat_fraction = 0.3;
+
+    HandlerSpec touch;
+    touch.type = EventType::Touch;
+    touch.event_fields = touchFields(18);
+    touch.necessary_history = {"menu", "birds"};
+    touch.scoring_history = {"score"};
+    touch.temp_outputs = 2;
+    touch.history_outputs = {"menu", "birds"};
+    touch.output_cardinality = 32;
+    touch.useless_per_myriad = 2100;
+    touch.scoring_per_cent = 9;
+    touch.minstr_mean = 45.0;
+    touch.minstr_spread = 0.25;
+    touch.ip_calls = {{IpKind::Gpu, 8.0}, {IpKind::Display, 1.0},
+                      {IpKind::Audio, 0.8}};
+    touch.maxcpu_repeat_fraction = 0.35;
+
+    HandlerSpec gyro;
+    gyro.type = EventType::Gyro;
+    gyro.event_fields = gyroFields();
+    gyro.necessary_history = {"orient_state"};
+    gyro.temp_outputs = 2;
+    gyro.history_outputs = {"orient_state"};
+    gyro.output_cardinality = 16;
+    gyro.useless_per_myriad = 4200;
+    gyro.scoring_per_cent = 0;
+    gyro.minstr_mean = 25.0;
+    gyro.minstr_spread = 0.2;
+    gyro.ip_calls = {{IpKind::Gpu, 5.0}, {IpKind::Display, 0.6}};
+    gyro.maxcpu_repeat_fraction = 0.4;
+
+    p.handlers = {drag, touch, gyro};
+
+    p.user.zipf_s = 1.12;
+    p.user.exact_repeat_prob = 0.03;
+    p.user.burst_continue_prob = 0.4;
+    return p;
+}
+
+GameParams
+makeChaseWhisply()
+{
+    GameParams p;
+    p.name = "chase_whisply";
+    p.display = "Chase Whisply";
+    p.salt = 106;
+    p.mix = {{EventType::CameraFrame, 30.0}, {EventType::Touch, 5.0},
+             {EventType::Gyro, 15.0}};
+    p.frame_gpu_units = 0.4;
+    p.frame_cpu_minstr = 0.8;
+    p.audio_units_per_s = 15.0;
+    p.history_fields = {
+        {"plane_state", 4, 8, 0, events::kInvalidField,
+         events::kInvalidField},
+        {"ghost_cfg", 6, 8, 4, events::kInvalidField,
+         events::kInvalidField},
+        {"aim_state", 4, 8, 0, events::kInvalidField,
+         events::kInvalidField},
+        {"clutter", 4, 10, 4, events::kInvalidField,
+         events::kInvalidField},
+        {"ammo", 4, 8, 6, events::kInvalidField, events::kInvalidField},
+        {"score", 8, 0, 0, events::kInvalidField, events::kInvalidField},
+    };
+    p.extern_fields = {"assets"};
+
+    // Camera frames dominate: most re-detect the same plane in the
+    // same light (low useless rate per paper's 17%, but massive
+    // redundancy across frames).
+    HandlerSpec cam;
+    cam.type = EventType::CameraFrame;
+    cam.event_fields = cameraFields(24);
+    cam.necessary_history = {"plane_state", "ghost_cfg"};
+    cam.complexity_field = "clutter";
+    cam.history_block_bytes = 4096;
+    cam.max_history_blocks = 28;
+    cam.extern_field = "assets";
+    cam.extern_per_million = 300;
+    cam.temp_outputs = 4;
+    cam.history_outputs = {"plane_state", "clutter"};
+    cam.output_cardinality = 40;
+    cam.useless_per_myriad = 1200;
+    cam.scoring_per_cent = 0;
+    cam.minstr_mean = 75.0;
+    cam.minstr_spread = 0.3;
+    cam.ip_calls = {{IpKind::CameraIsp, 1.0}, {IpKind::Gpu, 17.0},
+                    {IpKind::Display, 1.0}};
+    cam.maxcpu_repeat_fraction = 0.25;
+
+    HandlerSpec touch;
+    touch.type = EventType::Touch;
+    touch.event_fields = touchFields(16);
+    touch.necessary_history = {"aim_state", "ghost_cfg", "ammo"};
+    touch.scoring_history = {"score"};
+    touch.temp_outputs = 3;
+    touch.history_outputs = {"aim_state", "ammo", "ghost_cfg"};
+    touch.extern_output = "leaderboard";
+    touch.output_cardinality = 48;
+    touch.useless_per_myriad = 1900;
+    touch.scoring_per_cent = 16;
+    touch.minstr_mean = 60.0;
+    touch.minstr_spread = 0.3;
+    touch.ip_calls = {{IpKind::Gpu, 10.0}, {IpKind::Display, 1.2},
+                      {IpKind::Audio, 1.0}};
+    touch.maxcpu_repeat_fraction = 0.3;
+
+    HandlerSpec gyro;
+    gyro.type = EventType::Gyro;
+    gyro.event_fields = gyroFields();
+    gyro.necessary_history = {"aim_state"};
+    gyro.temp_outputs = 2;
+    gyro.history_outputs = {"aim_state"};
+    gyro.output_cardinality = 24;
+    gyro.useless_per_myriad = 1900;
+    gyro.scoring_per_cent = 0;
+    gyro.minstr_mean = 25.0;
+    gyro.minstr_spread = 0.2;
+    gyro.ip_calls = {{IpKind::Gpu, 4.0}, {IpKind::Display, 0.5}};
+    gyro.maxcpu_repeat_fraction = 0.35;
+
+    p.handlers = {cam, touch, gyro};
+
+    p.user.zipf_s = 0.9;
+    p.user.exact_repeat_prob = 0.03;
+    p.user.burst_continue_prob = 0.25;
+    return p;
+}
+
+GameParams
+makeRaceKings()
+{
+    GameParams p;
+    p.name = "race_kings";
+    p.display = "Race Kings";
+    p.salt = 107;
+    p.mix = {{EventType::Drag, 25.0}, {EventType::MultiTouch, 8.0},
+             {EventType::Gyro, 20.0}};
+    p.frame_gpu_units = 1.2;
+    p.frame_cpu_minstr = 1.2;
+    p.audio_units_per_s = 20.0;
+    p.history_fields = {
+        {"track_seg", 6, 8, 0, events::kInvalidField,
+         events::kInvalidField},
+        {"speed_band", 4, 6, 3, events::kInvalidField,
+         events::kInvalidField},
+        {"steer_state", 4, 6, 4, events::kInvalidField,
+         events::kInvalidField},
+        {"gear", 4, 5, 1, events::kInvalidField, events::kInvalidField},
+        {"traffic", 4, 6, 5, events::kInvalidField,
+         events::kInvalidField},
+        {"camera_mode", 4, 4, 0, events::kInvalidField,
+         events::kInvalidField},
+        {"distance", 8, 0, 0, events::kInvalidField,
+         events::kInvalidField},
+    };
+    p.extern_fields = {"assets"};
+
+    // Steering drags: the least-redundant workload (fast-changing
+    // track segment state), hence the paper's lowest SNIP coverage.
+    HandlerSpec drag;
+    drag.type = EventType::Drag;
+    drag.event_fields = dragFields(10);
+    drag.necessary_history = {"track_seg", "speed_band", "steer_state",
+                              "gear"};
+    drag.scoring_history = {"distance"};
+    drag.complexity_field = "traffic";
+    drag.history_block_bytes = 4096;
+    drag.max_history_blocks = 10;
+    drag.extern_field = "assets";
+    drag.extern_per_million = 350;
+    drag.temp_outputs = 4;
+    drag.history_outputs = {"steer_state", "speed_band", "track_seg",
+                            "traffic"};
+    drag.output_cardinality = 72;
+    drag.useless_per_myriad = 1900;
+    drag.scoring_per_cent = 14;
+    drag.minstr_mean = 90.0;
+    drag.minstr_spread = 0.35;
+    drag.ip_calls = {{IpKind::Gpu, 22.0}, {IpKind::Display, 1.5},
+                     {IpKind::Dsp, 6.0}, {IpKind::Audio, 1.0}};
+    drag.maxcpu_repeat_fraction = 0.55;
+
+    HandlerSpec multi;
+    multi.type = EventType::MultiTouch;
+    multi.event_fields = multiTouchFields();
+    multi.necessary_history = {"gear", "camera_mode"};
+    multi.scoring_history = {"distance"};
+    multi.temp_outputs = 3;
+    multi.history_outputs = {"gear", "camera_mode"};
+    multi.output_cardinality = 32;
+    multi.useless_per_myriad = 1900;
+    multi.scoring_per_cent = 7;
+    multi.minstr_mean = 70.0;
+    multi.minstr_spread = 0.3;
+    multi.ip_calls = {{IpKind::Gpu, 14.0}, {IpKind::Display, 1.2},
+                      {IpKind::Dsp, 3.0}};
+    multi.maxcpu_repeat_fraction = 0.5;
+
+    HandlerSpec gyro;
+    gyro.type = EventType::Gyro;
+    gyro.event_fields = gyroFields();
+    gyro.necessary_history = {"steer_state", "speed_band"};
+    gyro.temp_outputs = 2;
+    gyro.history_outputs = {"steer_state"};
+    gyro.output_cardinality = 28;
+    gyro.useless_per_myriad = 2000;
+    gyro.scoring_per_cent = 0;
+    gyro.minstr_mean = 30.0;
+    gyro.minstr_spread = 0.25;
+    gyro.ip_calls = {{IpKind::Gpu, 7.0}, {IpKind::Display, 0.6},
+                     {IpKind::Dsp, 1.5}};
+    gyro.maxcpu_repeat_fraction = 0.55;
+
+    p.handlers = {drag, multi, gyro};
+
+    p.user.zipf_s = 1.2;
+    p.user.exact_repeat_prob = 0.06;
+    p.user.burst_continue_prob = 0.52;
+    return p;
+}
+
+}  // namespace games
+}  // namespace snip

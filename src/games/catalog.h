@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The seven game workload models the paper evaluates (§VI-A), as
+ * GameParams factories:
+ *
+ *  - Simple touch games: Colorphun, Memory Game — light CPU/GPU,
+ *    occasional touch events.
+ *  - Swipe games: Candy Crush, Greenwall — swipe-driven with
+ *    heavier animation work per event.
+ *  - Multi-In.Event games: AB Evolution (drag/tilt catapult with
+ *    the maxed-stretch plateau), Chase Whisply (AR: continuous
+ *    camera feed through the ISP), Race Kings (3D racing, heavy
+ *    GPU/physics).
+ *
+ * Rates, costs, and redundancy knobs are calibrated against the
+ * paper's characterization (Figs. 2-4) — see DESIGN.md §5.
+ */
+
+#ifndef SNIP_GAMES_CATALOG_H
+#define SNIP_GAMES_CATALOG_H
+
+#include "games/game.h"
+
+namespace snip {
+namespace games {
+
+/** Colorphun: occasional-touch color game. */
+GameParams makeColorphun();
+/** Memory Game: touch-driven tile matching (wide board state). */
+GameParams makeMemoryGame();
+/** Candy Crush: swipe-driven match-3 with heavy animations. */
+GameParams makeCandyCrush();
+/** Greenwall: swipe-driven fruit-flinging (open-source Fruit Ninja). */
+GameParams makeGreenwall();
+/** AB Evolution: drag/tilt catapult, 3D rendering, physics DSP. */
+GameParams makeAbEvolution();
+/** Chase Whisply: AR shooter, continuous camera ISP + GPU. */
+GameParams makeChaseWhisply();
+/** Race Kings: 3D racing, heaviest GPU + multi-touch/gyro mix. */
+GameParams makeRaceKings();
+
+}  // namespace games
+}  // namespace snip
+
+#endif  // SNIP_GAMES_CATALOG_H

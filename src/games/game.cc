@@ -1,0 +1,493 @@
+#include "games/game.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bytes.h"
+#include "util/logging.h"
+
+namespace snip {
+namespace games {
+
+namespace {
+
+// Salts decorrelating the deterministic draws inside process().
+constexpr uint64_t kSaltUseless = 0x075e1e55ULL;
+constexpr uint64_t kSaltPattern = 0x09a77e24ULL;
+constexpr uint64_t kSaltScore = 0x05c042eaULL;
+constexpr uint64_t kSaltDelta = 0x0de17a00ULL;
+constexpr uint64_t kSaltExtIn = 0x0e871a10ULL;
+constexpr uint64_t kSaltExtOut = 0x0e871a20ULL;
+constexpr uint64_t kSaltCost = 0x0c057c05ULL;
+constexpr uint64_t kSaltWhich = 0x0071c400ULL;
+constexpr uint64_t kSaltTempOnly = 0x007e3b01ULL;
+
+/** Value of a field within an event object; panics when absent. */
+uint64_t
+eventValue(const events::EventObject &ev, events::FieldId fid)
+{
+    const events::FieldValue *fv = events::findField(ev.fields, fid);
+    if (!fv)
+        util::panic("event %s missing field id %u",
+                    events::eventTypeName(ev.type), fid);
+    return fv->value;
+}
+
+}  // namespace
+
+Game::Game(GameParams params)
+    : params_(std::move(params))
+{
+    if (params_.name.empty())
+        util::fatal("Game: empty name");
+    if (params_.mix.empty())
+        util::fatal("game %s: empty event mix", params_.name.c_str());
+    if (params_.handlers.size() != params_.mix.size())
+        util::fatal("game %s: %zu handlers for %zu mix entries",
+                    params_.name.c_str(), params_.handlers.size(),
+                    params_.mix.size());
+    handlerIdx_.fill(-1);
+    buildSchema();
+    state_.build(params_.history_fields);
+}
+
+void
+Game::buildSchema()
+{
+    // History fields first: input side ("h.<name>") and output side
+    // ("o.<name>") bind to the same state slot.
+    std::unordered_map<std::string, size_t> hist_idx;
+    for (size_t i = 0; i < params_.history_fields.size(); ++i) {
+        auto &d = params_.history_fields[i];
+        if (hist_idx.count(d.name))
+            util::fatal("game %s: duplicate history field %s",
+                        params_.name.c_str(), d.name.c_str());
+        d.in_fid = schema_.addInput("h." + d.name,
+                                    events::InputCategory::History,
+                                    d.size_bytes);
+        d.out_fid = schema_.addOutput("o." + d.name,
+                                      events::OutputCategory::History,
+                                      d.size_bytes);
+        hist_idx[d.name] = i;
+    }
+
+    for (const auto &name : params_.extern_fields) {
+        externIn_[name] = schema_.addInput(
+            "x." + name, events::InputCategory::Extern,
+            params_.extern_bytes);
+    }
+
+    auto hist_decl = [&](const std::string &name) -> HistoryFieldDecl & {
+        auto it = hist_idx.find(name);
+        if (it == hist_idx.end())
+            util::fatal("game %s: unknown history field %s",
+                        params_.name.c_str(), name.c_str());
+        return params_.history_fields[it->second];
+    };
+
+    handlerIds_.resize(params_.handlers.size());
+    for (size_t h = 0; h < params_.handlers.size(); ++h) {
+        HandlerSpec &spec = params_.handlers[h];
+        if (spec.type != params_.mix[h].type)
+            util::fatal("game %s: handler %zu type mismatch with mix",
+                        params_.name.c_str(), h);
+        int ti = static_cast<int>(spec.type);
+        if (handlerIdx_[ti] != -1)
+            util::fatal("game %s: duplicate handler for %s",
+                        params_.name.c_str(),
+                        events::eventTypeName(spec.type));
+        handlerIdx_[ti] = static_cast<int>(h);
+
+        const char *tn = events::eventTypeName(spec.type);
+
+        uint32_t size_sum = 0;
+        for (auto &efs : spec.event_fields) {
+            efs.fid = schema_.addInput(
+                std::string(tn) + "." + efs.name,
+                events::InputCategory::Event, efs.size_bytes);
+            size_sum += efs.size_bytes;
+            if (efs.cardinality < 2)
+                util::fatal("game %s: field %s.%s cardinality < 2",
+                            params_.name.c_str(), tn, efs.name.c_str());
+        }
+        if (size_sum != events::eventObjectBytes(spec.type))
+            util::fatal("game %s: %s event fields sum to %u B, object "
+                        "is %u B", params_.name.c_str(), tn, size_sum,
+                        events::eventObjectBytes(spec.type));
+
+        HandlerIds &ids = handlerIds_[h];
+        for (uint32_t j = 0; j < spec.max_history_blocks; ++j) {
+            events::FieldId bf = schema_.addInput(
+                std::string(tn) + ".blk" + std::to_string(j),
+                events::InputCategory::History,
+                spec.history_block_bytes);
+            ids.blocks.push_back(bf);
+            blockIndex_[bf] = j;
+        }
+        for (uint32_t j = 0; j < spec.temp_outputs; ++j) {
+            ids.temp_out.push_back(schema_.addOutput(
+                std::string(tn) + ".t" + std::to_string(j),
+                events::OutputCategory::Temp, 16));
+        }
+        if (!spec.extern_output.empty()) {
+            ids.extern_out = schema_.addOutput(
+                std::string(tn) + ".xo." + spec.extern_output,
+                events::OutputCategory::Extern, 256);
+        }
+
+        // Validate cross-references.
+        for (const auto &n : spec.necessary_history) {
+            if (hist_decl(n).isAccumulator())
+                util::fatal("game %s: necessary_history %s is an "
+                            "accumulator", params_.name.c_str(),
+                            n.c_str());
+        }
+        for (const auto &n : spec.scoring_history) {
+            if (!hist_decl(n).isAccumulator())
+                util::fatal("game %s: scoring_history %s is not an "
+                            "accumulator", params_.name.c_str(),
+                            n.c_str());
+        }
+        for (const auto &n : spec.history_outputs)
+            hist_decl(n);
+        if (!spec.complexity_field.empty())
+            hist_decl(spec.complexity_field);
+        if (!spec.plateau_history_field.empty()) {
+            const auto &d = hist_decl(spec.plateau_history_field);
+            if (d.isAccumulator())
+                util::fatal("game %s: plateau field %s is an "
+                            "accumulator", params_.name.c_str(),
+                            d.name.c_str());
+            bool found = false;
+            for (const auto &efs : spec.event_fields)
+                found |= (efs.name == spec.plateau_event_field &&
+                          efs.necessary);
+            if (!found)
+                util::fatal("game %s: plateau event field %s missing "
+                            "or not necessary", params_.name.c_str(),
+                            spec.plateau_event_field.c_str());
+            bool nec = false;
+            for (const auto &n : spec.necessary_history)
+                nec |= (n == spec.plateau_history_field);
+            if (!nec)
+                util::fatal("game %s: plateau history field %s must "
+                            "be in necessary_history",
+                            params_.name.c_str(),
+                            spec.plateau_history_field.c_str());
+        }
+        if (!spec.extern_field.empty() && !externIn_.count(spec.extern_field))
+            util::fatal("game %s: unknown extern field %s",
+                        params_.name.c_str(), spec.extern_field.c_str());
+    }
+}
+
+double
+Game::totalEventRate() const
+{
+    double total = 0.0;
+    for (const auto &m : params_.mix)
+        total += m.rate_hz;
+    return total;
+}
+
+const HandlerSpec &
+Game::handler(events::EventType t) const
+{
+    int idx = handlerIdx_[static_cast<int>(t)];
+    if (idx < 0)
+        util::panic("game %s: no handler for %s", params_.name.c_str(),
+                    events::eventTypeName(t));
+    return params_.handlers[static_cast<size_t>(idx)];
+}
+
+uint64_t
+Game::typeSalt(events::EventType t) const
+{
+    return util::mixCombine(params_.salt,
+                            0x7717e000ULL + static_cast<uint64_t>(t));
+}
+
+const std::vector<double> &
+Game::zipfCdf(uint32_t cardinality) const
+{
+    auto it = zipfCdfs_.find(cardinality);
+    if (it != zipfCdfs_.end())
+        return it->second;
+    std::vector<double> cdf(cardinality);
+    double acc = 0.0;
+    for (uint32_t r = 0; r < cardinality; ++r) {
+        acc += 1.0 / std::pow(static_cast<double>(r + 1),
+                              params_.user.zipf_s);
+        cdf[r] = acc;
+    }
+    for (auto &v : cdf)
+        v /= acc;
+    return zipfCdfs_.emplace(cardinality, std::move(cdf)).first->second;
+}
+
+events::EventObject
+Game::makeEvent(events::EventType t, double now, util::Rng &rng)
+{
+    const HandlerSpec &spec = handler(t);
+    GenMemory &mem = genMem_[static_cast<int>(t)];
+
+    events::EventObject ev;
+    ev.type = t;
+    ev.seq = seq_++;
+    ev.timestamp = now;
+
+    if (mem.valid && rng.chance(params_.user.exact_repeat_prob)) {
+        ev.fields = mem.fields;  // finger held still: exact repeat
+        return ev;
+    }
+
+    bool burst = mem.valid && rng.chance(params_.user.burst_continue_prob);
+
+    // Two shared micro-context latents drive all noise fields; see
+    // UserModelParams::noise_pool.
+    auto zipf_draw = [&](uint32_t cardinality) -> uint64_t {
+        const auto &cdf = zipfCdf(cardinality);
+        double r = rng.uniformReal();
+        auto pos = std::lower_bound(cdf.begin(), cdf.end(), r);
+        uint64_t v = static_cast<uint64_t>(pos - cdf.begin());
+        return v >= cardinality ? cardinality - 1 : v;
+    };
+    uint64_t latent[2] = {zipf_draw(params_.user.noise_pool),
+                          zipf_draw(params_.user.noise_pool)};
+
+    size_t noise_idx = 0;
+    for (const auto &efs : spec.event_fields) {
+        uint64_t value;
+        if (efs.necessary) {
+            value = burst ? events::findField(mem.fields, efs.fid)->value
+                          : zipf_draw(efs.cardinality);
+        } else {
+            value = util::mixCombine(
+                efs.fid, latent[noise_idx++ % 2]);
+        }
+        ev.fields.push_back({efs.fid, value});
+    }
+    events::canonicalize(ev.fields);
+    mem.valid = true;
+    mem.fields = ev.fields;
+    return ev;
+}
+
+HandlerExecution
+Game::process(const events::EventObject &ev) const
+{
+    int idx = handlerIdx_[static_cast<int>(ev.type)];
+    if (idx < 0)
+        util::panic("game %s: process() for unhandled type %s",
+                    params_.name.c_str(), events::eventTypeName(ev.type));
+    const HandlerSpec &spec = params_.handlers[static_cast<size_t>(idx)];
+    const HandlerIds &ids = handlerIds_[static_cast<size_t>(idx)];
+
+    auto hist_decl = [&](const std::string &name) -> const HistoryFieldDecl & {
+        for (const auto &d : params_.history_fields)
+            if (d.name == name)
+                return d;
+        util::panic("game %s: unknown history field %s",
+                    params_.name.c_str(), name.c_str());
+    };
+
+    HandlerExecution ex;
+    ex.type = ev.type;
+    ex.seq = ev.seq;
+    ex.inputs = ev.fields;
+
+    // --- Necessary-input vector (the ground truth PFI must find) ---
+    std::vector<uint64_t> vals;
+    vals.push_back(typeSalt(ev.type));
+    for (const auto &efs : spec.event_fields) {
+        if (efs.necessary)
+            vals.push_back(util::mixCombine(efs.fid,
+                                            eventValue(ev, efs.fid)));
+    }
+    for (const auto &name : spec.necessary_history) {
+        const auto &d = hist_decl(name);
+        uint64_t v = state_.get(d.in_fid);
+        ex.inputs.push_back({d.in_fid, v});
+        vals.push_back(util::mixCombine(d.in_fid, v));
+    }
+    uint64_t vhash = util::hashWords(vals);
+
+    // --- Unnecessary reads: complexity, context blocks, extern ---
+    uint64_t complexity = 0;
+    if (!spec.complexity_field.empty()) {
+        const auto &d = hist_decl(spec.complexity_field);
+        complexity = state_.get(d.in_fid);
+        if (!events::findField(ex.inputs, d.in_fid))
+            ex.inputs.push_back({d.in_fid, complexity});
+        uint32_t blocks = d.buckets
+            ? static_cast<uint32_t>(complexity * spec.max_history_blocks /
+                                    d.buckets)
+            : 0;
+        if (spec.max_history_blocks > 0 && blocks == 0)
+            blocks = 1;  // even a bare scene has one context block
+        blocks = std::min<uint32_t>(blocks, spec.max_history_blocks);
+        for (uint32_t j = 0; j < blocks; ++j)
+            ex.inputs.push_back({ids.blocks[j], state_.blockContent(j)});
+    }
+    if (!spec.extern_field.empty() &&
+        util::mixCombine(vhash, kSaltExtIn) % 1000000 <
+            spec.extern_per_million) {
+        events::FieldId xf = externIn_.at(spec.extern_field);
+        ex.inputs.push_back({xf, util::mixCombine(params_.salt, xf)});
+    }
+
+    // --- Useless (no-op) decision: deterministic in the combo ---
+    bool useless = false;
+    if (!spec.plateau_history_field.empty()) {
+        const auto &d = hist_decl(spec.plateau_history_field);
+        uint64_t hv = state_.get(d.in_fid);
+        for (const auto &efs : spec.event_fields) {
+            if (efs.name == spec.plateau_event_field) {
+                uint64_t evv = eventValue(ev, efs.fid);
+                if (d.buckets && hv == d.buckets - 1 &&
+                    evv * 4 >= 3ull * efs.cardinality)
+                    useless = true;
+            }
+        }
+    }
+    useless = useless ||
+        util::mixCombine(vhash, kSaltUseless) % 10000 <
+            spec.useless_per_myriad;
+    ex.useless = useless;
+
+    bool state_changed = false;
+    if (!useless) {
+        uint64_t pattern = util::mixCombine(vhash, kSaltPattern) %
+                           std::max<uint32_t>(1, spec.output_cardinality);
+        uint64_t pkey = util::mixCombine(typeSalt(ev.type), pattern + 1);
+        bool scoring = util::mixCombine(vhash, kSaltScore) % 100 <
+                       spec.scoring_per_cent;
+        scoring = scoring && !spec.scoring_history.empty();
+        ex.scoring = scoring;
+
+        for (events::FieldId tf : ids.temp_out)
+            ex.outputs.push_back({tf, util::mixCombine(pkey, tf)});
+        // Some reactions are render/haptic-only (Out.Temp) and leave
+        // the state untouched; otherwise a single event advances
+        // only one piece of game state (a tile, the stretch, the
+        // detected plane). Both choices, like the written value, are
+        // deterministic functions of the necessary-input combo. The
+        // written value derives from a *coarsened* pattern so that
+        // distinct reactions can share the same state effect while
+        // differing in their transient output.
+        bool temp_only = util::mixCombine(vhash, kSaltTempOnly) % 100 <
+                         spec.temp_only_per_cent;
+        if (!spec.history_outputs.empty() && !temp_only) {
+            size_t which = util::mixCombine(vhash, kSaltWhich) %
+                           spec.history_outputs.size();
+            const auto &d = hist_decl(spec.history_outputs[which]);
+            uint64_t coarse = util::mixCombine(typeSalt(ev.type),
+                                               pattern / 4 + 1);
+            uint64_t value = util::mixCombine(coarse, d.out_fid);
+            ex.outputs.push_back({d.out_fid, value});
+            state_changed |= state_.wouldChange(d.out_fid, value);
+        }
+        if (scoring) {
+            uint32_t k = 0;
+            for (const auto &name : spec.scoring_history) {
+                const auto &d = hist_decl(name);
+                uint64_t cur = state_.get(d.in_fid);
+                ex.inputs.push_back({d.in_fid, cur});
+                vals.push_back(util::mixCombine(d.in_fid, cur));
+                uint64_t u = util::mixCombine(vhash, kSaltDelta + k++);
+                ex.outputs.push_back({d.out_fid, cur + 1 + u % 50});
+                state_changed = true;
+            }
+            if (ids.extern_out != events::kInvalidField &&
+                util::mixCombine(vhash, kSaltExtOut) % 5 == 0) {
+                ex.outputs.push_back(
+                    {ids.extern_out,
+                     util::mixCombine(pkey, ids.extern_out)});
+            }
+        }
+    }
+    ex.necessary_hash = util::hashWords(vals);
+    ex.state_changed = state_changed;
+
+    // --- Cost model (deterministic in combo + complexity) ---
+    uint64_t cu = util::mixCombine(vhash, kSaltCost);
+    double spread = 1.0 - spec.minstr_spread +
+        2.0 * spec.minstr_spread *
+            (static_cast<double>(cu % 1024) / 1024.0);
+    double scale = spread *
+        (1.0 + spec.complexity_cost_factor *
+                   static_cast<double>(complexity)) *
+        (ex.scoring ? 1.3 : 1.0);
+    ex.cpu_instructions =
+        static_cast<uint64_t>(spec.minstr_mean * scale * 1e6);
+    for (const auto &c : spec.ip_calls)
+        ex.ip_calls.push_back({c.kind, c.work_units * scale});
+    uint64_t input_bytes = schema_.bytesOf(ex.inputs);
+    ex.memory_bytes = static_cast<uint64_t>(
+        spec.mem_bytes_factor * static_cast<double>(input_bytes)) +
+        ex.cpu_instructions / 16;
+    ex.maxcpu_fraction = spec.maxcpu_repeat_fraction;
+
+    events::canonicalize(ex.inputs);
+    events::canonicalize(ex.outputs);
+    return ex;
+}
+
+void
+Game::applyOutputs(const std::vector<events::FieldValue> &outputs)
+{
+    for (const auto &fv : outputs)
+        state_.apply(fv.id, fv.value);
+}
+
+std::vector<events::FieldId>
+Game::necessaryInputIds(events::EventType t) const
+{
+    const HandlerSpec &spec = handler(t);
+    std::vector<events::FieldId> ids;
+    for (const auto &efs : spec.event_fields)
+        if (efs.necessary)
+            ids.push_back(efs.fid);
+    auto add_hist = [&](const std::string &name) {
+        for (const auto &d : params_.history_fields)
+            if (d.name == name)
+                ids.push_back(d.in_fid);
+    };
+    for (const auto &n : spec.necessary_history)
+        add_hist(n);
+    for (const auto &n : spec.scoring_history)
+        add_hist(n);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+}
+
+bool
+Game::gatherInputValue(events::FieldId fid, uint64_t &value) const
+{
+    if (state_.tryGet(fid, value))
+        return true;
+    auto bit = blockIndex_.find(fid);
+    if (bit != blockIndex_.end()) {
+        value = state_.blockContent(bit->second);
+        return true;
+    }
+    const auto &d = schema_.def(fid);
+    if (d.side == events::FieldSide::Input &&
+        d.in_cat == events::InputCategory::Extern) {
+        value = util::mixCombine(params_.salt, fid);
+        return true;
+    }
+    return false;
+}
+
+void
+Game::reset()
+{
+    state_.reset();
+    for (auto &m : genMem_)
+        m.valid = false;
+    seq_ = 0;
+}
+
+}  // namespace games
+}  // namespace snip

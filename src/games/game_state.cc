@@ -1,0 +1,121 @@
+#include "games/game_state.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace snip {
+namespace games {
+
+void
+GameState::build(const std::vector<HistoryFieldDecl> &decls)
+{
+    slots_.clear();
+    outToIn_.clear();
+    boundedOrder_.clear();
+    epoch_ = 0;
+    fpDirty_ = true;
+    for (const auto &d : decls) {
+        if (d.in_fid == events::kInvalidField ||
+            d.out_fid == events::kInvalidField) {
+            util::panic("GameState::build: field %s has unbound ids",
+                        d.name.c_str());
+        }
+        uint64_t init = d.buckets ? d.init % d.buckets : d.init;
+        slots_[d.in_fid] = Slot{init, d.buckets, init};
+        outToIn_[d.out_fid] = d.in_fid;
+        if (!d.isAccumulator())
+            boundedOrder_.push_back(d.in_fid);
+    }
+    std::sort(boundedOrder_.begin(), boundedOrder_.end());
+    refreshedFp_ = boundedFingerprint();
+}
+
+uint64_t
+GameState::get(events::FieldId in_fid) const
+{
+    auto it = slots_.find(in_fid);
+    if (it == slots_.end())
+        util::panic("GameState::get: unknown history field id %u", in_fid);
+    return it->second.value;
+}
+
+bool
+GameState::tryGet(events::FieldId in_fid, uint64_t &value) const
+{
+    auto it = slots_.find(in_fid);
+    if (it == slots_.end())
+        return false;
+    value = it->second.value;
+    return true;
+}
+
+bool
+GameState::apply(events::FieldId out_fid, uint64_t value)
+{
+    auto oit = outToIn_.find(out_fid);
+    if (oit == outToIn_.end())
+        return false;  // Out.Temp / Out.Extern: not state.
+    Slot &slot = slots_[oit->second];
+    uint64_t stored = slot.buckets ? value % slot.buckets : value;
+    if (slot.value == stored)
+        return false;
+    slot.value = stored;
+    ++epoch_;
+    fpDirty_ = true;
+    if (epoch_ % kBlockRefreshPeriod == 0)
+        refreshedFp_ = boundedFingerprint();
+    return true;
+}
+
+bool
+GameState::isHistoryOutput(events::FieldId out_fid) const
+{
+    return outToIn_.count(out_fid) != 0;
+}
+
+bool
+GameState::wouldChange(events::FieldId out_fid, uint64_t value) const
+{
+    auto oit = outToIn_.find(out_fid);
+    if (oit == outToIn_.end())
+        return false;
+    const Slot &slot = slots_.at(oit->second);
+    uint64_t stored = slot.buckets ? value % slot.buckets : value;
+    return slot.value != stored;
+}
+
+uint64_t
+GameState::boundedFingerprint() const
+{
+    if (fpDirty_) {
+        uint64_t h = 0xf19e0000ULL;
+        for (events::FieldId fid : boundedOrder_)
+            h = util::mixCombine(h,
+                                 util::mixCombine(fid,
+                                                  slots_.at(fid).value));
+        fp_ = h;
+        fpDirty_ = false;
+    }
+    return fp_;
+}
+
+uint64_t
+GameState::blockContent(uint32_t index) const
+{
+    return util::mixCombine(refreshedFp_, 0xb10c0000ULL + index);
+}
+
+void
+GameState::reset()
+{
+    for (auto &kv : slots_)
+        kv.second.value = kv.second.init;
+    epoch_ = 0;
+    fpDirty_ = true;
+    refreshedFp_ = boundedFingerprint();
+}
+
+}  // namespace games
+}  // namespace snip

@@ -1,0 +1,16 @@
+#include "games/handler.h"
+
+namespace snip {
+namespace games {
+
+double
+HandlerExecution::ipWorkUnits() const
+{
+    double total = 0.0;
+    for (const auto &c : ip_calls)
+        total += c.work_units;
+    return total;
+}
+
+}  // namespace games
+}  // namespace snip

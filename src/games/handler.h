@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The event-handler model. A game's reaction to an event is an
+ * end-to-end *handler execution*: a deterministic function from
+ * (event object, game state, external data) to outputs, plus a cost
+ * vector (CPU instructions, IP invocations, memory traffic) spanning
+ * app, OS, and IP boundaries — exactly the unit SNIP memoizes.
+ *
+ * Handlers are described declaratively by HandlerSpec and executed
+ * by HandlerEngine (handler_engine.h). Determinism matters: outputs
+ * depend only on the *necessary* input fields, which is the ground
+ * truth that PFI must rediscover from profile data.
+ */
+
+#ifndef SNIP_GAMES_HANDLER_H
+#define SNIP_GAMES_HANDLER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "events/event.h"
+#include "events/field.h"
+#include "soc/energy_model.h"
+
+namespace snip {
+namespace games {
+
+/** One accelerator invocation issued by a handler execution. */
+struct IpCall {
+    soc::IpKind kind = soc::IpKind::Gpu;
+    double work_units = 0.0;
+};
+
+/**
+ * Everything one handler execution consumed, produced, and cost.
+ * This is the record the profiler captures and the schemes act on.
+ */
+struct HandlerExecution {
+    events::EventType type = events::EventType::Touch;
+    uint64_t seq = 0;
+
+    /** All input fields read (every category), canonical order. */
+    std::vector<events::FieldValue> inputs;
+    /** All output fields written, canonical order. */
+    std::vector<events::FieldValue> outputs;
+
+    /** Hash over the ground-truth necessary inputs (see HandlerSpec). */
+    uint64_t necessary_hash = 0;
+
+    /** Performance-cluster instructions the handler executed. */
+    uint64_t cpu_instructions = 0;
+    /** Bytes of memory traffic. */
+    uint64_t memory_bytes = 0;
+    /** Accelerator work issued. */
+    std::vector<IpCall> ip_calls;
+
+    /**
+     * Fraction of cpu_instructions that function-granularity
+     * memoization (the Max-CPU baseline) could skip *if* the
+     * necessary inputs repeat a prior execution.
+     */
+    double maxcpu_fraction = 0.0;
+
+    /** True when any Out.History value differs from current state. */
+    bool state_changed = false;
+    /** True when the execution produced no output writes at all. */
+    bool useless = false;
+    /** True when this execution read accumulator state (scoring). */
+    bool scoring = false;
+
+    /** Sum of IP work units. */
+    double ipWorkUnits() const;
+};
+
+/** Declarative spec of one In.Event field of a handler. */
+struct EventFieldSpec {
+    /** Short name; registered as "<event>.<name>" in the schema. */
+    std::string name;
+    /** Declared location size (bytes) for table sizing. */
+    uint32_t size_bytes = 4;
+    /** True when the handler's logic depends on this field. */
+    bool necessary = false;
+    /**
+     * Value space: necessary fields take Zipf-distributed values in
+     * [0, cardinality); noise fields take uniform values.
+     */
+    uint32_t cardinality = 16;
+    /** Filled in when the schema is built. */
+    events::FieldId fid = events::kInvalidField;
+};
+
+/**
+ * Declarative description of how a game reacts to one event type.
+ * See DESIGN.md §4 for how the knobs create the paper's repeated /
+ * redundant / useless event structure.
+ */
+struct HandlerSpec {
+    events::EventType type = events::EventType::Touch;
+
+    /** In.Event layout. Sizes must sum to eventObjectBytes(type). */
+    std::vector<EventFieldSpec> event_fields;
+
+    /** Bounded history fields read on every execution (necessary). */
+    std::vector<std::string> necessary_history;
+    /** Accumulator fields read only on the scoring branch. */
+    std::vector<std::string> scoring_history;
+
+    /** History field whose value drives context-payload size. */
+    std::string complexity_field;
+    /** Size of one In.History context block (bytes). */
+    uint32_t history_block_bytes = 4096;
+    /** Max context blocks read (scaled by complexity). */
+    uint32_t max_history_blocks = 0;
+
+    /** Optional In.Extern field name read on rare executions. */
+    std::string extern_field;
+    /** Rare-read rate: executions per 10^6 that touch In.Extern. */
+    uint32_t extern_per_million = 400;
+
+    /** Number of Out.Temp fields written (auto-named/registered). */
+    uint32_t temp_outputs = 2;
+    /** Bounded Out.History fields written on state change. */
+    std::vector<std::string> history_outputs;
+    /** Optional Out.Extern field written on rare scoring events. */
+    std::string extern_output;
+    /** Distinct output patterns the handler can produce. */
+    uint32_t output_cardinality = 48;
+
+    /** Per-10^4 chance a necessary-input combo is a no-op. */
+    uint32_t useless_per_myriad = 2000;
+    /**
+     * Per-cent chance a (non-useless) combo produces only Out.Temp
+     * effects — a render/haptic reaction with no state change.
+     * These are what make Fig. 8b's tolerable-error class possible.
+     */
+    uint32_t temp_only_per_cent = 30;
+    /** Per-cent chance a combo takes the scoring (accumulator) branch. */
+    uint32_t scoring_per_cent = 12;
+
+    /**
+     * Optional semantic plateau (AB Evolution's maxed catapult):
+     * when @p plateau_history_field is at its top bucket and
+     * @p plateau_event_field is in its top quartile, the execution
+     * is useless regardless of the hash draw.
+     */
+    std::string plateau_history_field;
+    std::string plateau_event_field;
+
+    /** Mean handler cost in millions of big-core instructions. */
+    double minstr_mean = 20.0;
+    /** Multiplicative cost spread (uniform in [1-s, 1+s]). */
+    double minstr_spread = 0.25;
+    /** Cost multiplier per complexity bucket. */
+    double complexity_cost_factor = 0.08;
+    /** Accelerator work per execution (scaled like CPU cost). */
+    std::vector<IpCall> ip_calls;
+    /** Memory traffic = factor * input_bytes + instructions / 16. */
+    double mem_bytes_factor = 24.0;
+    /** Fraction of CPU work reusable at function granularity. */
+    double maxcpu_repeat_fraction = 0.25;
+};
+
+}  // namespace games
+}  // namespace snip
+
+#endif  // SNIP_GAMES_HANDLER_H

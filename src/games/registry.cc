@@ -1,0 +1,57 @@
+#include "games/registry.h"
+
+#include "games/catalog.h"
+#include "util/logging.h"
+
+namespace snip {
+namespace games {
+
+const std::vector<std::string> &
+allGameNames()
+{
+    static const std::vector<std::string> names = {
+        "colorphun", "memory_game", "candy_crush", "greenwall",
+        "ab_evolution", "chase_whisply", "race_kings",
+    };
+    return names;
+}
+
+GameParams
+paramsFor(const std::string &name)
+{
+    if (name == "colorphun")
+        return makeColorphun();
+    if (name == "memory_game")
+        return makeMemoryGame();
+    if (name == "candy_crush")
+        return makeCandyCrush();
+    if (name == "greenwall")
+        return makeGreenwall();
+    if (name == "ab_evolution")
+        return makeAbEvolution();
+    if (name == "chase_whisply")
+        return makeChaseWhisply();
+    if (name == "race_kings")
+        return makeRaceKings();
+    util::fatal("unknown game '%s' (expected one of: colorphun, "
+                "memory_game, candy_crush, greenwall, ab_evolution, "
+                "chase_whisply, race_kings)", name.c_str());
+}
+
+std::unique_ptr<Game>
+makeGame(const std::string &name)
+{
+    return std::make_unique<Game>(paramsFor(name));
+}
+
+std::vector<std::unique_ptr<Game>>
+makeAllGames()
+{
+    std::vector<std::unique_ptr<Game>> games;
+    for (const auto &n : allGameNames())
+        games.push_back(makeGame(n));
+    return games;
+}
+
+}  // namespace games
+}  // namespace snip

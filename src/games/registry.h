@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Name-based access to the seven game workloads, in the paper's
+ * Fig. 2/3 complexity order.
+ */
+
+#ifndef SNIP_GAMES_REGISTRY_H
+#define SNIP_GAMES_REGISTRY_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "games/game.h"
+
+namespace snip {
+namespace games {
+
+/** Game names in the paper's complexity order (light -> heavy). */
+const std::vector<std::string> &allGameNames();
+
+/** Parameters for a named game; fatal() on unknown names. */
+GameParams paramsFor(const std::string &name);
+
+/** Construct a named game; fatal() on unknown names. */
+std::unique_ptr<Game> makeGame(const std::string &name);
+
+/** Construct every game in complexity order. */
+std::vector<std::unique_ptr<Game>> makeAllGames();
+
+}  // namespace games
+}  // namespace snip
+
+#endif  // SNIP_GAMES_REGISTRY_H

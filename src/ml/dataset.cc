@@ -1,0 +1,91 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.h"
+
+namespace snip {
+namespace ml {
+
+Dataset::Dataset(std::vector<const games::HandlerExecution *> records,
+                 const events::FieldSchema &schema)
+    : records_(std::move(records)), schema_(&schema)
+{
+    rows_ = records_.size();
+    if (rows_ == 0)
+        util::fatal("Dataset: no records");
+
+    std::set<events::FieldId> fields;
+    for (const auto *r : records_) {
+        if (r->type != records_[0]->type)
+            util::fatal("Dataset: mixed event types");
+        for (const auto &fv : r->inputs)
+            fields.insert(fv.id);
+    }
+    featureFields_.assign(fields.begin(), fields.end());
+
+    columns_.assign(featureFields_.size(),
+                    std::vector<uint64_t>(rows_, kAbsent));
+    labels_.resize(rows_);
+    weights_.resize(rows_);
+    for (size_t row = 0; row < rows_; ++row) {
+        const auto *r = records_[row];
+        // Inputs are canonicalized (sorted by id); walk both sorted
+        // sequences in lockstep.
+        size_t col = 0;
+        for (const auto &fv : r->inputs) {
+            while (col < featureFields_.size() &&
+                   featureFields_[col] < fv.id)
+                ++col;
+            if (col < featureFields_.size() &&
+                featureFields_[col] == fv.id)
+                columns_[col][row] = fv.value;
+        }
+        labels_[row] = events::hashFields(r->outputs);
+        weights_[row] = std::max<uint64_t>(1, r->cpu_instructions);
+        totalWeight_ += weights_[row];
+    }
+}
+
+events::FieldId
+Dataset::featureField(size_t col) const
+{
+    if (col >= featureFields_.size())
+        util::panic("Dataset::featureField: bad column %zu", col);
+    return featureFields_[col];
+}
+
+size_t
+Dataset::columnOf(events::FieldId fid) const
+{
+    auto it = std::lower_bound(featureFields_.begin(),
+                               featureFields_.end(), fid);
+    if (it == featureFields_.end() || *it != fid)
+        return SIZE_MAX;
+    return static_cast<size_t>(it - featureFields_.begin());
+}
+
+uint64_t
+Dataset::value(size_t row, size_t col) const
+{
+    return columns_[col][row];
+}
+
+uint32_t
+Dataset::featureBytes(size_t col) const
+{
+    return schema_->def(featureField(col)).size_bytes;
+}
+
+uint64_t
+Dataset::bytesOfColumns(const std::vector<size_t> &cols) const
+{
+    uint64_t total = 0;
+    for (size_t c : cols)
+        total += featureBytes(c);
+    return total;
+}
+
+}  // namespace ml
+}  // namespace snip

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tabular view of a profile for the ML layer. Rows are handler
+ * executions of one event type; columns (features) are the union of
+ * input field locations those executions ever read — exactly the
+ * union-of-locations record the naive lookup table stores (§III).
+ * Records that did not read a location carry an explicit ABSENT
+ * marker there. The label of a row is the signature of its output
+ * writes; predicting the label IS predicting the memoized outputs.
+ */
+
+#ifndef SNIP_ML_DATASET_H
+#define SNIP_ML_DATASET_H
+
+#include <cstdint>
+#include <vector>
+
+#include "events/field.h"
+#include "games/handler.h"
+
+namespace snip {
+namespace ml {
+
+/** Marker for "this record did not read this location". */
+constexpr uint64_t kAbsent = 0xab5e9700ab5e9700ULL;
+
+/** Feature matrix over one event type's records. */
+class Dataset
+{
+  public:
+    /**
+     * @param records Handler executions (all the same event type).
+     * @param schema The game's field schema (sizes/categories).
+     */
+    Dataset(std::vector<const games::HandlerExecution *> records,
+            const events::FieldSchema &schema);
+
+    size_t numRows() const { return rows_; }
+    size_t numFeatures() const { return featureFields_.size(); }
+
+    /** Field id behind feature column @p col. */
+    events::FieldId featureField(size_t col) const;
+    /** Column index of a field id; SIZE_MAX when absent. */
+    size_t columnOf(events::FieldId fid) const;
+
+    /** Value of (row, col); kAbsent when the record lacks it. */
+    uint64_t value(size_t row, size_t col) const;
+
+    /** Output-signature label of a row. */
+    uint64_t label(size_t row) const { return labels_[row]; }
+
+    /** Dynamic-instruction weight of a row. */
+    uint64_t weight(size_t row) const { return weights_[row]; }
+    /** Sum of all row weights. */
+    uint64_t totalWeight() const { return totalWeight_; }
+
+    /** The underlying execution record of a row. */
+    const games::HandlerExecution &record(size_t row) const
+    {
+        return *records_[row];
+    }
+
+    /** The schema this dataset was built against. */
+    const events::FieldSchema &schema() const { return *schema_; }
+
+    /** Declared size (bytes) of the field behind a column. */
+    uint32_t featureBytes(size_t col) const;
+
+    /** Sum of declared sizes over a set of columns. */
+    uint64_t bytesOfColumns(const std::vector<size_t> &cols) const;
+
+  private:
+    std::vector<const games::HandlerExecution *> records_;
+    const events::FieldSchema *schema_;
+    size_t rows_ = 0;
+    std::vector<events::FieldId> featureFields_;  // sorted
+    std::vector<std::vector<uint64_t>> columns_;  // column-major
+    std::vector<uint64_t> labels_;
+    std::vector<uint64_t> weights_;
+    uint64_t totalWeight_ = 0;
+};
+
+}  // namespace ml
+}  // namespace snip
+
+#endif  // SNIP_ML_DATASET_H

@@ -1,0 +1,218 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.h"
+
+namespace snip {
+namespace ml {
+
+namespace {
+
+/** Weighted Gini impurity of a label tally. */
+double
+gini(const std::map<uint64_t, uint64_t> &tally, uint64_t total)
+{
+    if (total == 0)
+        return 0.0;
+    double g = 1.0;
+    for (const auto &kv : tally) {
+        double p = static_cast<double>(kv.second) /
+                   static_cast<double>(total);
+        g -= p * p;
+    }
+    return g;
+}
+
+}  // namespace
+
+DecisionTree::DecisionTree(TreeConfig cfg) : cfg_(cfg) {}
+
+void
+DecisionTree::train(const Dataset &ds,
+                    const std::vector<size_t> &feature_cols)
+{
+    std::vector<size_t> rows(ds.numRows());
+    for (size_t i = 0; i < rows.size(); ++i)
+        rows[i] = i;
+    trainOnRows(ds, feature_cols, rows);
+}
+
+void
+DecisionTree::trainOnRows(const Dataset &ds,
+                          const std::vector<size_t> &feature_cols,
+                          const std::vector<size_t> &rows)
+{
+    nodes_.clear();
+    std::vector<size_t> work = rows;
+    util::Rng rng(cfg_.seed);
+    build(ds, feature_cols, work, 0, rng);
+}
+
+int
+DecisionTree::makeLeaf(const Dataset &ds, const std::vector<size_t> &rows)
+{
+    Node n;
+    std::map<uint64_t, uint64_t> tally;
+    std::map<uint64_t, size_t> repr;
+    for (size_t r : rows) {
+        tally[ds.label(r)] += ds.weight(r);
+        repr.emplace(ds.label(r), r);
+    }
+    uint64_t best = 0;
+    for (const auto &kv : tally) {
+        if (kv.second > best) {
+            best = kv.second;
+            n.label = kv.first;
+            n.representative = repr[kv.first];
+        }
+    }
+    nodes_.push_back(n);
+    return static_cast<int>(nodes_.size() - 1);
+}
+
+int
+DecisionTree::build(const Dataset &ds, const std::vector<size_t> &cols,
+                    std::vector<size_t> &rows, int depth, util::Rng &rng)
+{
+    // Homogeneous or tiny partitions become leaves.
+    bool uniform = true;
+    for (size_t i = 1; i < rows.size(); ++i) {
+        if (ds.label(rows[i]) != ds.label(rows[0])) {
+            uniform = false;
+            break;
+        }
+    }
+    if (uniform || depth >= cfg_.max_depth ||
+        rows.size() < cfg_.min_samples_split)
+        return makeLeaf(ds, rows);
+
+    // Candidate feature set.
+    std::vector<size_t> cand = cols;
+    if (cfg_.feature_subsample > 0 &&
+        cfg_.feature_subsample < cand.size()) {
+        auto perm = rng.permutation(cand.size());
+        std::vector<size_t> sub;
+        for (size_t i = 0; i < cfg_.feature_subsample; ++i)
+            sub.push_back(cand[perm[i]]);
+        cand = std::move(sub);
+    }
+
+    std::map<uint64_t, uint64_t> total_tally;
+    uint64_t total_w = 0;
+    for (size_t r : rows) {
+        total_tally[ds.label(r)] += ds.weight(r);
+        total_w += ds.weight(r);
+    }
+    double parent_gini = gini(total_tally, total_w);
+
+    double best_gain = 1e-12;
+    size_t best_col = SIZE_MAX;
+    uint64_t best_thr = 0;
+
+    for (size_t col : cand) {
+        // Distinct values as threshold candidates (capped).
+        std::vector<uint64_t> values;
+        values.reserve(rows.size());
+        for (size_t r : rows)
+            values.push_back(ds.value(r, col));
+        std::sort(values.begin(), values.end());
+        values.erase(std::unique(values.begin(), values.end()),
+                     values.end());
+        if (values.size() < 2)
+            continue;
+        size_t step = std::max<size_t>(
+            1, values.size() /
+                   static_cast<size_t>(cfg_.threshold_candidates));
+        for (size_t i = 0; i + 1 < values.size(); i += step) {
+            uint64_t thr = values[i];
+            std::map<uint64_t, uint64_t> lt, rt;
+            uint64_t lw = 0, rw = 0;
+            for (size_t r : rows) {
+                if (ds.value(r, col) <= thr) {
+                    lt[ds.label(r)] += ds.weight(r);
+                    lw += ds.weight(r);
+                } else {
+                    rt[ds.label(r)] += ds.weight(r);
+                    rw += ds.weight(r);
+                }
+            }
+            if (lw == 0 || rw == 0)
+                continue;
+            double child =
+                (static_cast<double>(lw) * gini(lt, lw) +
+                 static_cast<double>(rw) * gini(rt, rw)) /
+                static_cast<double>(total_w);
+            double gain = parent_gini - child;
+            if (gain > best_gain) {
+                best_gain = gain;
+                best_col = col;
+                best_thr = thr;
+            }
+        }
+    }
+
+    if (best_col == SIZE_MAX)
+        return makeLeaf(ds, rows);
+
+    std::vector<size_t> left, right;
+    for (size_t r : rows) {
+        if (ds.value(r, best_col) <= best_thr)
+            left.push_back(r);
+        else
+            right.push_back(r);
+    }
+
+    // Reserve this node's slot before recursing.
+    nodes_.emplace_back();
+    int self = static_cast<int>(nodes_.size() - 1);
+    int li = build(ds, cols, left, depth + 1, rng);
+    int ri = build(ds, cols, right, depth + 1, rng);
+    Node &n = nodes_[static_cast<size_t>(self)];
+    n.leaf = false;
+    n.col = best_col;
+    n.threshold = best_thr;
+    n.left = li;
+    n.right = ri;
+    return self;
+}
+
+int
+DecisionTree::walk(const Dataset &ds, size_t row, size_t override_col,
+                   uint64_t override_value) const
+{
+    if (nodes_.empty())
+        util::panic("DecisionTree::walk before train()");
+    int idx = 0;
+    for (;;) {
+        const Node &n = nodes_[static_cast<size_t>(idx)];
+        if (n.leaf)
+            return idx;
+        uint64_t v = (n.col == override_col) ? override_value
+                                             : ds.value(row, n.col);
+        idx = (v <= n.threshold) ? n.left : n.right;
+    }
+}
+
+uint64_t
+DecisionTree::predict(const Dataset &ds, size_t row, size_t override_col,
+                      uint64_t override_value) const
+{
+    return nodes_[static_cast<size_t>(
+                      walk(ds, row, override_col, override_value))]
+        .label;
+}
+
+size_t
+DecisionTree::predictRow(const Dataset &ds, size_t row,
+                         size_t override_col,
+                         uint64_t override_value) const
+{
+    return nodes_[static_cast<size_t>(
+                      walk(ds, row, override_col, override_value))]
+        .representative;
+}
+
+}  // namespace ml
+}  // namespace snip

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * CART-style decision tree over the dataset's (numeric-encoded)
+ * features, used as a reference learner in the predictor ablation
+ * (and as the building block of RandomForest, the model family the
+ * PFI literature [6] is defined on).
+ */
+
+#ifndef SNIP_ML_DECISION_TREE_H
+#define SNIP_ML_DECISION_TREE_H
+
+#include "ml/predictor.h"
+#include "util/rng.h"
+
+namespace snip {
+namespace ml {
+
+/** Tree hyperparameters. */
+struct TreeConfig {
+    int max_depth = 12;
+    size_t min_samples_split = 4;
+    /** Candidate thresholds tried per feature at a split. */
+    int threshold_candidates = 12;
+    /**
+     * Features considered per split: 0 = all, else a random subset
+     * of this size (for forests).
+     */
+    size_t feature_subsample = 0;
+    uint64_t seed = 0x7ee5eedULL;
+};
+
+/** Single classification tree with weighted Gini splits. */
+class DecisionTree : public Predictor
+{
+  public:
+    explicit DecisionTree(TreeConfig cfg = {});
+
+    void train(const Dataset &ds,
+               const std::vector<size_t> &feature_cols) override;
+
+    /** Train on a row subset (bootstrap sample) — forest use. */
+    void trainOnRows(const Dataset &ds,
+                     const std::vector<size_t> &feature_cols,
+                     const std::vector<size_t> &rows);
+
+    uint64_t predict(const Dataset &ds, size_t row,
+                     size_t override_col = SIZE_MAX,
+                     uint64_t override_value = 0) const override;
+
+    size_t predictRow(const Dataset &ds, size_t row,
+                      size_t override_col = SIZE_MAX,
+                      uint64_t override_value = 0) const override;
+
+    /** Node count (tests / complexity reporting). */
+    size_t nodeCount() const { return nodes_.size(); }
+
+  private:
+    struct Node {
+        bool leaf = true;
+        size_t col = SIZE_MAX;        // split column (dataset index)
+        uint64_t threshold = 0;       // go left when value <= threshold
+        int left = -1;
+        int right = -1;
+        uint64_t label = kNoLabel;    // leaf majority label
+        size_t representative = SIZE_MAX;
+    };
+
+    int build(const Dataset &ds, const std::vector<size_t> &cols,
+              std::vector<size_t> &rows, int depth, util::Rng &rng);
+    int makeLeaf(const Dataset &ds, const std::vector<size_t> &rows);
+    int walk(const Dataset &ds, size_t row, size_t override_col,
+             uint64_t override_value) const;
+
+    TreeConfig cfg_;
+    std::vector<Node> nodes_;
+};
+
+}  // namespace ml
+}  // namespace snip
+
+#endif  // SNIP_ML_DECISION_TREE_H

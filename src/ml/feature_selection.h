@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Iterative PFI-driven input trimming (the heart of SNIP, §V-A and
+ * Fig. 9): starting from the complete union-of-locations feature
+ * set, repeatedly retrain the table predictor, compute PFI, and
+ * drop the least-important feature (largest location first among
+ * near-zero importances, which is what sweeps out the megabytes of
+ * context payloads early). Each step logs the remaining input
+ * bytes and the resulting output-prediction error — the Fig. 9
+ * curve — and the selector returns the last feature set whose
+ * error stays within the configured budget (the "necessary
+ * inputs").
+ */
+
+#ifndef SNIP_ML_FEATURE_SELECTION_H
+#define SNIP_ML_FEATURE_SELECTION_H
+
+#include "events/field.h"
+#include "ml/pfi.h"
+#include "ml/table_predictor.h"
+
+namespace snip {
+namespace ml {
+
+/** One trimming step of the Fig. 9 curve. */
+struct TrimStep {
+    /** Field dropped at this step. */
+    events::FieldId dropped = events::kInvalidField;
+    events::InputCategory dropped_cat = events::InputCategory::Event;
+    uint32_t dropped_bytes = 0;
+    /** Bytes of input fields still kept after the drop. */
+    uint64_t remaining_bytes = 0;
+    /**
+     * Held-out *wrong-hit* rate with the remaining set: weight of
+     * records whose key matches a trained entry but with different
+     * outputs. Misses are neutral — they fall back to full
+     * processing.
+     */
+    double error = 0.0;
+    /** Held-out hit rate (short-circuit coverage proxy). */
+    double hit_rate = 0.0;
+};
+
+/** Selector output. */
+struct SelectionResult {
+    /** Error of the full feature set (leftmost Fig. 9 bar). */
+    double full_error = 0.0;
+    /** Total bytes of the full feature set. */
+    uint64_t full_bytes = 0;
+    /** The trimming trajectory, in drop order. */
+    std::vector<TrimStep> curve;
+    /** Necessary input fields (the knee set), sorted by id. */
+    std::vector<events::FieldId> selected;
+    /** Bytes of the selected set. */
+    uint64_t selected_bytes = 0;
+    /** Held-out wrong-hit rate of the selected set. */
+    double selected_error = 0.0;
+    /** Held-out hit rate of the selected set. */
+    double selected_hit_rate = 0.0;
+};
+
+/** Selector knobs. */
+struct SelectionConfig {
+    /** Absolute wrong-hit budget the selected set must respect. */
+    double max_error = 0.01;
+    /**
+     * Conditional budget: wrong hits as a fraction of hits. Catches
+     * degenerate keys that rarely hit on the holdout but hit (and
+     * mispredict) at runtime.
+     */
+    double max_conditional_error = 0.04;
+    /**
+     * Fast path: drop all features whose PFI importance is below
+     * this threshold in one batch before fine-grained trimming.
+     */
+    double batch_drop_importance = 1e-9;
+    PfiConfig pfi;
+    /**
+     * Fields the developer marked as must-keep (Option 1 overrides,
+     * §V-B); never dropped regardless of importance.
+     */
+    std::vector<events::FieldId> forced_keep;
+};
+
+/** Run the iterative trimming on one event type's dataset. */
+SelectionResult selectNecessaryInputs(const Dataset &ds,
+                                      const SelectionConfig &cfg = {});
+
+}  // namespace ml
+}  // namespace snip
+
+#endif  // SNIP_ML_FEATURE_SELECTION_H

@@ -1,0 +1,41 @@
+#include "ml/pfi.h"
+
+namespace snip {
+namespace ml {
+
+PfiResult
+computePfi(const Predictor &predictor, const Dataset &ds,
+           const std::vector<size_t> &cols, const PfiConfig &cfg)
+{
+    PfiResult result;
+    result.base_error = weightedErrorRate(predictor, ds);
+    result.importance.assign(cols.size(), 0.0);
+
+    util::Rng rng(cfg.seed);
+    size_t n = ds.numRows();
+    double total_w = static_cast<double>(ds.totalWeight());
+
+    for (size_t ci = 0; ci < cols.size(); ++ci) {
+        size_t col = cols[ci];
+        double err_sum = 0.0;
+        for (int rep = 0; rep < cfg.repeats; ++rep) {
+            // A permutation of row indices: row r reads the value of
+            // row perm[r] in the permuted column.
+            std::vector<size_t> perm = rng.permutation(n);
+            uint64_t wrong = 0;
+            for (size_t row = 0; row < n; ++row) {
+                uint64_t pv = ds.value(perm[row], col);
+                if (predictor.predict(ds, row, col, pv) != ds.label(row))
+                    wrong += ds.weight(row);
+            }
+            err_sum += static_cast<double>(wrong) / total_w;
+        }
+        double mean_err = err_sum / cfg.repeats;
+        double imp = mean_err - result.base_error;
+        result.importance[ci] = imp > 0.0 ? imp : 0.0;
+    }
+    return result;
+}
+
+}  // namespace ml
+}  // namespace snip

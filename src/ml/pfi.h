@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Permutation Feature Importance (paper §V-A, citing [6, 7]): the
+ * importance of a feature is how much the model's output-prediction
+ * error grows when that feature's column is randomly permuted
+ * across rows, breaking its relationship with the label while
+ * preserving its marginal distribution.
+ */
+
+#ifndef SNIP_ML_PFI_H
+#define SNIP_ML_PFI_H
+
+#include <vector>
+
+#include "ml/predictor.h"
+#include "util/rng.h"
+
+namespace snip {
+namespace ml {
+
+/** PFI knobs. */
+struct PfiConfig {
+    /** Permutation repeats per feature (importances averaged). */
+    int repeats = 2;
+    uint64_t seed = 0x9f1bea7ULL;
+};
+
+/** Result of one PFI run. */
+struct PfiResult {
+    /** Weighted error of the unpermuted model. */
+    double base_error = 0.0;
+    /**
+     * Per-feature importance, parallel to the feature-column list
+     * passed in: mean(permuted error) - base_error, floored at 0.
+     */
+    std::vector<double> importance;
+};
+
+/**
+ * Compute PFI of @p predictor (already trained on @p cols) over
+ * @p ds. Only columns in @p cols are permuted.
+ */
+PfiResult computePfi(const Predictor &predictor, const Dataset &ds,
+                     const std::vector<size_t> &cols,
+                     const PfiConfig &cfg = {});
+
+}  // namespace ml
+}  // namespace snip
+
+#endif  // SNIP_ML_PFI_H

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Predictor interface for the PFI machinery: given a row's feature
+ * values (restricted to a feature subset), predict the output
+ * signature. Implementations: TablePredictor (exact-match majority
+ * table — what the deployed lookup table is), DecisionTree and
+ * RandomForest (reference learners for the predictor ablation).
+ */
+
+#ifndef SNIP_ML_PREDICTOR_H
+#define SNIP_ML_PREDICTOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace snip {
+namespace ml {
+
+/** Sentinel label meaning "no prediction available". */
+constexpr uint64_t kNoLabel = 0x90a6e100090a6e10ULL;
+
+/** Abstract output-signature predictor. */
+class Predictor
+{
+  public:
+    virtual ~Predictor() = default;
+
+    /**
+     * Fit on @p ds using only @p feature_cols (column indices).
+     */
+    virtual void train(const Dataset &ds,
+                       const std::vector<size_t> &feature_cols) = 0;
+
+    /**
+     * Predict the label for row @p row of @p ds, with the values of
+     * selected columns optionally overridden: when @p override_col
+     * != SIZE_MAX, the value of that column is @p override_value
+     * (how PFI permutes a column without copying the matrix).
+     */
+    virtual uint64_t predict(const Dataset &ds, size_t row,
+                             size_t override_col = SIZE_MAX,
+                             uint64_t override_value = 0) const = 0;
+
+    /**
+     * Row index of a *representative* training row carrying the
+     * predicted label, or SIZE_MAX when unavailable. Lets callers
+     * recover concrete output field values behind a prediction.
+     */
+    virtual size_t predictRow(const Dataset &ds, size_t row,
+                              size_t override_col = SIZE_MAX,
+                              uint64_t override_value = 0) const = 0;
+};
+
+/**
+ * Weighted misclassification rate of @p p over all rows of @p ds
+ * (weights = dynamic instructions, matching the paper's
+ * "% execution" accounting).
+ */
+double weightedErrorRate(const Predictor &p, const Dataset &ds);
+
+}  // namespace ml
+}  // namespace snip
+
+#endif  // SNIP_ML_PREDICTOR_H

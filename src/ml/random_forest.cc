@@ -1,0 +1,70 @@
+#include "ml/random_forest.h"
+
+#include <cmath>
+#include <map>
+
+#include "util/logging.h"
+
+namespace snip {
+namespace ml {
+
+RandomForest::RandomForest(ForestConfig cfg) : cfg_(cfg) {}
+
+void
+RandomForest::train(const Dataset &ds,
+                    const std::vector<size_t> &feature_cols)
+{
+    trees_.clear();
+    util::Rng rng(cfg_.seed);
+    size_t n = ds.numRows();
+    for (int t = 0; t < cfg_.num_trees; ++t) {
+        TreeConfig tc = cfg_.tree;
+        tc.seed = rng.next();
+        if (tc.feature_subsample == 0) {
+            tc.feature_subsample = static_cast<size_t>(std::ceil(
+                std::sqrt(static_cast<double>(feature_cols.size()))));
+        }
+        auto tree = std::make_unique<DecisionTree>(tc);
+        std::vector<size_t> boot(n);
+        for (size_t i = 0; i < n; ++i)
+            boot[i] = static_cast<size_t>(rng.uniformInt(0, n - 1));
+        tree->trainOnRows(ds, feature_cols, boot);
+        trees_.push_back(std::move(tree));
+    }
+}
+
+uint64_t
+RandomForest::predict(const Dataset &ds, size_t row, size_t override_col,
+                      uint64_t override_value) const
+{
+    if (trees_.empty())
+        util::panic("RandomForest::predict before train()");
+    std::map<uint64_t, int> votes;
+    for (const auto &t : trees_)
+        ++votes[t->predict(ds, row, override_col, override_value)];
+    uint64_t best_label = kNoLabel;
+    int best = 0;
+    for (const auto &kv : votes) {
+        if (kv.second > best) {
+            best = kv.second;
+            best_label = kv.first;
+        }
+    }
+    return best_label;
+}
+
+size_t
+RandomForest::predictRow(const Dataset &ds, size_t row,
+                         size_t override_col,
+                         uint64_t override_value) const
+{
+    uint64_t label = predict(ds, row, override_col, override_value);
+    for (const auto &t : trees_) {
+        if (t->predict(ds, row, override_col, override_value) == label)
+            return t->predictRow(ds, row, override_col, override_value);
+    }
+    return SIZE_MAX;
+}
+
+}  // namespace ml
+}  // namespace snip

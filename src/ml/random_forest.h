@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Bagged random forest (Breiman 2001, the paper's citation [6] for
+ * PFI) over decision trees: bootstrap row sampling plus per-split
+ * feature subsampling, majority vote.
+ */
+
+#ifndef SNIP_ML_RANDOM_FOREST_H
+#define SNIP_ML_RANDOM_FOREST_H
+
+#include <memory>
+
+#include "ml/decision_tree.h"
+
+namespace snip {
+namespace ml {
+
+/** Forest hyperparameters. */
+struct ForestConfig {
+    int num_trees = 16;
+    TreeConfig tree;
+    uint64_t seed = 0xf02e57ULL;
+};
+
+/** Majority-vote forest. */
+class RandomForest : public Predictor
+{
+  public:
+    explicit RandomForest(ForestConfig cfg = {});
+
+    void train(const Dataset &ds,
+               const std::vector<size_t> &feature_cols) override;
+
+    uint64_t predict(const Dataset &ds, size_t row,
+                     size_t override_col = SIZE_MAX,
+                     uint64_t override_value = 0) const override;
+
+    size_t predictRow(const Dataset &ds, size_t row,
+                      size_t override_col = SIZE_MAX,
+                      uint64_t override_value = 0) const override;
+
+    /** Number of trained trees. */
+    size_t treeCount() const { return trees_.size(); }
+
+  private:
+    ForestConfig cfg_;
+    std::vector<std::unique_ptr<DecisionTree>> trees_;
+};
+
+}  // namespace ml
+}  // namespace snip
+
+#endif  // SNIP_ML_RANDOM_FOREST_H

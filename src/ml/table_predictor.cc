@@ -1,0 +1,165 @@
+#include "ml/table_predictor.h"
+
+#include <map>
+
+#include "util/rng.h"
+
+namespace snip {
+namespace ml {
+
+double
+weightedErrorRate(const Predictor &p, const Dataset &ds)
+{
+    uint64_t wrong = 0;
+    for (size_t row = 0; row < ds.numRows(); ++row) {
+        if (p.predict(ds, row) != ds.label(row))
+            wrong += ds.weight(row);
+    }
+    return static_cast<double>(wrong) /
+           static_cast<double>(ds.totalWeight());
+}
+
+uint64_t
+TablePredictor::keyOf(const Dataset &ds, size_t row, size_t override_col,
+                      uint64_t override_value) const
+{
+    uint64_t h = 0x5eedf00d5eedULL;
+    for (size_t c : cols_) {
+        uint64_t v = (c == override_col) ? override_value
+                                         : ds.value(row, c);
+        h = util::mixCombine(h, util::mixCombine(c, v));
+    }
+    return h;
+}
+
+void
+TablePredictor::train(const Dataset &ds,
+                      const std::vector<size_t> &feature_cols)
+{
+    std::vector<size_t> rows(ds.numRows());
+    for (size_t i = 0; i < rows.size(); ++i)
+        rows[i] = i;
+    trainOnRows(ds, feature_cols, rows);
+}
+
+void
+TablePredictor::trainOnRows(const Dataset &ds,
+                            const std::vector<size_t> &feature_cols,
+                            const std::vector<size_t> &rows)
+{
+    cols_ = feature_cols;
+    table_.clear();
+
+    // Per-key label tallies (weighted), then majority.
+    struct Tally {
+        std::map<uint64_t, uint64_t> label_weight;
+        std::map<uint64_t, size_t> label_row;
+        uint64_t total_weight = 0;
+    };
+    std::unordered_map<uint64_t, Tally> tallies;
+    std::map<uint64_t, uint64_t> global;
+    std::map<uint64_t, size_t> global_row;
+
+    uint64_t trained_weight = 0;
+    for (size_t row : rows) {
+        uint64_t key = keyOf(ds, row, SIZE_MAX, 0);
+        Tally &t = tallies[key];
+        uint64_t lbl = ds.label(row);
+        t.label_weight[lbl] += ds.weight(row);
+        t.label_row.emplace(lbl, row);
+        t.total_weight += ds.weight(row);
+        global[lbl] += ds.weight(row);
+        global_row.emplace(lbl, row);
+        trained_weight += ds.weight(row);
+    }
+
+    uint64_t ambiguous_weight = 0;
+    for (auto &kv : tallies) {
+        Entry e;
+        uint64_t best_w = 0;
+        for (const auto &lw : kv.second.label_weight) {
+            if (lw.second > best_w) {
+                best_w = lw.second;
+                e.majority_label = lw.first;
+                e.representative_row = kv.second.label_row[lw.first];
+            }
+        }
+        e.distinct_labels =
+            static_cast<uint32_t>(kv.second.label_weight.size());
+        if (e.distinct_labels > 1)
+            ambiguous_weight += kv.second.total_weight;
+        table_[kv.first] = e;
+    }
+    ambiguousWeightFraction_ =
+        trained_weight ? static_cast<double>(ambiguous_weight) /
+                             static_cast<double>(trained_weight)
+                       : 0.0;
+
+    uint64_t best_w = 0;
+    for (const auto &lw : global) {
+        if (lw.second > best_w) {
+            best_w = lw.second;
+            fallbackLabel_ = lw.first;
+            fallbackRow_ = global_row[lw.first];
+        }
+    }
+}
+
+uint64_t
+TablePredictor::predict(const Dataset &ds, size_t row,
+                        size_t override_col,
+                        uint64_t override_value) const
+{
+    auto it = table_.find(keyOf(ds, row, override_col, override_value));
+    return it == table_.end() ? fallbackLabel_
+                              : it->second.majority_label;
+}
+
+size_t
+TablePredictor::predictRow(const Dataset &ds, size_t row,
+                           size_t override_col,
+                           uint64_t override_value) const
+{
+    auto it = table_.find(keyOf(ds, row, override_col, override_value));
+    return it == table_.end() ? fallbackRow_
+                              : it->second.representative_row;
+}
+
+bool
+TablePredictor::lookupLabel(const Dataset &ds, size_t row,
+                            uint64_t &label) const
+{
+    auto it = table_.find(keyOf(ds, row, SIZE_MAX, 0));
+    if (it == table_.end())
+        return false;
+    label = it->second.majority_label;
+    return true;
+}
+
+void
+TablePredictor::insertRow(const Dataset &ds, size_t row)
+{
+    uint64_t key = keyOf(ds, row, SIZE_MAX, 0);
+    auto it = table_.find(key);
+    if (it != table_.end())
+        return;
+    Entry e;
+    e.majority_label = ds.label(row);
+    e.representative_row = row;
+    e.distinct_labels = 1;
+    table_[key] = e;
+}
+
+double
+TablePredictor::meanLabelsPerKey() const
+{
+    if (table_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &kv : table_)
+        sum += kv.second.distinct_labels;
+    return sum / static_cast<double>(table_.size());
+}
+
+}  // namespace ml
+}  // namespace snip

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Exact-match table predictor: the learned model *is* a lookup
+ * table keyed on the selected feature values; each key maps to the
+ * majority output signature seen for that key in training. This is
+ * precisely the structure SNIP deploys to the phone, so measuring
+ * its error under feature trimming measures deployed behaviour.
+ */
+
+#ifndef SNIP_ML_TABLE_PREDICTOR_H
+#define SNIP_ML_TABLE_PREDICTOR_H
+
+#include <unordered_map>
+
+#include "ml/predictor.h"
+
+namespace snip {
+namespace ml {
+
+/** Majority-vote exact-match table over selected features. */
+class TablePredictor : public Predictor
+{
+  public:
+    void train(const Dataset &ds,
+               const std::vector<size_t> &feature_cols) override;
+
+    /** Train on a row subset (for held-out evaluation). */
+    void trainOnRows(const Dataset &ds,
+                     const std::vector<size_t> &feature_cols,
+                     const std::vector<size_t> &rows);
+
+    uint64_t predict(const Dataset &ds, size_t row,
+                     size_t override_col = SIZE_MAX,
+                     uint64_t override_value = 0) const override;
+
+    size_t predictRow(const Dataset &ds, size_t row,
+                      size_t override_col = SIZE_MAX,
+                      uint64_t override_value = 0) const override;
+
+    /**
+     * Strict lookup: true (and the majority label) only when the
+     * row's key exists in the trained table — a deployment "hit".
+     * Misses fall back to full processing and are therefore not
+     * errors, the distinction the feature selector relies on.
+     */
+    bool lookupLabel(const Dataset &ds, size_t row,
+                     uint64_t &label) const;
+
+    /**
+     * Online insert: add the row's key -> label mapping unless the
+     * key already exists (append-only, first wins — the deployed
+     * table's semantics between cloud re-learns).
+     */
+    void insertRow(const Dataset &ds, size_t row);
+
+    /** Number of distinct keys in the trained table. */
+    size_t tableRows() const { return table_.size(); }
+
+    /**
+     * Number of distinct labels observed under a key averaged over
+     * keys — > 1 means the selected features are ambiguous (the
+     * Fig. 8a "more than one possible output" situation).
+     */
+    double meanLabelsPerKey() const;
+
+    /** Fraction of training weight under keys with > 1 label. */
+    double ambiguousWeightFraction() const
+    {
+        return ambiguousWeightFraction_;
+    }
+
+  private:
+    struct Entry {
+        uint64_t majority_label = kNoLabel;
+        size_t representative_row = SIZE_MAX;
+        uint32_t distinct_labels = 0;
+    };
+
+    uint64_t keyOf(const Dataset &ds, size_t row, size_t override_col,
+                   uint64_t override_value) const;
+
+    std::vector<size_t> cols_;
+    std::unordered_map<uint64_t, Entry> table_;
+    uint64_t fallbackLabel_ = kNoLabel;
+    size_t fallbackRow_ = SIZE_MAX;
+    double ambiguousWeightFraction_ = 0.0;
+};
+
+}  // namespace ml
+}  // namespace snip
+
+#endif  // SNIP_ML_TABLE_PREDICTOR_H

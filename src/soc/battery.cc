@@ -1,0 +1,36 @@
+#include "soc/battery.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace snip {
+namespace soc {
+
+Battery::Battery(double mah, double volts)
+    : capacity_(util::batteryCapacityJoules(mah, volts))
+{
+}
+
+void
+Battery::drain(util::Energy j)
+{
+    if (j < 0)
+        util::panic("Battery::drain: negative energy %g", j);
+    consumed_ = std::min(consumed_ + j, capacity_ * 1.0);
+}
+
+double
+Battery::remainingFraction() const
+{
+    return std::clamp(1.0 - consumed_ / capacity_, 0.0, 1.0);
+}
+
+double
+Battery::hoursToEmpty(util::Power avg_watts) const
+{
+    return util::hoursToDrain(capacity_, avg_watts);
+}
+
+}  // namespace soc
+}  // namespace snip

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Battery model: a fixed-capacity pack drained by the SoC's
+ * accumulated energy; answers "hours from 100% to 0%" (Fig. 3).
+ */
+
+#ifndef SNIP_SOC_BATTERY_H
+#define SNIP_SOC_BATTERY_H
+
+#include "util/units.h"
+
+namespace snip {
+namespace soc {
+
+/** A Li-ion pack with fixed usable capacity. */
+class Battery
+{
+  public:
+    /**
+     * @param mah Rated capacity (mAh).
+     * @param volts Nominal cell voltage (V).
+     */
+    Battery(double mah, double volts);
+
+    /** Usable capacity (J). */
+    util::Energy capacity() const { return capacity_; }
+
+    /** Drain @p j joules. Clamps at empty. */
+    void drain(util::Energy j);
+
+    /** Energy consumed so far (J). */
+    util::Energy consumed() const { return consumed_; }
+
+    /** Remaining charge fraction in [0, 1]. */
+    double remainingFraction() const;
+
+    /** True when fully drained. */
+    bool empty() const { return consumed_ >= capacity_; }
+
+    /**
+     * Hours to go from 100% to 0% at a constant average power.
+     * This is how the paper converts a 5-10 minute measured session
+     * into a battery-life figure.
+     */
+    double hoursToEmpty(util::Power avg_watts) const;
+
+    /** Refill to 100%. */
+    void recharge() { consumed_ = 0.0; }
+
+  private:
+    util::Energy capacity_;
+    util::Energy consumed_ = 0.0;
+};
+
+}  // namespace soc
+}  // namespace snip
+
+#endif  // SNIP_SOC_BATTERY_H

@@ -1,0 +1,77 @@
+#include "soc/component.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace snip {
+namespace soc {
+
+Component::Component(std::string name, util::Power active_static_w,
+                     util::Power idle_static_w, util::Power sleep_static_w)
+    : name_(std::move(name)),
+      activeStaticW_(active_static_w),
+      idleStaticW_(idle_static_w),
+      sleepStaticW_(sleep_static_w)
+{
+    if (activeStaticW_ < 0 || idleStaticW_ < 0 || sleepStaticW_ < 0)
+        util::fatal("component %s: negative static power", name_.c_str());
+}
+
+void
+Component::recordBusy(util::Time t)
+{
+    if (t < 0)
+        util::panic("component %s: negative busy time %g",
+                    name_.c_str(), t);
+    if (t == 0)
+        return;
+    setSleeping(false);  // work wakes the block
+    pendingBusy_ += t;
+}
+
+void
+Component::accrue(util::Time dt)
+{
+    if (dt < 0)
+        util::panic("component %s: negative dt %g", name_.c_str(), dt);
+    util::Time active_t = std::min(pendingBusy_, dt);
+    pendingBusy_ -= active_t;
+    busyAccrued_ += active_t;
+    util::Time rest = dt - active_t;
+    util::Power floor_w = sleeping_ ? sleepStaticW_ : idleStaticW_;
+    static_ += activeStaticW_ * active_t + floor_w * rest;
+}
+
+void
+Component::setSleeping(bool sleeping)
+{
+    if (sleeping_ && !sleeping) {
+        dynamic_ += wakeEnergy_;
+        ++wakeCount_;
+    }
+    sleeping_ = sleeping;
+}
+
+void
+Component::addDynamic(util::Energy j)
+{
+    if (j < 0)
+        util::panic("component %s: negative dynamic energy %g",
+                    name_.c_str(), j);
+    dynamic_ += j;
+}
+
+void
+Component::reset()
+{
+    dynamic_ = 0.0;
+    static_ = 0.0;
+    pendingBusy_ = 0.0;
+    busyAccrued_ = 0.0;
+    wakeCount_ = 0;
+    sleeping_ = false;
+}
+
+}  // namespace soc
+}  // namespace snip

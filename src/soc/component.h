@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Base class for energy-accounted hardware components of the
+ * simulated SoC. Components accumulate dynamic energy (charged
+ * explicitly per operation) plus static energy accrued as simulated
+ * time advances: work recorded via recordBusy() accrues at the
+ * active static power (race-to-idle), the remainder of each
+ * interval at the idle or sleep floor depending on the component's
+ * sleep mode. The sleep mode is what the Max-IP baseline toggles
+ * aggressively; waking from sleep charges a wake-energy penalty.
+ */
+
+#ifndef SNIP_SOC_COMPONENT_H
+#define SNIP_SOC_COMPONENT_H
+
+#include <cstdint>
+#include <string>
+
+#include "util/units.h"
+
+namespace snip {
+namespace soc {
+
+/**
+ * An energy-accounted component. Subclasses charge dynamic energy
+ * via addDynamic() and busy time via recordBusy(); the owning Soc
+ * advances time, which converts busy/idle/sleep time into static
+ * energy.
+ */
+class Component
+{
+  public:
+    /**
+     * @param name Component name for reports.
+     * @param active_static_w Static power while executing (W).
+     * @param idle_static_w Static power while idle (W).
+     * @param sleep_static_w Static power while power-gated (W).
+     */
+    Component(std::string name, util::Power active_static_w,
+              util::Power idle_static_w, util::Power sleep_static_w);
+    virtual ~Component() = default;
+
+    Component(const Component &) = delete;
+    Component &operator=(const Component &) = delete;
+
+    /** Component name. */
+    const std::string &name() const { return name_; }
+
+    /**
+     * Record @p t seconds of execution time. Busy time is consumed
+     * by subsequent accrue() calls at the active static power;
+     * recording work on a sleeping component wakes it (charging the
+     * wake energy).
+     */
+    void recordBusy(util::Time t);
+
+    /**
+     * Convert @p dt seconds of simulated time into static energy:
+     * pending busy time (clamped to dt) at active power, the rest
+     * at the idle or sleep floor.
+     */
+    void accrue(util::Time dt);
+
+    /**
+     * Enter/leave the power-gated sleep mode. Leaving charges the
+     * configured wake energy and counts a wake.
+     */
+    void setSleeping(bool sleeping);
+
+    /** Whether the component is currently power-gated. */
+    bool sleeping() const { return sleeping_; }
+
+    /** Configure the energy charged on each wake from sleep. */
+    void setWakeEnergy(util::Energy j) { wakeEnergy_ = j; }
+
+    /** Total dynamic energy charged so far (J). */
+    util::Energy dynamicEnergy() const { return dynamic_; }
+    /** Total static energy accrued so far (J). */
+    util::Energy staticEnergy() const { return static_; }
+    /** Dynamic + static (J). */
+    util::Energy totalEnergy() const { return dynamic_ + static_; }
+
+    /** Cumulative busy time accrued at active power (s). */
+    util::Time busyTime() const { return busyAccrued_; }
+
+    /** Number of sleep -> wake transitions. */
+    uint64_t wakeCount() const { return wakeCount_; }
+
+    /** Zero all accumulators; leaves sleep mode. */
+    virtual void reset();
+
+  protected:
+    /** Charge dynamic energy (J). Panics on negative values. */
+    void addDynamic(util::Energy j);
+
+  private:
+    std::string name_;
+    util::Power activeStaticW_;
+    util::Power idleStaticW_;
+    util::Power sleepStaticW_;
+    util::Energy wakeEnergy_ = 0.0;
+
+    bool sleeping_ = false;
+    util::Time pendingBusy_ = 0.0;
+    util::Time busyAccrued_ = 0.0;
+    util::Energy dynamic_ = 0.0;
+    util::Energy static_ = 0.0;
+    uint64_t wakeCount_ = 0;
+};
+
+}  // namespace soc
+}  // namespace snip
+
+#endif  // SNIP_SOC_COMPONENT_H

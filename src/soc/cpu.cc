@@ -1,0 +1,39 @@
+#include "soc/cpu.h"
+
+namespace snip {
+namespace soc {
+
+Cpu::Cpu(const EnergyModel &model)
+    : Component("cpu", model.cpu_active_static_w, model.cpu_idle_static_w,
+                model.cpu_sleep_static_w),
+      bigInstrJ_(model.cpu_big_instr_j),
+      littleInstrJ_(model.cpu_little_instr_j),
+      ips_(model.cpu_giga_ips * 1e9)
+{
+}
+
+void
+Cpu::execute(uint64_t instructions, CpuCluster cluster)
+{
+    if (instructions == 0)
+        return;
+    recordBusy(static_cast<double>(instructions) / ips_);
+    if (cluster == CpuCluster::Big) {
+        bigInstr_ += instructions;
+        addDynamic(bigInstrJ_ * static_cast<double>(instructions));
+    } else {
+        littleInstr_ += instructions;
+        addDynamic(littleInstrJ_ * static_cast<double>(instructions));
+    }
+}
+
+void
+Cpu::reset()
+{
+    Component::reset();
+    bigInstr_ = 0;
+    littleInstr_ = 0;
+}
+
+}  // namespace soc
+}  // namespace snip

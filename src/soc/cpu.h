@@ -1,0 +1,63 @@
+/**
+ * @file
+ * CPU cluster model: a Kryo-like big.LITTLE pair charged per retired
+ * instruction. Event-handler work runs on the performance cluster;
+ * framework bookkeeping (sensor plumbing, binder transfers, lookup
+ * comparisons) runs on the efficiency cluster.
+ */
+
+#ifndef SNIP_SOC_CPU_H
+#define SNIP_SOC_CPU_H
+
+#include <cstdint>
+
+#include "soc/component.h"
+#include "soc/energy_model.h"
+
+namespace snip {
+namespace soc {
+
+/** Which cluster executes a chunk of work. */
+enum class CpuCluster {
+    Big,     ///< Performance (Kryo gold) cluster.
+    Little,  ///< Efficiency (Kryo silver) cluster.
+};
+
+/**
+ * Per-instruction-energy CPU model. Tracks instruction counts per
+ * cluster so benchmarks can report "% execution" weighted by dynamic
+ * instructions, as the paper does.
+ */
+class Cpu : public Component
+{
+  public:
+    /** Construct from the model constants. */
+    explicit Cpu(const EnergyModel &model);
+
+    /**
+     * Charge the execution of @p instructions on @p cluster and
+     * record the corresponding busy time (race-to-idle model).
+     */
+    void execute(uint64_t instructions, CpuCluster cluster);
+
+    /** Instructions retired on the big cluster. */
+    uint64_t bigInstructions() const { return bigInstr_; }
+    /** Instructions retired on the little cluster. */
+    uint64_t littleInstructions() const { return littleInstr_; }
+    /** Total instructions retired. */
+    uint64_t totalInstructions() const { return bigInstr_ + littleInstr_; }
+
+    void reset() override;
+
+  private:
+    util::Energy bigInstrJ_;
+    util::Energy littleInstrJ_;
+    double ips_;
+    uint64_t bigInstr_ = 0;
+    uint64_t littleInstr_ = 0;
+};
+
+}  // namespace soc
+}  // namespace snip
+
+#endif  // SNIP_SOC_CPU_H

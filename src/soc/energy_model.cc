@@ -1,0 +1,62 @@
+#include "soc/energy_model.h"
+
+namespace snip {
+namespace soc {
+
+const char *
+ipKindName(IpKind k)
+{
+    switch (k) {
+      case IpKind::Gpu: return "gpu";
+      case IpKind::Display: return "display";
+      case IpKind::Codec: return "codec";
+      case IpKind::CameraIsp: return "camera_isp";
+      case IpKind::Dsp: return "dsp";
+      case IpKind::Audio: return "audio";
+      case IpKind::NumKinds: break;
+    }
+    return "?";
+}
+
+EnergyModel
+EnergyModel::snapdragon821()
+{
+    EnergyModel m;
+    auto &ip = m.ip;
+    // work_j, active_static_w, idle_static_w, sleep_static_w,
+    // wake_j, unit_time_s
+    ip[static_cast<int>(IpKind::Gpu)] = {
+        util::millijoules(1.1), util::milliwatts(95),
+        util::milliwatts(34), util::milliwatts(2.5),
+        util::microjoules(700), util::milliseconds(0.7),
+    };
+    ip[static_cast<int>(IpKind::Display)] = {
+        util::millijoules(1.4), util::milliwatts(310),
+        util::milliwatts(60), util::milliwatts(1.5),
+        util::microjoules(900), util::milliseconds(2.5),
+    };
+    ip[static_cast<int>(IpKind::Codec)] = {
+        util::millijoules(0.8), util::milliwatts(26),
+        util::milliwatts(12), util::milliwatts(1.0),
+        util::microjoules(450), util::milliseconds(1.0),
+    };
+    ip[static_cast<int>(IpKind::CameraIsp)] = {
+        util::millijoules(7.5), util::milliwatts(70),
+        util::milliwatts(22), util::milliwatts(1.5),
+        util::microjoules(1200), util::milliseconds(6.0),
+    };
+    ip[static_cast<int>(IpKind::Dsp)] = {
+        util::millijoules(0.45), util::milliwatts(22),
+        util::milliwatts(9), util::milliwatts(0.8),
+        util::microjoules(250), util::milliseconds(0.4),
+    };
+    ip[static_cast<int>(IpKind::Audio)] = {
+        util::millijoules(0.25), util::milliwatts(28),
+        util::milliwatts(10), util::milliwatts(0.8),
+        util::microjoules(200), util::milliseconds(1.0),
+    };
+    return m;
+}
+
+}  // namespace soc
+}  // namespace snip

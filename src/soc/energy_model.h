@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Per-operation energy and static-power constants of the simulated
+ * SoC. The default values are calibrated so that (a) the component
+ * energy breakdown of the seven game workloads matches the paper's
+ * Fig. 2 bands (CPU 40-60%, IPs 34-51%, sensors+memory < 10%) and
+ * (b) whole-device power lands in the paper's Fig. 3 battery-drain
+ * range (idle ~20 h, Colorphun ~8.5 h, Race Kings ~3 h on a
+ * 3450 mAh pack).
+ *
+ * These are *model* constants, not measurements; see DESIGN.md §2.
+ */
+
+#ifndef SNIP_SOC_ENERGY_MODEL_H
+#define SNIP_SOC_ENERGY_MODEL_H
+
+#include "util/units.h"
+
+namespace snip {
+namespace soc {
+
+/** Kinds of accelerator/IP blocks on the SoC. */
+enum class IpKind {
+    Gpu = 0,    ///< 3D render / compute jobs.
+    Display,    ///< Composition + panel refresh.
+    Codec,      ///< Video/image encode/decode.
+    CameraIsp,  ///< Camera image signal processor.
+    Dsp,        ///< Hexagon-class DSP (physics/audio effects).
+    Audio,      ///< Audio output pipeline.
+    NumKinds,
+};
+
+/** Number of IP kinds. */
+constexpr int kNumIpKinds = static_cast<int>(IpKind::NumKinds);
+
+/** Display name of an IP kind. */
+const char *ipKindName(IpKind k);
+
+/** Per-IP energy/power parameters. */
+struct IpParams {
+    /** Dynamic energy per unit of work (J/work-unit). */
+    util::Energy work_j;
+    /** Static power while Active (W). */
+    util::Power active_static_w;
+    /** Static power while Idle (W). */
+    util::Power idle_static_w;
+    /** Static power while power-gated (W). */
+    util::Power sleep_static_w;
+    /** One-time energy to wake from Sleep (J). */
+    util::Energy wake_j;
+    /** Execution time per unit of work (s) — drives busy time. */
+    util::Time unit_time_s;
+};
+
+/**
+ * The full constant set. Construct via snapdragon821() for the
+ * calibrated defaults, or tweak fields for ablations.
+ */
+struct EnergyModel {
+    /** CPU dynamic energy per instruction, performance cluster (J). */
+    util::Energy cpu_big_instr_j = util::nanojoules(0.45);
+    /** CPU dynamic energy per instruction, efficiency cluster (J). */
+    util::Energy cpu_little_instr_j = util::nanojoules(0.16);
+    /** CPU static power while Active (W). */
+    util::Power cpu_active_static_w = util::milliwatts(220);
+    /** CPU static power while Idle (W). */
+    util::Power cpu_idle_static_w = util::milliwatts(45);
+    /** CPU static power in cluster sleep (W). */
+    util::Power cpu_sleep_static_w = util::milliwatts(6);
+    /** Effective CPU throughput (giga-instructions/s, all cores). */
+    double cpu_giga_ips = 2.6;
+
+    /** DRAM dynamic energy per byte moved (J). */
+    util::Energy mem_byte_j = util::nanojoules(0.35);
+    /** DRAM background/refresh power (W). */
+    util::Power mem_static_w = util::milliwatts(38);
+    /** DRAM sustained bandwidth (bytes/s) — drives busy time. */
+    double mem_bytes_per_s = 12e9;
+
+    /** Sensor-hub energy per raw sensor sample (J). */
+    util::Energy sensor_sample_j = util::microjoules(3.5);
+    /** Camera sensor (not ISP) energy per captured frame (J). */
+    util::Energy camera_frame_j = util::microjoules(110);
+    /** Sensor hub static power (W). */
+    util::Power sensor_static_w = util::milliwatts(14);
+
+    /** Per-IP parameters, indexed by IpKind. */
+    IpParams ip[kNumIpKinds] = {};
+
+    /**
+     * Platform rest-of-system power (PMIC, RF, misc rails) while the
+     * device is in use (W) and while idle in the pocket (W). Kept
+     * outside the four Fig. 2 groups.
+     */
+    util::Power platform_active_w = util::milliwatts(300);
+    util::Power platform_idle_w = util::milliwatts(210);
+
+    /** Battery pack capacity (mAh) and nominal voltage (V). */
+    double battery_mah = 3450.0;
+    double battery_volts = 3.85;
+
+    /** Calibrated Snapdragon-821-class defaults. */
+    static EnergyModel snapdragon821();
+};
+
+}  // namespace soc
+}  // namespace snip
+
+#endif  // SNIP_SOC_ENERGY_MODEL_H

@@ -1,0 +1,77 @@
+#include "soc/energy_report.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace snip {
+namespace soc {
+
+const char *
+energyGroupName(EnergyGroup g)
+{
+    switch (g) {
+      case EnergyGroup::Sensors: return "sensors";
+      case EnergyGroup::Memory: return "memory";
+      case EnergyGroup::Cpu: return "cpu";
+      case EnergyGroup::Ips: return "ips";
+      case EnergyGroup::Platform: return "platform";
+      case EnergyGroup::NumGroups: break;
+    }
+    return "?";
+}
+
+EnergyReport::EnergyReport(std::vector<ComponentEnergy> components,
+                           util::Time elapsed)
+    : components_(std::move(components)), elapsed_(elapsed)
+{
+    if (elapsed_ <= 0)
+        util::panic("EnergyReport: non-positive elapsed time %f", elapsed_);
+    for (const auto &c : components_) {
+        total_ += c.total();
+        group_[static_cast<int>(c.group)] += c.total();
+    }
+}
+
+util::Energy
+EnergyReport::groupEnergy(EnergyGroup g) const
+{
+    return group_[static_cast<int>(g)];
+}
+
+double
+EnergyReport::socGroupFraction(EnergyGroup g) const
+{
+    util::Energy soc_total = groupEnergy(EnergyGroup::Sensors) +
+                             groupEnergy(EnergyGroup::Memory) +
+                             groupEnergy(EnergyGroup::Cpu) +
+                             groupEnergy(EnergyGroup::Ips);
+    if (soc_total <= 0)
+        return 0.0;
+    return groupEnergy(g) / soc_total;
+}
+
+util::Power
+EnergyReport::averagePower() const
+{
+    return total_ / elapsed_;
+}
+
+std::string
+EnergyReport::toString() const
+{
+    std::ostringstream os;
+    os << "energy report (" << util::formatTime(elapsed_) << ", "
+       << util::formatEnergy(total_) << ", "
+       << util::formatPower(averagePower()) << " avg)\n";
+    for (const auto &c : components_) {
+        os << "  " << c.name << " [" << energyGroupName(c.group) << "]: "
+           << util::formatEnergy(c.total())
+           << " (dyn " << util::formatEnergy(c.dynamic_j)
+           << ", static " << util::formatEnergy(c.static_j) << ")\n";
+    }
+    return os.str();
+}
+
+}  // namespace soc
+}  // namespace snip

@@ -1,0 +1,40 @@
+#include "soc/ip_block.h"
+
+#include "util/logging.h"
+
+namespace snip {
+namespace soc {
+
+IpBlock::IpBlock(IpKind kind, const IpParams &params)
+    : Component(ipKindName(kind), params.active_static_w,
+                params.idle_static_w, params.sleep_static_w),
+      kind_(kind),
+      workJ_(params.work_j),
+      unitTimeS_(params.unit_time_s)
+{
+    setWakeEnergy(params.wake_j);
+}
+
+void
+IpBlock::invoke(double work_units)
+{
+    if (work_units < 0)
+        util::panic("ip %s: negative work %f", name().c_str(), work_units);
+    if (work_units == 0)
+        return;
+    recordBusy(work_units * unitTimeS_);
+    ++invocations_;
+    work_ += work_units;
+    addDynamic(workJ_ * work_units);
+}
+
+void
+IpBlock::reset()
+{
+    Component::reset();
+    invocations_ = 0;
+    work_ = 0.0;
+}
+
+}  // namespace soc
+}  // namespace snip

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Accelerator/IP block model. Every IP is charged per "work unit"
+ * (a render job, a composed frame, a decoded block, an ISP frame,
+ * a DSP kernel, an audio buffer) and supports the Active/Idle/Sleep
+ * power-state machine exploited by the Max-IP baseline.
+ */
+
+#ifndef SNIP_SOC_IP_BLOCK_H
+#define SNIP_SOC_IP_BLOCK_H
+
+#include <cstdint>
+
+#include "soc/component.h"
+#include "soc/energy_model.h"
+
+namespace snip {
+namespace soc {
+
+/**
+ * A single IP block. Invocations wake the block if it sleeps,
+ * charge work energy, and count invocations/work for the reports.
+ */
+class IpBlock : public Component
+{
+  public:
+    /**
+     * @param kind Which IP this is.
+     * @param params Energy/power parameters for this IP.
+     */
+    IpBlock(IpKind kind, const IpParams &params);
+
+    /** Which IP kind this block is. */
+    IpKind kind() const { return kind_; }
+
+    /**
+     * Run @p work_units of work on this IP. Wakes the block from
+     * sleep (charging wake energy) and records busy time.
+     */
+    void invoke(double work_units);
+
+    /** Number of invoke() calls so far. */
+    uint64_t invocations() const { return invocations_; }
+    /** Total work units executed. */
+    double workUnits() const { return work_; }
+
+    void reset() override;
+
+  private:
+    IpKind kind_;
+    util::Energy workJ_;
+    util::Time unitTimeS_ = 0.0;
+    uint64_t invocations_ = 0;
+    double work_ = 0.0;
+};
+
+}  // namespace soc
+}  // namespace snip
+
+#endif  // SNIP_SOC_IP_BLOCK_H

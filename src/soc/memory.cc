@@ -1,0 +1,32 @@
+#include "soc/memory.h"
+
+namespace snip {
+namespace soc {
+
+Memory::Memory(const EnergyModel &model)
+    : Component("memory", model.mem_static_w, model.mem_static_w,
+                model.mem_static_w * 0.25),
+      byteJ_(model.mem_byte_j),
+      bytesPerS_(model.mem_bytes_per_s)
+{
+}
+
+void
+Memory::access(uint64_t bytes)
+{
+    if (bytes == 0)
+        return;
+    recordBusy(static_cast<double>(bytes) / bytesPerS_);
+    bytes_ += bytes;
+    addDynamic(byteJ_ * static_cast<double>(bytes));
+}
+
+void
+Memory::reset()
+{
+    Component::reset();
+    bytes_ = 0;
+}
+
+}  // namespace soc
+}  // namespace snip

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * LPDDR4 memory model charged per byte moved, with background
+ * refresh power. Event-object transfers (Binder), handler data
+ * traffic, and memoization-table lookups all account here.
+ */
+
+#ifndef SNIP_SOC_MEMORY_H
+#define SNIP_SOC_MEMORY_H
+
+#include <cstdint>
+
+#include "soc/component.h"
+#include "soc/energy_model.h"
+
+namespace snip {
+namespace soc {
+
+/** Per-byte LPDDR4 energy model. */
+class Memory : public Component
+{
+  public:
+    /** Construct from the model constants. */
+    explicit Memory(const EnergyModel &model);
+
+    /** Charge a transfer of @p bytes (read or write). */
+    void access(uint64_t bytes);
+
+    /** Total bytes moved so far. */
+    uint64_t bytesMoved() const { return bytes_; }
+
+    void reset() override;
+
+  private:
+    util::Energy byteJ_;
+    double bytesPerS_ = 1.0;
+    uint64_t bytes_ = 0;
+};
+
+}  // namespace soc
+}  // namespace snip
+
+#endif  // SNIP_SOC_MEMORY_H

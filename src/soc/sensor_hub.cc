@@ -1,0 +1,39 @@
+#include "soc/sensor_hub.h"
+
+namespace snip {
+namespace soc {
+
+SensorHubDevice::SensorHubDevice(const EnergyModel &model)
+    : Component("sensors", model.sensor_static_w, model.sensor_static_w,
+                model.sensor_static_w * 0.2),
+      sampleJ_(model.sensor_sample_j),
+      cameraFrameJ_(model.camera_frame_j)
+{
+}
+
+void
+SensorHubDevice::sample(uint64_t samples)
+{
+    if (samples == 0)
+        return;
+    samples_ += samples;
+    addDynamic(sampleJ_ * static_cast<double>(samples));
+}
+
+void
+SensorHubDevice::captureCameraFrame()
+{
+    ++cameraFrames_;
+    addDynamic(cameraFrameJ_);
+}
+
+void
+SensorHubDevice::reset()
+{
+    Component::reset();
+    samples_ = 0;
+    cameraFrames_ = 0;
+}
+
+}  // namespace soc
+}  // namespace snip

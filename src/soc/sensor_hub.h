@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Sensor-hub device model: charges per raw sensor sample and per
+ * captured camera frame (the camera sensor itself; the ISP is a
+ * separate IP block, matching the paper's note that the camera is
+ * not part of the sensor hub).
+ */
+
+#ifndef SNIP_SOC_SENSOR_HUB_H
+#define SNIP_SOC_SENSOR_HUB_H
+
+#include <cstdint>
+
+#include "soc/component.h"
+#include "soc/energy_model.h"
+
+namespace snip {
+namespace soc {
+
+/** Energy model of the always-on sensor hub. */
+class SensorHubDevice : public Component
+{
+  public:
+    /** Construct from the model constants. */
+    explicit SensorHubDevice(const EnergyModel &model);
+
+    /** Charge @p samples raw sensor reads (touch, gyro, GPS...). */
+    void sample(uint64_t samples);
+
+    /** Charge one camera frame capture. */
+    void captureCameraFrame();
+
+    /** Raw samples taken so far. */
+    uint64_t samplesTaken() const { return samples_; }
+    /** Camera frames captured so far. */
+    uint64_t cameraFrames() const { return cameraFrames_; }
+
+    void reset() override;
+
+  private:
+    util::Energy sampleJ_;
+    util::Energy cameraFrameJ_;
+    uint64_t samples_ = 0;
+    uint64_t cameraFrames_ = 0;
+};
+
+}  // namespace soc
+}  // namespace snip
+
+#endif  // SNIP_SOC_SENSOR_HUB_H

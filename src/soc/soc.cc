@@ -1,0 +1,125 @@
+#include "soc/soc.h"
+
+#include "util/logging.h"
+
+namespace snip {
+namespace soc {
+
+Soc::Soc(const EnergyModel &model)
+    : model_(model),
+      cpu_(std::make_unique<Cpu>(model)),
+      memory_(std::make_unique<Memory>(model)),
+      sensorHub_(std::make_unique<SensorHubDevice>(model)),
+      platform_(std::make_unique<Component>(
+          "platform", model.platform_active_w, model.platform_active_w,
+          model.platform_idle_w)),
+      battery_(std::make_unique<Battery>(model.battery_mah,
+                                         model.battery_volts))
+{
+    for (int k = 0; k < kNumIpKinds; ++k) {
+        ips_[k] = std::make_unique<IpBlock>(static_cast<IpKind>(k),
+                                            model.ip[k]);
+    }
+}
+
+void
+Soc::executeCpu(uint64_t instructions, CpuCluster cluster)
+{
+    cpu_->execute(instructions, cluster);
+}
+
+void
+Soc::accessMemory(uint64_t bytes)
+{
+    memory_->access(bytes);
+}
+
+void
+Soc::sampleSensors(uint64_t samples)
+{
+    sensorHub_->sample(samples);
+}
+
+void
+Soc::captureCameraFrame()
+{
+    sensorHub_->captureCameraFrame();
+}
+
+void
+Soc::invokeIp(IpKind kind, double work_units)
+{
+    ip(kind).invoke(work_units);
+}
+
+IpBlock &
+Soc::ip(IpKind kind)
+{
+    int k = static_cast<int>(kind);
+    if (k < 0 || k >= kNumIpKinds)
+        util::panic("Soc::ip: bad kind %d", k);
+    return *ips_[k];
+}
+
+const IpBlock &
+Soc::ip(IpKind kind) const
+{
+    int k = static_cast<int>(kind);
+    if (k < 0 || k >= kNumIpKinds)
+        util::panic("Soc::ip: bad kind %d", k);
+    return *ips_[k];
+}
+
+void
+Soc::advance(util::Time dt)
+{
+    if (dt < 0)
+        util::panic("Soc::advance: negative dt %f", dt);
+    now_ += dt;
+    cpu_->accrue(dt);
+    memory_->accrue(dt);
+    sensorHub_->accrue(dt);
+    platform_->accrue(dt);
+    for (auto &ipb : ips_)
+        ipb->accrue(dt);
+}
+
+void
+Soc::setInUse(bool in_use)
+{
+    // The platform component models active-use rails as its
+    // idle power and standby rails as its sleep floor.
+    platform_->setSleeping(!in_use);
+}
+
+EnergyReport
+Soc::report() const
+{
+    std::vector<ComponentEnergy> comps;
+    auto add = [&](const Component &c, EnergyGroup g) {
+        comps.push_back({c.name(), g, c.dynamicEnergy(), c.staticEnergy()});
+    };
+    add(*sensorHub_, EnergyGroup::Sensors);
+    add(*memory_, EnergyGroup::Memory);
+    add(*cpu_, EnergyGroup::Cpu);
+    for (const auto &ipb : ips_)
+        add(*ipb, EnergyGroup::Ips);
+    add(*platform_, EnergyGroup::Platform);
+    return EnergyReport(std::move(comps), now_ > 0 ? now_ : 1e-9);
+}
+
+void
+Soc::reset()
+{
+    cpu_->reset();
+    memory_->reset();
+    sensorHub_->reset();
+    platform_->reset();
+    for (auto &ipb : ips_)
+        ipb->reset();
+    battery_->recharge();
+    now_ = 0.0;
+}
+
+}  // namespace soc
+}  // namespace snip

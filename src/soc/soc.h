@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The assembled SoC: CPU cluster, LPDDR4 memory, sensor hub, the six
+ * accelerator/IP blocks, rest-of-system platform rails, and the
+ * battery. This is the single charging surface the event framework,
+ * games, and SNIP runtime account energy against.
+ */
+
+#ifndef SNIP_SOC_SOC_H
+#define SNIP_SOC_SOC_H
+
+#include <array>
+#include <memory>
+
+#include "soc/battery.h"
+#include "soc/cpu.h"
+#include "soc/energy_model.h"
+#include "soc/energy_report.h"
+#include "soc/ip_block.h"
+#include "soc/memory.h"
+#include "soc/sensor_hub.h"
+
+namespace snip {
+namespace soc {
+
+/**
+ * Snapdragon-821-class SoC simulation. All charging methods are
+ * cheap accumulator updates; advance() moves the simulated clock and
+ * accrues state-dependent static power on every component.
+ */
+class Soc
+{
+  public:
+    /** Build from an energy model (defaults to snapdragon821()). */
+    explicit Soc(const EnergyModel &model = EnergyModel::snapdragon821());
+
+    /** Charge CPU work. */
+    void executeCpu(uint64_t instructions, CpuCluster cluster);
+    /** Charge a memory transfer. */
+    void accessMemory(uint64_t bytes);
+    /** Charge raw sensor samples. */
+    void sampleSensors(uint64_t samples);
+    /** Charge a camera frame capture (sensor side). */
+    void captureCameraFrame();
+    /** Charge IP work. */
+    void invokeIp(IpKind kind, double work_units);
+
+    /** Advance the simulated clock by dt seconds. */
+    void advance(util::Time dt);
+
+    /** Simulated time since construction/reset (s). */
+    util::Time now() const { return now_; }
+
+    /** Direct component access (power-state control, counters). */
+    Cpu &cpu() { return *cpu_; }
+    Memory &memory() { return *memory_; }
+    SensorHubDevice &sensorHub() { return *sensorHub_; }
+    IpBlock &ip(IpKind kind);
+    const IpBlock &ip(IpKind kind) const;
+    /** Rest-of-system rails (PMIC, RF, misc). */
+    Component &platform() { return *platform_; }
+    Battery &battery() { return *battery_; }
+
+    /** Put the device in "in use" mode (platform rails active). */
+    void setInUse(bool in_use);
+
+    /** The energy model this SoC was built with. */
+    const EnergyModel &model() const { return model_; }
+
+    /** Snapshot the current accounting. */
+    EnergyReport report() const;
+
+    /** Zero all accounting and the clock; battery recharges. */
+    void reset();
+
+  private:
+    EnergyModel model_;
+    std::unique_ptr<Cpu> cpu_;
+    std::unique_ptr<Memory> memory_;
+    std::unique_ptr<SensorHubDevice> sensorHub_;
+    std::array<std::unique_ptr<IpBlock>, kNumIpKinds> ips_;
+    std::unique_ptr<Component> platform_;
+    std::unique_ptr<Battery> battery_;
+    util::Time now_ = 0.0;
+};
+
+}  // namespace soc
+}  // namespace snip
+
+#endif  // SNIP_SOC_SOC_H

@@ -1,0 +1,148 @@
+#include "trace/field_stats.h"
+
+#include <unordered_set>
+
+#include "util/bytes.h"
+
+namespace snip {
+namespace trace {
+
+RecordBytes
+recordBytes(const games::HandlerExecution &ex,
+            const events::FieldSchema &schema)
+{
+    RecordBytes rb;
+    for (const auto &fv : ex.inputs) {
+        const auto &d = schema.def(fv.id);
+        switch (d.in_cat) {
+          case events::InputCategory::Event:
+            rb.in_event += d.size_bytes;
+            break;
+          case events::InputCategory::History:
+            rb.in_history += d.size_bytes;
+            break;
+          case events::InputCategory::Extern:
+            rb.in_extern += d.size_bytes;
+            break;
+        }
+    }
+    for (const auto &fv : ex.outputs) {
+        const auto &d = schema.def(fv.id);
+        switch (d.out_cat) {
+          case events::OutputCategory::Temp:
+            rb.out_temp += d.size_bytes;
+            break;
+          case events::OutputCategory::History:
+            rb.out_history += d.size_bytes;
+            break;
+          case events::OutputCategory::Extern:
+            rb.out_extern += d.size_bytes;
+            break;
+        }
+    }
+    return rb;
+}
+
+FieldStatistics::FieldStatistics(const Profile &profile,
+                                 const events::FieldSchema &schema)
+{
+    std::unordered_set<uint64_t> seen_inputs;
+    std::unordered_set<uint64_t> seen_outputs;
+    size_t exact_repeats = 0;
+    size_t output_redundant = 0;
+    size_t output_candidates = 0;
+
+    for (const auto &ex : profile.records) {
+        ++count_;
+        totalInstr_ += ex.cpu_instructions;
+        RecordBytes rb = recordBytes(ex, schema);
+
+        if (rb.in_event) {
+            ++inEventPresent_;
+            inEvent_.add(static_cast<double>(rb.in_event));
+        }
+        if (rb.in_history) {
+            ++inHistoryPresent_;
+            inHistory_.add(static_cast<double>(rb.in_history));
+        }
+        if (rb.in_extern) {
+            ++inExternPresent_;
+            inExtern_.add(static_cast<double>(rb.in_extern));
+        }
+        if (rb.out_temp)
+            outTemp_.add(static_cast<double>(rb.out_temp));
+        if (rb.out_history)
+            outHistory_.add(static_cast<double>(rb.out_history));
+        if (rb.out_extern)
+            outExtern_.add(static_cast<double>(rb.out_extern));
+
+        if (ex.useless) {
+            ++useless_;
+            uselessInstr_ += ex.cpu_instructions;
+        }
+
+        uint64_t in_hash = events::hashFields(ex.inputs);
+        if (!seen_inputs.insert(in_hash).second)
+            ++exact_repeats;
+
+        if (!ex.useless) {
+            ++output_candidates;
+            uint64_t out_hash = events::hashFields(ex.outputs);
+            if (!seen_outputs.insert(out_hash).second)
+                ++output_redundant;
+        }
+    }
+    if (count_) {
+        exactRepeatFraction_ =
+            static_cast<double>(exact_repeats) /
+            static_cast<double>(count_);
+    }
+    if (output_candidates) {
+        outputRedundancyFraction_ =
+            static_cast<double>(output_redundant) /
+            static_cast<double>(output_candidates);
+    }
+}
+
+double
+FieldStatistics::inEventPresence() const
+{
+    return count_ ? static_cast<double>(inEventPresent_) /
+                        static_cast<double>(count_)
+                  : 0.0;
+}
+
+double
+FieldStatistics::inHistoryPresence() const
+{
+    return count_ ? static_cast<double>(inHistoryPresent_) /
+                        static_cast<double>(count_)
+                  : 0.0;
+}
+
+double
+FieldStatistics::inExternPresence() const
+{
+    return count_ ? static_cast<double>(inExternPresent_) /
+                        static_cast<double>(count_)
+                  : 0.0;
+}
+
+double
+FieldStatistics::uselessFraction() const
+{
+    return count_ ? static_cast<double>(useless_) /
+                        static_cast<double>(count_)
+                  : 0.0;
+}
+
+double
+FieldStatistics::uselessInstructionFraction() const
+{
+    return totalInstr_ ? static_cast<double>(uselessInstr_) /
+                             static_cast<double>(totalInstr_)
+                       : 0.0;
+}
+
+}  // namespace trace
+}  // namespace snip

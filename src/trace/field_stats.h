@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Profile characterization: per-category input/output size spreads
+ * (Fig. 7), useless-event and repeated-event rates (Fig. 4, §I),
+ * and per-record byte accounting shared by the table-sizing
+ * analyses (Figs. 6 and 8).
+ */
+
+#ifndef SNIP_TRACE_FIELD_STATS_H
+#define SNIP_TRACE_FIELD_STATS_H
+
+#include <cstdint>
+
+#include "events/field.h"
+#include "trace/profile.h"
+#include "util/stats.h"
+
+namespace snip {
+namespace trace {
+
+/** Byte totals of one record, split by category. */
+struct RecordBytes {
+    uint64_t in_event = 0;
+    uint64_t in_history = 0;
+    uint64_t in_extern = 0;
+    uint64_t out_temp = 0;
+    uint64_t out_history = 0;
+    uint64_t out_extern = 0;
+
+    uint64_t inputs() const { return in_event + in_history + in_extern; }
+    uint64_t outputs() const
+    {
+        return out_temp + out_history + out_extern;
+    }
+};
+
+/** Split one record's bytes by category. */
+RecordBytes recordBytes(const games::HandlerExecution &ex,
+                        const events::FieldSchema &schema);
+
+/** Aggregated profile characterization. */
+class FieldStatistics
+{
+  public:
+    /** Analyze a profile against its game's schema. */
+    FieldStatistics(const Profile &profile,
+                    const events::FieldSchema &schema);
+
+    /** Size spread of In.Event bytes across records that have any. */
+    const util::EmpiricalCdf &inEventSizes() const { return inEvent_; }
+    /** Size spread of In.History bytes (records that have any). */
+    const util::EmpiricalCdf &inHistorySizes() const { return inHistory_; }
+    /** Size spread of In.Extern bytes (records that have any). */
+    const util::EmpiricalCdf &inExternSizes() const { return inExtern_; }
+    /** Output-side spreads. */
+    const util::EmpiricalCdf &outTempSizes() const { return outTemp_; }
+    const util::EmpiricalCdf &outHistorySizes() const
+    {
+        return outHistory_;
+    }
+    const util::EmpiricalCdf &outExternSizes() const { return outExtern_; }
+
+    /** Fraction of records consuming any In.Event / History / Extern. */
+    double inEventPresence() const;
+    double inHistoryPresence() const;
+    double inExternPresence() const;
+
+    /** Fraction of records that were useless (no output change). */
+    double uselessFraction() const;
+    /** Instruction-weighted useless fraction. */
+    double uselessInstructionFraction() const;
+
+    /**
+     * Fraction of records whose *entire input record* (all fields,
+     * noise included) exactly repeats an earlier record — the
+     * paper's 2-5% "repeated events".
+     */
+    double exactRepeatFraction() const { return exactRepeatFraction_; }
+
+    /**
+     * Fraction of non-useless records whose output set exactly
+     * matches some earlier record's outputs — the paper's
+     * "redundant events" (output redundancy, up to 43%).
+     */
+    double outputRedundancyFraction() const
+    {
+        return outputRedundancyFraction_;
+    }
+
+    /** Number of records analyzed. */
+    size_t recordCount() const { return count_; }
+
+  private:
+    size_t count_ = 0;
+    size_t inEventPresent_ = 0;
+    size_t inHistoryPresent_ = 0;
+    size_t inExternPresent_ = 0;
+    size_t useless_ = 0;
+    uint64_t uselessInstr_ = 0;
+    uint64_t totalInstr_ = 0;
+    double exactRepeatFraction_ = 0.0;
+    double outputRedundancyFraction_ = 0.0;
+    util::EmpiricalCdf inEvent_;
+    util::EmpiricalCdf inHistory_;
+    util::EmpiricalCdf inExtern_;
+    util::EmpiricalCdf outTemp_;
+    util::EmpiricalCdf outHistory_;
+    util::EmpiricalCdf outExtern_;
+};
+
+}  // namespace trace
+}  // namespace snip
+
+#endif  // SNIP_TRACE_FIELD_STATS_H

@@ -1,0 +1,71 @@
+#include "trace/profile.h"
+
+#include <array>
+
+namespace snip {
+namespace trace {
+
+uint64_t
+Profile::totalInstructions() const
+{
+    uint64_t total = 0;
+    for (const auto &r : records)
+        total += r.cpu_instructions;
+    return total;
+}
+
+std::vector<const games::HandlerExecution *>
+Profile::ofType(events::EventType t) const
+{
+    std::vector<const games::HandlerExecution *> out;
+    for (const auto &r : records)
+        if (r.type == t)
+            out.push_back(&r);
+    return out;
+}
+
+std::vector<events::EventType>
+Profile::typesPresent() const
+{
+    std::array<bool, events::kNumEventTypes> seen = {};
+    for (const auto &r : records)
+        seen[static_cast<int>(r.type)] = true;
+    std::vector<events::EventType> types;
+    for (int t = 0; t < events::kNumEventTypes; ++t)
+        if (seen[t])
+            types.push_back(static_cast<events::EventType>(t));
+    return types;
+}
+
+void
+Profile::append(const Profile &more)
+{
+    records.insert(records.end(), more.records.begin(),
+                   more.records.end());
+}
+
+Profile
+Profile::truncated(size_t n) const
+{
+    Profile p;
+    p.game = game;
+    p.records.assign(records.begin(),
+                     records.begin() +
+                         static_cast<long>(std::min(n, records.size())));
+    return p;
+}
+
+util::Energy
+dynamicEnergyOf(const games::HandlerExecution &ex,
+                const soc::EnergyModel &model)
+{
+    util::Energy e = model.cpu_big_instr_j *
+                     static_cast<double>(ex.cpu_instructions);
+    e += model.mem_byte_j * static_cast<double>(ex.memory_bytes);
+    for (const auto &c : ex.ip_calls)
+        e += model.ip[static_cast<int>(c.kind)].work_j * c.work_units;
+    return e;
+}
+
+}  // namespace trace
+}  // namespace snip

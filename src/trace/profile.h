@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Profiles: the collected input/output records of event-handler
+ * executions. The on-device tracer captures only the *event stream*
+ * (EventTrace — cheap, what the phone uploads); the offline
+ * replayer re-executes it against a fresh game instance to produce
+ * the full Profile with every input/output field and cost, playing
+ * the role of the paper's instrumented AOSP emulator.
+ */
+
+#ifndef SNIP_TRACE_PROFILE_H
+#define SNIP_TRACE_PROFILE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "events/event.h"
+#include "games/handler.h"
+#include "soc/energy_model.h"
+
+namespace snip {
+namespace trace {
+
+/** The event stream recorded on-device (paper Fig. 10, step 1). */
+struct EventTrace {
+    std::string game;
+    std::vector<events::EventObject> events;
+};
+
+/** Full input/output profile built offline (Fig. 10, step 2). */
+struct Profile {
+    std::string game;
+    std::vector<games::HandlerExecution> records;
+
+    /** Total dynamic instructions across records. */
+    uint64_t totalInstructions() const;
+
+    /** Records of one event type. */
+    std::vector<const games::HandlerExecution *>
+    ofType(events::EventType t) const;
+
+    /** Event types present, in enum order. */
+    std::vector<events::EventType> typesPresent() const;
+
+    /** Append another profile's records (continuous learning). */
+    void append(const Profile &more);
+
+    /** Keep only the first @p n records (insufficient-profile runs). */
+    Profile truncated(size_t n) const;
+};
+
+/**
+ * Estimate the dynamic energy one handler execution costs on the
+ * SoC (CPU instructions + IP work + memory traffic). Used by the
+ * characterization benches (Fig. 4's wasted-energy bars) without
+ * running a full simulation.
+ */
+util::Energy dynamicEnergyOf(const games::HandlerExecution &ex,
+                             const soc::EnergyModel &model);
+
+}  // namespace trace
+}  // namespace snip
+
+#endif  // SNIP_TRACE_PROFILE_H

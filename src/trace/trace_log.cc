@@ -1,0 +1,175 @@
+#include "trace/trace_log.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace snip {
+namespace trace {
+
+namespace {
+
+constexpr uint32_t kEventTraceMagic = 0x534e5045;  // "SNPE"
+constexpr uint32_t kProfileMagic = 0x534e5050;     // "SNPP"
+constexpr uint32_t kVersion = 1;
+
+void
+encodeFields(const std::vector<events::FieldValue> &fields,
+             util::ByteBuffer &buf)
+{
+    buf.putU32(static_cast<uint32_t>(fields.size()));
+    for (const auto &fv : fields) {
+        buf.putU32(fv.id);
+        buf.putU64(fv.value);
+    }
+}
+
+std::vector<events::FieldValue>
+decodeFields(util::ByteBuffer &buf)
+{
+    uint32_t n = buf.getU32();
+    std::vector<events::FieldValue> fields;
+    fields.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        events::FieldValue fv;
+        fv.id = buf.getU32();
+        fv.value = buf.getU64();
+        fields.push_back(fv);
+    }
+    return fields;
+}
+
+}  // namespace
+
+void
+encodeEventTrace(const EventTrace &trace, util::ByteBuffer &buf)
+{
+    buf.putU32(kEventTraceMagic);
+    buf.putU32(kVersion);
+    buf.putString(trace.game);
+    buf.putU32(static_cast<uint32_t>(trace.events.size()));
+    for (const auto &ev : trace.events) {
+        buf.putU8(static_cast<uint8_t>(ev.type));
+        buf.putU64(ev.seq);
+        buf.putU64(static_cast<uint64_t>(ev.timestamp * 1e9));
+        encodeFields(ev.fields, buf);
+    }
+}
+
+EventTrace
+decodeEventTrace(util::ByteBuffer &buf)
+{
+    if (buf.getU32() != kEventTraceMagic)
+        util::fatal("decodeEventTrace: bad magic");
+    if (buf.getU32() != kVersion)
+        util::fatal("decodeEventTrace: unsupported version");
+    EventTrace trace;
+    trace.game = buf.getString();
+    uint32_t n = buf.getU32();
+    trace.events.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        events::EventObject ev;
+        ev.type = static_cast<events::EventType>(buf.getU8());
+        ev.seq = buf.getU64();
+        ev.timestamp = static_cast<double>(buf.getU64()) * 1e-9;
+        ev.fields = decodeFields(buf);
+        trace.events.push_back(std::move(ev));
+    }
+    return trace;
+}
+
+void
+encodeProfile(const Profile &profile, util::ByteBuffer &buf)
+{
+    buf.putU32(kProfileMagic);
+    buf.putU32(kVersion);
+    buf.putString(profile.game);
+    buf.putU32(static_cast<uint32_t>(profile.records.size()));
+    for (const auto &r : profile.records) {
+        buf.putU8(static_cast<uint8_t>(r.type));
+        buf.putU64(r.seq);
+        encodeFields(r.inputs, buf);
+        encodeFields(r.outputs, buf);
+        buf.putU64(r.necessary_hash);
+        buf.putU64(r.cpu_instructions);
+        buf.putU64(r.memory_bytes);
+        buf.putU32(static_cast<uint32_t>(r.ip_calls.size()));
+        for (const auto &c : r.ip_calls) {
+            buf.putU8(static_cast<uint8_t>(c.kind));
+            buf.putU64(static_cast<uint64_t>(c.work_units * 1e6));
+        }
+        buf.putU64(static_cast<uint64_t>(r.maxcpu_fraction * 1e6));
+        buf.putU8(static_cast<uint8_t>((r.state_changed ? 1 : 0) |
+                                       (r.useless ? 2 : 0) |
+                                       (r.scoring ? 4 : 0)));
+    }
+}
+
+Profile
+decodeProfile(util::ByteBuffer &buf)
+{
+    if (buf.getU32() != kProfileMagic)
+        util::fatal("decodeProfile: bad magic");
+    if (buf.getU32() != kVersion)
+        util::fatal("decodeProfile: unsupported version");
+    Profile profile;
+    profile.game = buf.getString();
+    uint32_t n = buf.getU32();
+    profile.records.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        games::HandlerExecution r;
+        r.type = static_cast<events::EventType>(buf.getU8());
+        r.seq = buf.getU64();
+        r.inputs = decodeFields(buf);
+        r.outputs = decodeFields(buf);
+        r.necessary_hash = buf.getU64();
+        r.cpu_instructions = buf.getU64();
+        r.memory_bytes = buf.getU64();
+        uint32_t calls = buf.getU32();
+        for (uint32_t c = 0; c < calls; ++c) {
+            games::IpCall call;
+            call.kind = static_cast<soc::IpKind>(buf.getU8());
+            call.work_units = static_cast<double>(buf.getU64()) * 1e-6;
+            r.ip_calls.push_back(call);
+        }
+        r.maxcpu_fraction = static_cast<double>(buf.getU64()) * 1e-6;
+        uint8_t flags = buf.getU8();
+        r.state_changed = flags & 1;
+        r.useless = flags & 2;
+        r.scoring = flags & 4;
+        profile.records.push_back(std::move(r));
+    }
+    return profile;
+}
+
+void
+saveBuffer(const util::ByteBuffer &buf, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        util::fatal("saveBuffer: cannot open %s for writing",
+                    path.c_str());
+    size_t written = std::fwrite(buf.data().data(), 1, buf.size(), f);
+    std::fclose(f);
+    if (written != buf.size())
+        util::fatal("saveBuffer: short write to %s", path.c_str());
+}
+
+util::ByteBuffer
+loadBuffer(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        util::fatal("loadBuffer: cannot open %s", path.c_str());
+    util::ByteBuffer buf;
+    uint8_t chunk[4096];
+    size_t got;
+    while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
+        for (size_t i = 0; i < got; ++i)
+            buf.putU8(chunk[i]);
+    std::fclose(f);
+    return buf;
+}
+
+}  // namespace trace
+}  // namespace snip

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Binary serialization of event traces and profiles — the "send to
+ * cloud" / "over-the-air update" transport of the paper's Fig. 10
+ * flow. Format is a small versioned little-endian encoding over
+ * util::ByteBuffer, with file save/load helpers.
+ */
+
+#ifndef SNIP_TRACE_TRACE_LOG_H
+#define SNIP_TRACE_TRACE_LOG_H
+
+#include <string>
+
+#include "trace/profile.h"
+#include "util/bytes.h"
+
+namespace snip {
+namespace trace {
+
+/** Serialize an event trace. */
+void encodeEventTrace(const EventTrace &trace, util::ByteBuffer &buf);
+/** Deserialize an event trace; fatal() on malformed input. */
+EventTrace decodeEventTrace(util::ByteBuffer &buf);
+
+/** Serialize a full profile. */
+void encodeProfile(const Profile &profile, util::ByteBuffer &buf);
+/** Deserialize a profile; fatal() on malformed input. */
+Profile decodeProfile(util::ByteBuffer &buf);
+
+/** Write a buffer to a file; fatal() on I/O errors. */
+void saveBuffer(const util::ByteBuffer &buf, const std::string &path);
+/** Read a file into a buffer; fatal() on I/O errors. */
+util::ByteBuffer loadBuffer(const std::string &path);
+
+}  // namespace trace
+}  // namespace snip
+
+#endif  // SNIP_TRACE_TRACE_LOG_H

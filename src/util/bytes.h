@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Byte-level helpers: a growable byte buffer with primitive
+ * serialization, hex formatting, and the FNV-1a hash used to key
+ * memoization tables.
+ */
+
+#ifndef SNIP_UTIL_BYTES_H
+#define SNIP_UTIL_BYTES_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snip {
+namespace util {
+
+/** 64-bit FNV-1a over a raw byte range. */
+uint64_t fnv1a(const void *data, size_t len,
+               uint64_t seed = 0xcbf29ce484222325ULL);
+
+/** 64-bit FNV-1a over a string. */
+uint64_t fnv1a(const std::string &s);
+
+/** Hash a vector of 64-bit words (order-sensitive). */
+uint64_t hashWords(const std::vector<uint64_t> &words);
+
+/** Format bytes as lowercase hex. */
+std::string toHex(const void *data, size_t len);
+
+/** Human-readable size string, e.g. "1.5 GB", "640 B". */
+std::string formatSize(double bytes);
+
+/**
+ * Append-only byte buffer with little-endian primitive writers and a
+ * cursor-based reader, used by the trace log serialization.
+ */
+class ByteBuffer
+{
+  public:
+    ByteBuffer() = default;
+
+    /** Append a single byte. */
+    void putU8(uint8_t v);
+    /** Append a 32-bit little-endian value. */
+    void putU32(uint32_t v);
+    /** Append a 64-bit little-endian value. */
+    void putU64(uint64_t v);
+    /** Append a length-prefixed string. */
+    void putString(const std::string &s);
+
+    /** Read back (cursor-based); panics on underrun. */
+    uint8_t getU8();
+    uint32_t getU32();
+    uint64_t getU64();
+    std::string getString();
+
+    /** Reset the read cursor to the beginning. */
+    void rewind() { cursor_ = 0; }
+
+    /** Number of bytes stored. */
+    size_t size() const { return data_.size(); }
+    /** Bytes remaining after the read cursor. */
+    size_t remaining() const { return data_.size() - cursor_; }
+    /** Raw storage access. */
+    const std::vector<uint8_t> &data() const { return data_; }
+
+    /** Hash of the whole contents. */
+    uint64_t hash() const { return fnv1a(data_.data(), data_.size()); }
+
+  private:
+    void need(size_t n) const;
+
+    std::vector<uint8_t> data_;
+    size_t cursor_ = 0;
+};
+
+}  // namespace util
+}  // namespace snip
+
+#endif  // SNIP_UTIL_BYTES_H

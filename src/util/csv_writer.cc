@@ -1,0 +1,55 @@
+#include "util/csv_writer.h"
+
+#include "util/logging.h"
+
+namespace snip {
+namespace util {
+
+CsvWriter::CsvWriter(std::ostream &os, const std::vector<std::string> &header)
+    : os_(os), arity_(header.size())
+{
+    if (arity_ == 0)
+        panic("CsvWriter needs at least one column");
+    writeRow(header);
+}
+
+void
+CsvWriter::row(const std::vector<std::string> &cells)
+{
+    if (cells.size() != arity_)
+        panic("CsvWriter row arity %zu != header arity %zu",
+              cells.size(), arity_);
+    writeRow(cells);
+    ++rows_;
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    for (size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            os_ << ",";
+        os_ << escape(cells[i]);
+    }
+    os_ << "\n";
+}
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    bool needs_quote = cell.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quote)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out += c;
+    }
+    out += "\"";
+    return out;
+}
+
+}  // namespace util
+}  // namespace snip

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Minimal CSV writer so benchmark harnesses can optionally dump the
+ * exact series behind each reproduced figure for external plotting.
+ */
+
+#ifndef SNIP_UTIL_CSV_WRITER_H
+#define SNIP_UTIL_CSV_WRITER_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace snip {
+namespace util {
+
+/**
+ * Streams rows of cells in RFC-4180-ish CSV (quotes cells that
+ * contain commas, quotes, or newlines).
+ */
+class CsvWriter
+{
+  public:
+    /** Bind to an output stream; writes the header immediately. */
+    CsvWriter(std::ostream &os, const std::vector<std::string> &header);
+
+    /** Write one data row; must match the header arity. */
+    void row(const std::vector<std::string> &cells);
+
+    /** Number of data rows written so far. */
+    size_t rowsWritten() const { return rows_; }
+
+  private:
+    void writeRow(const std::vector<std::string> &cells);
+    static std::string escape(const std::string &cell);
+
+    std::ostream &os_;
+    size_t arity_;
+    size_t rows_ = 0;
+};
+
+}  // namespace util
+}  // namespace snip
+
+#endif  // SNIP_UTIL_CSV_WRITER_H

@@ -1,0 +1,201 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace snip {
+namespace util {
+
+namespace {
+
+/** Rotate left. */
+inline uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+uint64_t
+mix64(uint64_t x)
+{
+    // SplitMix64 finalizer (Steele, Lea, Flood 2014).
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+uint64_t
+mixCombine(uint64_t a, uint64_t b)
+{
+    return mix64(a ^ rotl(mix64(b), 17));
+}
+
+Rng::Rng(uint64_t seed_value)
+{
+    seed(seed_value);
+}
+
+void
+Rng::seed(uint64_t seed_value)
+{
+    // Expand the seed into the four xoshiro words via SplitMix64,
+    // per the reference implementation's recommendation.
+    uint64_t sm = seed_value;
+    for (auto &word : s_) {
+        sm += 0x9e3779b97f4a7c15ULL;
+        word = mix64(sm);
+    }
+    hasCachedGaussian_ = false;
+}
+
+uint64_t
+Rng::next()
+{
+    // xoshiro256** (Blackman & Vigna 2018).
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::uniformInt(uint64_t lo, uint64_t hi)
+{
+    if (lo > hi)
+        panic("Rng::uniformInt: lo (%llu) > hi (%llu)",
+              (unsigned long long)lo, (unsigned long long)hi);
+    uint64_t span = hi - lo;
+    if (span == ~0ULL)
+        return next();
+    // Rejection sampling to avoid modulo bias.
+    uint64_t bound = span + 1;
+    uint64_t threshold = (~bound + 1) % bound;  // (2^64 - bound) % bound
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return lo + (r % bound);
+    }
+}
+
+double
+Rng::uniformReal()
+{
+    // 53 high bits -> double in [0, 1).
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniformReal(double lo, double hi)
+{
+    return lo + (hi - lo) * uniformReal();
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniformReal() < p;
+}
+
+double
+Rng::gaussian()
+{
+    if (hasCachedGaussian_) {
+        hasCachedGaussian_ = false;
+        return cachedGaussian_;
+    }
+    // Box-Muller.
+    double u1, u2;
+    do {
+        u1 = uniformReal();
+    } while (u1 <= 1e-300);
+    u2 = uniformReal();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * M_PI * u2;
+    cachedGaussian_ = r * std::sin(theta);
+    hasCachedGaussian_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    return mean + stddev * gaussian();
+}
+
+double
+Rng::logNormal(double median, double sigma)
+{
+    if (median <= 0.0)
+        panic("Rng::logNormal: median must be positive (%f)", median);
+    return median * std::exp(sigma * gaussian());
+}
+
+uint64_t
+Rng::burstLength(double m, uint64_t cap)
+{
+    if (cap == 0)
+        panic("Rng::burstLength: cap must be >= 1");
+    if (m <= 1.0)
+        return 1;
+    double p = 1.0 / m;
+    uint64_t len = 1;
+    while (len < cap && !chance(p))
+        ++len;
+    return len;
+}
+
+size_t
+Rng::weightedIndex(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights) {
+        if (w < 0.0)
+            panic("Rng::weightedIndex: negative weight %f", w);
+        total += w;
+    }
+    if (total <= 0.0)
+        panic("Rng::weightedIndex: no positive weights");
+    double target = uniformReal() * total;
+    double acc = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (target < acc)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+std::vector<size_t>
+Rng::permutation(size_t n)
+{
+    std::vector<size_t> idx(n);
+    for (size_t i = 0; i < n; ++i)
+        idx[i] = i;
+    for (size_t i = n; i > 1; --i) {
+        size_t j = static_cast<size_t>(uniformInt(0, i - 1));
+        std::swap(idx[i - 1], idx[j]);
+    }
+    return idx;
+}
+
+Rng
+Rng::fork(uint64_t stream_id)
+{
+    return Rng(mixCombine(next(), stream_id));
+}
+
+}  // namespace util
+}  // namespace snip

@@ -1,0 +1,177 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace snip {
+namespace util {
+
+void
+Summary::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+Summary::merge(const Summary &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    uint64_t n = count_ + other.count_;
+    double delta = other.mean_ - mean_;
+    double na = static_cast<double>(count_);
+    double nb = static_cast<double>(other.count_);
+    double nn = static_cast<double>(n);
+    m2_ += other.m2_ + delta * delta * na * nb / nn;
+    mean_ = (na * mean_ + nb * other.mean_) / nn;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    count_ = n;
+}
+
+double
+Summary::mean() const
+{
+    return count_ ? mean_ : 0.0;
+}
+
+double
+Summary::min() const
+{
+    return count_ ? min_ : 0.0;
+}
+
+double
+Summary::max() const
+{
+    return count_ ? max_ : 0.0;
+}
+
+double
+Summary::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+Summary::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+EmpiricalCdf::add(double x)
+{
+    samples_.push_back(x);
+    sorted_ = false;
+}
+
+void
+EmpiricalCdf::ensureSorted() const
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+double
+EmpiricalCdf::quantile(double q) const
+{
+    if (samples_.empty())
+        panic("EmpiricalCdf::quantile on empty distribution");
+    ensureSorted();
+    q = std::clamp(q, 0.0, 1.0);
+    size_t rank = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(samples_.size())));
+    if (rank == 0)
+        rank = 1;
+    return samples_[rank - 1];
+}
+
+double
+EmpiricalCdf::cdfAt(double x) const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+    return static_cast<double>(it - samples_.begin()) /
+           static_cast<double>(samples_.size());
+}
+
+double
+EmpiricalCdf::minValue() const
+{
+    if (samples_.empty())
+        panic("EmpiricalCdf::minValue on empty distribution");
+    ensureSorted();
+    return samples_.front();
+}
+
+double
+EmpiricalCdf::maxValue() const
+{
+    if (samples_.empty())
+        panic("EmpiricalCdf::maxValue on empty distribution");
+    ensureSorted();
+    return samples_.back();
+}
+
+std::vector<std::pair<double, double>>
+EmpiricalCdf::curve(const std::vector<double> &quantiles) const
+{
+    std::vector<std::pair<double, double>> pts;
+    pts.reserve(quantiles.size());
+    for (double q : quantiles)
+        pts.emplace_back(quantile(q), q);
+    return pts;
+}
+
+void
+Log2Histogram::add(double x)
+{
+    uint64_t bucket = 1;
+    if (x >= 1.0) {
+        int e = static_cast<int>(std::floor(std::log2(x)));
+        e = std::min(e, 62);
+        bucket = 1ULL << e;
+    }
+    ++bins_[bucket];
+    ++total_;
+}
+
+void
+CounterSet::inc(const std::string &name, uint64_t by)
+{
+    counters_[name] += by;
+}
+
+uint64_t
+CounterSet::get(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+}  // namespace util
+}  // namespace snip

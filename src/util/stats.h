@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Lightweight statistics primitives used across the simulator:
+ * running summaries, fixed-bin histograms, and empirical CDFs
+ * (for the Fig. 7 input/output size characterization).
+ */
+
+#ifndef SNIP_UTIL_STATS_H
+#define SNIP_UTIL_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace snip {
+namespace util {
+
+/**
+ * Running scalar summary: count / sum / mean / min / max / variance
+ * via Welford's online algorithm.
+ */
+class Summary
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+    /** Merge another summary into this one. */
+    void merge(const Summary &other);
+
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const;
+    double min() const;
+    double max() const;
+    /** Sample variance (n-1 denominator); 0 when count < 2. */
+    double variance() const;
+    /** Sample standard deviation. */
+    double stddev() const;
+
+  private:
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+/**
+ * Empirical distribution: stores samples and answers quantile and
+ * CDF queries. Used for size-spread characterization (Fig. 7).
+ */
+class EmpiricalCdf
+{
+  public:
+    /** Add a sample. */
+    void add(double x);
+
+    /** Number of samples. */
+    size_t count() const { return samples_.size(); }
+
+    /**
+     * Quantile in [0, 1] via nearest-rank on the sorted samples.
+     * Panics when empty.
+     */
+    double quantile(double q) const;
+
+    /** Fraction of samples <= x. */
+    double cdfAt(double x) const;
+
+    /** Smallest and largest sample. Panics when empty. */
+    double minValue() const;
+    double maxValue() const;
+
+    /**
+     * Render the CDF as (value, cumulative fraction) points at the
+     * given quantile steps, e.g. {0.1, 0.2, ..., 1.0}.
+     */
+    std::vector<std::pair<double, double>>
+    curve(const std::vector<double> &quantiles) const;
+
+  private:
+    void ensureSorted() const;
+
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = false;
+};
+
+/**
+ * Histogram over logarithmic (power-of-two) size buckets, handy for
+ * byte-size spreads spanning 2 B .. 1 MB.
+ */
+class Log2Histogram
+{
+  public:
+    /** Add a sample (values < 1 clamp to the first bucket). */
+    void add(double x);
+
+    /** Total samples. */
+    uint64_t count() const { return total_; }
+
+    /** Map from bucket lower bound (2^k) to sample count. */
+    const std::map<uint64_t, uint64_t> &buckets() const { return bins_; }
+
+  private:
+    std::map<uint64_t, uint64_t> bins_;
+    uint64_t total_ = 0;
+};
+
+/** Named counter registry for a simulation run. */
+class CounterSet
+{
+  public:
+    /** Increment a named counter. */
+    void inc(const std::string &name, uint64_t by = 1);
+    /** Read a counter (0 when absent). */
+    uint64_t get(const std::string &name) const;
+    /** All counters, sorted by name. */
+    const std::map<std::string, uint64_t> &all() const { return counters_; }
+
+  private:
+    std::map<std::string, uint64_t> counters_;
+};
+
+}  // namespace util
+}  // namespace snip
+
+#endif  // SNIP_UTIL_STATS_H

@@ -1,0 +1,108 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace snip {
+namespace util {
+
+namespace {
+
+/** Heuristic: a cell is numeric if it parses fully as a double
+ *  (allowing a trailing '%' or unit suffix after a space). */
+bool
+looksNumeric(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    size_t i = 0;
+    if (s[0] == '-' || s[0] == '+')
+        ++i;
+    bool digit = false;
+    for (; i < s.size(); ++i) {
+        char c = s[i];
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            digit = true;
+        } else if (c == '.' || c == ',') {
+            continue;
+        } else if (c == '%' || c == ' ') {
+            break;
+        } else {
+            return false;
+        }
+    }
+    return digit;
+}
+
+}  // namespace
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        panic("TablePrinter needs at least one column");
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> row)
+{
+    if (row.size() != headers_.size())
+        panic("TablePrinter row arity %zu != header arity %zu",
+              row.size(), headers_.size());
+    rows_.push_back(std::move(row));
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            const std::string &cell = row[c];
+            size_t pad = widths[c] - cell.size();
+            os << (c == 0 ? "" : "  ");
+            if (looksNumeric(cell)) {
+                os << std::string(pad, ' ') << cell;
+            } else {
+                os << cell << std::string(pad, ' ');
+            }
+        }
+        os << "\n";
+    };
+
+    emit_row(headers_);
+    size_t total = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c == 0 ? 0 : 2);
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+std::string
+TablePrinter::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return std::string(buf);
+}
+
+std::string
+TablePrinter::pct(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return std::string(buf);
+}
+
+}  // namespace util
+}  // namespace snip

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Console table renderer used by the benchmark harnesses so that
+ * every figure/table reproduction prints aligned, readable rows.
+ */
+
+#ifndef SNIP_UTIL_TABLE_PRINTER_H
+#define SNIP_UTIL_TABLE_PRINTER_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace snip {
+namespace util {
+
+/**
+ * Collects a header and rows of strings and prints them with
+ * column-aligned padding. Numeric cells are right-aligned (detected
+ * heuristically), text cells left-aligned.
+ */
+class TablePrinter
+{
+  public:
+    /** Construct with column headers. */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append a row; must match the header arity. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render to the stream with a rule under the header. */
+    void print(std::ostream &os) const;
+
+    /** Helpers for formatting numeric cells. */
+    static std::string num(double v, int precision = 2);
+    static std::string pct(double fraction, int precision = 1);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace util
+}  // namespace snip
+
+#endif  // SNIP_UTIL_TABLE_PRINTER_H

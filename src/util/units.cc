@@ -1,0 +1,75 @@
+#include "util/units.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace snip {
+namespace util {
+
+Energy
+batteryCapacityJoules(double mah, double volts)
+{
+    if (mah <= 0.0 || volts <= 0.0)
+        fatal("batteryCapacityJoules: non-positive capacity/voltage "
+              "(%f mAh @ %f V)", mah, volts);
+    // mAh -> C (A*s): mah * 3600 / 1000; times volts -> joules.
+    return mah * 3.6 * volts;
+}
+
+double
+hoursToDrain(Energy capacity_j, Power watts)
+{
+    if (watts <= 0.0)
+        fatal("hoursToDrain: non-positive power %f W", watts);
+    return capacity_j / watts / 3600.0;
+}
+
+std::string
+formatEnergy(Energy joules)
+{
+    char buf[64];
+    double a = joules < 0 ? -joules : joules;
+    if (a >= 1e3)
+        std::snprintf(buf, sizeof(buf), "%.2f kJ", joules / 1e3);
+    else if (a >= 1.0)
+        std::snprintf(buf, sizeof(buf), "%.2f J", joules);
+    else if (a >= 1e-3)
+        std::snprintf(buf, sizeof(buf), "%.2f mJ", joules * 1e3);
+    else if (a >= 1e-6)
+        std::snprintf(buf, sizeof(buf), "%.2f uJ", joules * 1e6);
+    else
+        std::snprintf(buf, sizeof(buf), "%.2f nJ", joules * 1e9);
+    return std::string(buf);
+}
+
+std::string
+formatPower(Power watts)
+{
+    char buf[64];
+    double a = watts < 0 ? -watts : watts;
+    if (a >= 1.0)
+        std::snprintf(buf, sizeof(buf), "%.2f W", watts);
+    else
+        std::snprintf(buf, sizeof(buf), "%.0f mW", watts * 1e3);
+    return std::string(buf);
+}
+
+std::string
+formatTime(Time seconds)
+{
+    char buf[64];
+    double a = seconds < 0 ? -seconds : seconds;
+    if (a >= 3600.0)
+        std::snprintf(buf, sizeof(buf), "%.2f h", seconds / 3600.0);
+    else if (a >= 1.0)
+        std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+    else if (a >= 1e-3)
+        std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.2f us", seconds * 1e6);
+    return std::string(buf);
+}
+
+}  // namespace util
+}  // namespace snip

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Physical units used by the energy model. Energy is carried in
+ * joules (double), time in seconds (double), power in watts. The
+ * helpers here keep conversions (mAh batteries, nJ/instruction,
+ * hours of battery life) in one audited place.
+ */
+
+#ifndef SNIP_UTIL_UNITS_H
+#define SNIP_UTIL_UNITS_H
+
+#include <cstdint>
+#include <string>
+
+namespace snip {
+namespace util {
+
+/** Joules. */
+using Energy = double;
+/** Seconds. */
+using Time = double;
+/** Watts. */
+using Power = double;
+
+/** Nanojoules to joules. */
+constexpr Energy
+nanojoules(double nj)
+{
+    return nj * 1e-9;
+}
+
+/** Microjoules to joules. */
+constexpr Energy
+microjoules(double uj)
+{
+    return uj * 1e-6;
+}
+
+/** Millijoules to joules. */
+constexpr Energy
+millijoules(double mj)
+{
+    return mj * 1e-3;
+}
+
+/** Milliwatts to watts. */
+constexpr Power
+milliwatts(double mw)
+{
+    return mw * 1e-3;
+}
+
+/** Milliseconds to seconds. */
+constexpr Time
+milliseconds(double ms)
+{
+    return ms * 1e-3;
+}
+
+/** Hours to seconds. */
+constexpr Time
+hours(double h)
+{
+    return h * 3600.0;
+}
+
+/**
+ * Battery capacity in joules for a given mAh rating at a nominal
+ * cell voltage (Li-ion nominal 3.85 V for the Pixel XL pack).
+ */
+Energy batteryCapacityJoules(double mah, double volts = 3.85);
+
+/** Hours to drain a capacity (J) at a constant power (W). */
+double hoursToDrain(Energy capacity_j, Power watts);
+
+/** Pretty-print an energy value ("12.3 mJ", "4.5 J", "1.2 kJ"). */
+std::string formatEnergy(Energy joules);
+
+/** Pretty-print a power value ("853 mW", "4.20 W"). */
+std::string formatPower(Power watts);
+
+/** Pretty-print a duration ("16.7 ms", "2.0 s", "3.4 h"). */
+std::string formatTime(Time seconds);
+
+}  // namespace util
+}  // namespace snip
+
+#endif  // SNIP_UTIL_UNITS_H

@@ -1,0 +1,543 @@
+/**
+ * @file
+ * Tests for the core SNIP layer: output diffing, the deployed memo
+ * table, the naive / In.Event table analyses, the pipeline facade,
+ * scheme decision policies, the session runner, and the continuous
+ * learner.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/continuous_learning.h"
+#include "core/lookup_table.h"
+#include "core/memo_table.h"
+#include "core/output_diff.h"
+#include "core/scheme.h"
+#include "core/simulation.h"
+#include "core/snip.h"
+#include "games/registry.h"
+#include "trace/recorder.h"
+#include "util/logging.h"
+
+namespace snip {
+namespace core {
+namespace {
+
+// --------------------------------------------------------- OutputDiff
+
+class OutputDiffTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        t_ = schema_.addOutput("t", events::OutputCategory::Temp, 16);
+        h_ = schema_.addOutput("h", events::OutputCategory::History, 4);
+        x_ = schema_.addOutput("x", events::OutputCategory::Extern,
+                               256);
+    }
+
+    events::FieldSchema schema_;
+    events::FieldId t_, h_, x_;
+};
+
+TEST_F(OutputDiffTest, IdenticalIsClean)
+{
+    std::vector<events::FieldValue> a = {{t_, 1}, {h_, 2}};
+    OutputDiff d = diffOutputs(a, a, schema_);
+    EXPECT_FALSE(d.anyWrong());
+    EXPECT_EQ(d.fields_total, 2u);
+}
+
+TEST_F(OutputDiffTest, TempOnlyDamage)
+{
+    std::vector<events::FieldValue> applied = {{t_, 1}, {h_, 2}};
+    std::vector<events::FieldValue> truth = {{t_, 9}, {h_, 2}};
+    OutputDiff d = diffOutputs(applied, truth, schema_);
+    EXPECT_TRUE(d.anyWrong());
+    EXPECT_TRUE(d.tempOnly());
+    EXPECT_EQ(d.wrong_temp, 1u);
+    EXPECT_EQ(d.wrong_history, 0u);
+}
+
+TEST_F(OutputDiffTest, HistoryDamageNotTempOnly)
+{
+    std::vector<events::FieldValue> applied = {{h_, 1}};
+    std::vector<events::FieldValue> truth = {{h_, 2}};
+    OutputDiff d = diffOutputs(applied, truth, schema_);
+    EXPECT_FALSE(d.tempOnly());
+    EXPECT_EQ(d.wrong_history, 1u);
+}
+
+TEST_F(OutputDiffTest, MissingAndSpuriousCountWrong)
+{
+    std::vector<events::FieldValue> applied = {{t_, 1}};
+    std::vector<events::FieldValue> truth = {{h_, 2}};
+    OutputDiff d = diffOutputs(applied, truth, schema_);
+    EXPECT_EQ(d.fields_total, 2u);
+    EXPECT_EQ(d.fields_wrong, 2u);
+    EXPECT_EQ(d.wrong_temp, 1u);   // spurious temp write
+    EXPECT_EQ(d.wrong_history, 1u);  // missing history write
+}
+
+TEST_F(OutputDiffTest, ExternDamage)
+{
+    std::vector<events::FieldValue> applied = {};
+    std::vector<events::FieldValue> truth = {{x_, 7}};
+    OutputDiff d = diffOutputs(applied, truth, schema_);
+    EXPECT_EQ(d.wrong_extern, 1u);
+    EXPECT_FALSE(d.tempOnly());
+}
+
+// ---------------------------------------------------------- MemoTable
+
+class MemoTableTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        game_ = games::makeGame("colorphun");
+        // Deploy the ground-truth necessary set.
+        selected_ =
+            game_->necessaryInputIds(events::EventType::Touch);
+        table_ = std::make_unique<MemoTable>(game_->schema());
+        table_->setSelected(events::EventType::Touch, selected_);
+    }
+
+    games::HandlerExecution
+    nextExecution(util::Rng &rng)
+    {
+        events::EventObject ev =
+            game_->makeEvent(events::EventType::Touch, 0.0, rng);
+        last_event_ = ev;
+        return game_->process(ev);
+    }
+
+    std::unique_ptr<games::Game> game_;
+    std::vector<events::FieldId> selected_;
+    std::unique_ptr<MemoTable> table_;
+    events::EventObject last_event_;
+};
+
+TEST_F(MemoTableTest, MissOnEmptyTable)
+{
+    util::Rng rng(1);
+    nextExecution(rng);
+    MemoLookup res = table_->lookup(last_event_, *game_);
+    EXPECT_FALSE(res.hit);
+    EXPECT_EQ(res.candidates, 0u);
+    // Gathering the necessary inputs still costs their bytes.
+    EXPECT_EQ(res.bytes_scanned,
+              table_->selectedBytes(events::EventType::Touch));
+}
+
+TEST_F(MemoTableTest, HitAfterInsertWithUnchangedState)
+{
+    util::Rng rng(2);
+    games::HandlerExecution ex = nextExecution(rng);
+    table_->insert(ex);
+    EXPECT_EQ(table_->entryCount(), 1u);
+    MemoLookup res = table_->lookup(last_event_, *game_);
+    ASSERT_TRUE(res.hit);
+    EXPECT_EQ(res.entry->outputs, ex.outputs);
+    EXPECT_GE(res.candidates, 1u);
+}
+
+TEST_F(MemoTableTest, StateChangeInvalidatesMatch)
+{
+    util::Rng rng(3);
+    games::HandlerExecution ex = nextExecution(rng);
+    table_->insert(ex);
+    // Perturb a necessary history field the entry stored.
+    events::FieldId mode_out = game_->schema().find("o.mode");
+    ASSERT_NE(mode_out, events::kInvalidField);
+    uint64_t cur = game_->state().get(game_->schema().find("h.mode"));
+    game_->state().apply(mode_out, cur + 1);
+    MemoLookup res = table_->lookup(last_event_, *game_);
+    EXPECT_FALSE(res.hit);
+}
+
+TEST_F(MemoTableTest, DuplicateInsertIgnored)
+{
+    util::Rng rng(4);
+    games::HandlerExecution ex = nextExecution(rng);
+    table_->insert(ex);
+    table_->insert(ex);
+    EXPECT_EQ(table_->entryCount(), 1u);
+}
+
+TEST_F(MemoTableTest, BytesAccounting)
+{
+    util::Rng rng(5);
+    table_->insert(nextExecution(rng));
+    EXPECT_GT(table_->totalBytes(), MemoTable::kEntryHeaderBytes);
+    uint64_t one = table_->totalBytes();
+    // Different state -> different key -> new entry.
+    events::FieldId streak_out = game_->schema().find("o.streak");
+    uint64_t cur =
+        game_->state().get(game_->schema().find("h.streak"));
+    game_->state().apply(streak_out, cur + 1);
+    table_->insert(nextExecution(rng));
+    EXPECT_GE(table_->totalBytes(), one);
+}
+
+TEST_F(MemoTableTest, ClearEmptiesTable)
+{
+    util::Rng rng(6);
+    table_->insert(nextExecution(rng));
+    table_->clear();
+    EXPECT_EQ(table_->entryCount(), 0u);
+    EXPECT_EQ(table_->totalBytes(), 0u);
+}
+
+TEST_F(MemoTableTest, UndeployedTypeMisses)
+{
+    // colorphun has no Gyro handler deployed in this table.
+    events::EventObject ev;
+    ev.type = events::EventType::Gyro;
+    MemoLookup res = table_->lookup(ev, *game_);
+    EXPECT_FALSE(res.hit);
+    EXPECT_EQ(res.bytes_scanned, 0u);
+}
+
+TEST_F(MemoTableTest, SetSelectedAfterInsertFatal)
+{
+    bool prev = util::setThrowOnError(true);
+    util::Rng rng(7);
+    table_->insert(nextExecution(rng));
+    EXPECT_THROW(
+        table_->setSelected(events::EventType::Touch, selected_),
+        std::runtime_error);
+    util::setThrowOnError(prev);
+}
+
+// ------------------------------------------------------ lookup tables
+
+class AnalysisTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        game_ = games::makeGame("ab_evolution");
+        BaselineScheme baseline;
+        SimulationConfig cfg;
+        cfg.duration_s = 40.0;
+        cfg.record_events = true;
+        cfg.seed = 31;
+        SessionResult res = runSession(*game_, baseline, cfg);
+        auto replica = games::makeGame("ab_evolution");
+        profile_ = trace::Replayer::replay(res.trace, *replica);
+    }
+
+    std::unique_ptr<games::Game> game_;
+    trace::Profile profile_;
+};
+
+TEST_F(AnalysisTest, NaiveCurveMonotone)
+{
+    NaiveTableAnalysis naive(profile_, game_->schema());
+    ASSERT_FALSE(naive.curve().empty());
+    double prev_cov = -1.0;
+    uint64_t prev_entries = 0;
+    for (const auto &p : naive.curve()) {
+        EXPECT_GE(p.coverage, prev_cov);
+        EXPECT_GE(p.entries, prev_entries);
+        EXPECT_EQ(p.input_bytes, p.entries * naive.rowInputBytes());
+        prev_cov = p.coverage;
+        prev_entries = p.entries;
+    }
+    EXPECT_GT(naive.rowInputBytes(), 1000000u);  // ~1 MB rows
+}
+
+TEST_F(AnalysisTest, NaiveBytesForCoverage)
+{
+    NaiveTableAnalysis naive(profile_, game_->schema());
+    double final_cov = naive.finalCoverage();
+    if (final_cov > 0.005) {
+        EXPECT_GT(naive.bytesForCoverage(final_cov / 2), 0u);
+    }
+    EXPECT_EQ(naive.bytesForCoverage(0.999), 0u);
+}
+
+TEST_F(AnalysisTest, InEventTableSmallerButErroneous)
+{
+    InEventTableResult r =
+        analyzeInEventTable(profile_, game_->schema());
+    EXPECT_GT(r.entries, 0u);
+    EXPECT_LT(r.table_bytes, r.naive_bytes / 100);
+    EXPECT_GT(r.coverage, 0.02);
+    EXPECT_GT(r.erroneous_hit_fraction, 0.01);
+    double cat_sum = r.err_temp_only + r.err_history + r.err_extern;
+    EXPECT_NEAR(cat_sum, 1.0, 1e-9);
+}
+
+// -------------------------------------------------------- SnipModel
+
+TEST_F(AnalysisTest, BuildModelSelectsPerType)
+{
+    SnipModel model = buildSnipModel(profile_, *game_);
+    EXPECT_EQ(model.game, "ab_evolution");
+    EXPECT_GE(model.types.size(), 2u);
+    ASSERT_NE(model.table, nullptr);
+    EXPECT_GT(model.table->entryCount(), 10u);
+    EXPECT_GT(model.selectedBytes(), 0u);
+    // Selected sets must be small relative to the full record.
+    EXPECT_LT(model.selectedBytes(),
+              game_->schema().totalInputBytes() / 20);
+}
+
+TEST_F(AnalysisTest, DeveloperOverrideForcesField)
+{
+    SnipConfig cfg;
+    cfg.overrides.force_keep = {"drag.path"};  // a noise field
+    SnipModel model = buildSnipModel(profile_, *game_, cfg);
+    events::FieldId path = game_->schema().find("drag.path");
+    bool kept = false;
+    for (const auto &t : model.types) {
+        if (t.type != events::EventType::Drag)
+            continue;
+        kept = std::find(t.selection.selected.begin(),
+                         t.selection.selected.end(),
+                         path) != t.selection.selected.end();
+    }
+    EXPECT_TRUE(kept);
+}
+
+TEST_F(AnalysisTest, UnknownOverrideFatal)
+{
+    bool prev = util::setThrowOnError(true);
+    SnipConfig cfg;
+    cfg.overrides.force_keep = {"not.a.field"};
+    EXPECT_THROW(buildSnipModel(profile_, *game_, cfg),
+                 std::runtime_error);
+    util::setThrowOnError(prev);
+}
+
+TEST_F(AnalysisTest, SparseTypesLeftUndeployed)
+{
+    SnipConfig cfg;
+    cfg.min_records_per_type = 1u << 30;
+    SnipModel model = buildSnipModel(profile_, *game_, cfg);
+    EXPECT_TRUE(model.types.empty());
+    EXPECT_EQ(model.table->entryCount(), 0u);
+}
+
+// ------------------------------------------------------------ Schemes
+
+TEST(Schemes, BaselineNeverSkips)
+{
+    auto game = games::makeGame("colorphun");
+    BaselineScheme s;
+    util::Rng rng(1);
+    events::EventObject ev =
+        game->makeEvent(events::EventType::Touch, 0.0, rng);
+    games::HandlerExecution truth = game->process(ev);
+    Decision d = s.decide(*game, ev, truth);
+    EXPECT_FALSE(d.shortcircuit);
+    EXPECT_DOUBLE_EQ(d.cpu_skip_fraction, 0.0);
+    EXPECT_FALSE(d.skip_ips);
+}
+
+TEST(Schemes, MaxCpuSkipsOnRepeat)
+{
+    auto game = games::makeGame("colorphun");
+    MaxCpuScheme s;
+    util::Rng rng(2);
+    events::EventObject ev =
+        game->makeEvent(events::EventType::Touch, 0.0, rng);
+    games::HandlerExecution truth = game->process(ev);
+    Decision first = s.decide(*game, ev, truth);
+    EXPECT_DOUBLE_EQ(first.cpu_skip_fraction, 0.0);
+    s.observe(truth);
+    Decision second = s.decide(*game, ev, truth);
+    EXPECT_DOUBLE_EQ(second.cpu_skip_fraction,
+                     truth.maxcpu_fraction);
+    EXPECT_FALSE(second.shortcircuit);
+}
+
+TEST(Schemes, MaxIpSkipsIpsOnExactEventRepeat)
+{
+    auto game = games::makeGame("colorphun");
+    MaxIpScheme s;
+    util::Rng rng(3);
+    events::EventObject ev =
+        game->makeEvent(events::EventType::Touch, 0.0, rng);
+    games::HandlerExecution truth = game->process(ev);
+    Decision first = s.decide(*game, ev, truth);
+    EXPECT_FALSE(first.skip_ips);
+    Decision second = s.decide(*game, ev, truth);
+    EXPECT_TRUE(second.skip_ips);
+    EXPECT_LT(s.ipSleepTimeout(), BaselineScheme().ipSleepTimeout());
+}
+
+TEST(Schemes, SnipHitsAfterObserve)
+{
+    auto game = games::makeGame("colorphun");
+    // Empty-profile model with ground-truth selection.
+    SnipModel model;
+    model.game = game->name();
+    model.table = std::make_unique<MemoTable>(game->schema());
+    model.table->setSelected(
+        events::EventType::Touch,
+        game->necessaryInputIds(events::EventType::Touch));
+
+    SnipScheme s(model);
+    util::Rng rng(4);
+    events::EventObject ev =
+        game->makeEvent(events::EventType::Touch, 0.0, rng);
+    games::HandlerExecution truth = game->process(ev);
+    Decision miss = s.decide(*game, ev, truth);
+    EXPECT_FALSE(miss.shortcircuit);
+    s.observe(truth);  // online fill
+    Decision hit = s.decide(*game, ev, truth);
+    ASSERT_TRUE(hit.shortcircuit);
+    EXPECT_EQ(hit.outputs, truth.outputs);
+    EXPECT_GT(hit.lookup_bytes, 0u);
+}
+
+TEST(Schemes, NoOverheadsVariant)
+{
+    auto game = games::makeGame("colorphun");
+    SnipModel model;
+    model.game = game->name();
+    model.table = std::make_unique<MemoTable>(game->schema());
+    model.table->setSelected(
+        events::EventType::Touch,
+        game->necessaryInputIds(events::EventType::Touch));
+    auto s = makeScheme(SchemeKind::NoOverheads, &model);
+    EXPECT_EQ(s->kind(), SchemeKind::NoOverheads);
+    util::Rng rng(5);
+    events::EventObject ev =
+        game->makeEvent(events::EventType::Touch, 0.0, rng);
+    games::HandlerExecution truth = game->process(ev);
+    Decision d = s->decide(*game, ev, truth);
+    EXPECT_FALSE(d.charge_lookup);
+}
+
+TEST(Schemes, FactoryRequiresModelForSnip)
+{
+    bool prev = util::setThrowOnError(true);
+    EXPECT_THROW(makeScheme(SchemeKind::Snip, nullptr),
+                 std::runtime_error);
+    EXPECT_NO_THROW(makeScheme(SchemeKind::Baseline));
+    util::setThrowOnError(prev);
+}
+
+TEST(Schemes, Names)
+{
+    EXPECT_STREQ(schemeName(SchemeKind::Baseline), "Baseline");
+    EXPECT_STREQ(schemeName(SchemeKind::Snip), "SNIP");
+    EXPECT_STREQ(schemeName(SchemeKind::NoOverheads), "No Overheads");
+}
+
+// --------------------------------------------------------- Simulation
+
+TEST(Simulation, SessionStatsConsistent)
+{
+    auto game = games::makeGame("greenwall");
+    BaselineScheme baseline;
+    SimulationConfig cfg;
+    cfg.duration_s = 20.0;
+    SessionResult res = runSession(*game, baseline, cfg);
+    EXPECT_GT(res.stats.events, 100u);
+    EXPECT_EQ(res.stats.shortcircuits, 0u);
+    EXPECT_EQ(res.stats.instr_skipped, 0u);
+    EXPECT_GT(res.stats.instr_total, 0u);
+    EXPECT_GT(res.report.total(), 0.0);
+    EXPECT_NEAR(res.report.elapsed(), 20.0, 0.2);
+    EXPECT_DOUBLE_EQ(res.stats.errorFieldRate(), 0.0);
+}
+
+TEST(Simulation, RecordingCapturesAllEvents)
+{
+    auto game = games::makeGame("colorphun");
+    BaselineScheme baseline;
+    SimulationConfig cfg;
+    cfg.duration_s = 15.0;
+    cfg.record_events = true;
+    SessionResult res = runSession(*game, baseline, cfg);
+    EXPECT_EQ(res.trace.events.size(), res.stats.events);
+    EXPECT_EQ(res.trace.game, "colorphun");
+}
+
+TEST(Simulation, SameSeedSameEnergy)
+{
+    auto game = games::makeGame("candy_crush");
+    BaselineScheme a, b;
+    SimulationConfig cfg;
+    cfg.duration_s = 10.0;
+    cfg.seed = 777;
+    double e1 = runSession(*game, a, cfg).report.total();
+    double e2 = runSession(*game, b, cfg).report.total();
+    EXPECT_DOUBLE_EQ(e1, e2);
+}
+
+TEST(Simulation, DifferentSeedsDiffer)
+{
+    auto game = games::makeGame("candy_crush");
+    BaselineScheme a, b;
+    SimulationConfig cfg;
+    cfg.duration_s = 10.0;
+    cfg.seed = 1;
+    double e1 = runSession(*game, a, cfg).report.total();
+    cfg.seed = 2;
+    double e2 = runSession(*game, b, cfg).report.total();
+    EXPECT_NE(e1, e2);
+}
+
+TEST(Simulation, IdlePhoneCheaperThanAnyGame)
+{
+    soc::EnergyModel m = soc::EnergyModel::snapdragon821();
+    util::Power idle = idlePhonePower(m);
+    EXPECT_GT(idle, 0.3);
+    EXPECT_LT(idle, 1.0);
+}
+
+TEST(Simulation, InvalidDurationFatal)
+{
+    bool prev = util::setThrowOnError(true);
+    auto game = games::makeGame("colorphun");
+    BaselineScheme s;
+    SimulationConfig cfg;
+    cfg.duration_s = 0.0;
+    EXPECT_THROW(runSession(*game, s, cfg), std::runtime_error);
+    util::setThrowOnError(prev);
+}
+
+// ------------------------------------------------ ContinuousLearner
+
+TEST(ContinuousLearnerTest, ErrorDecaysAcrossEpochs)
+{
+    auto game = games::makeGame("ab_evolution");
+    auto replica = games::makeGame("ab_evolution");
+    LearningConfig cfg;
+    cfg.epochs = 8;
+    cfg.session_s = 8.0;
+    cfg.initial_profile_records = 20;
+    cfg.snip.min_records_per_type = 8;
+    ContinuousLearner learner(*game, *replica, cfg);
+    auto epochs = learner.run();
+    ASSERT_EQ(epochs.size(), 8u);
+    EXPECT_GT(epochs.front().error_field_rate, 0.02);
+    EXPECT_LT(epochs.back().error_field_rate,
+              epochs.front().error_field_rate / 2);
+    // Profile grows monotonically.
+    for (size_t i = 1; i < epochs.size(); ++i)
+        EXPECT_GT(epochs[i].profile_records,
+                  epochs[i - 1].profile_records);
+}
+
+TEST(ContinuousLearnerTest, MismatchedReplicaFatal)
+{
+    bool prev = util::setThrowOnError(true);
+    auto game = games::makeGame("colorphun");
+    auto replica = games::makeGame("race_kings");
+    EXPECT_THROW(ContinuousLearner(*game, *replica, {}),
+                 std::runtime_error);
+    util::setThrowOnError(prev);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace snip

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * End-to-end integration tests: the full profile -> PFI -> deploy ->
+ * evaluate pipeline per game, with shape assertions against the
+ * paper's reported bands (with generous tolerances — these are
+ * regression guards for the reproduction, not exact-number checks).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/simulation.h"
+#include "core/snip.h"
+#include "games/registry.h"
+#include "trace/field_stats.h"
+#include "trace/recorder.h"
+
+namespace snip {
+namespace core {
+namespace {
+
+/** One full pipeline evaluation of a game. */
+struct PipelineResult {
+    double baseline_energy = 0.0;
+    double snip_energy = 0.0;
+    double noover_energy = 0.0;
+    SessionStats snip_stats;
+    soc::EnergyReport baseline_report{{{"x",
+                                        soc::EnergyGroup::Platform,
+                                        0, 0}},
+                                      1.0};
+    trace::Profile profile;
+};
+
+PipelineResult
+runPipeline(const std::string &name, double profile_s = 300.0,
+            double eval_s = 30.0)
+{
+    auto game = games::makeGame(name);
+    BaselineScheme baseline;
+    SimulationConfig pcfg;
+    pcfg.duration_s = profile_s;
+    pcfg.record_events = true;
+    pcfg.seed = 77;
+    SessionResult prof = runSession(*game, baseline, pcfg);
+    auto replica = games::makeGame(name);
+    trace::Profile profile =
+        trace::Replayer::replay(prof.trace, *replica);
+
+    SimulationConfig ecfg;
+    ecfg.duration_s = eval_s;
+    ecfg.seed = 991;
+
+    PipelineResult out;
+    out.profile = profile;
+
+    SnipConfig scfg;
+    scfg.overrides.force_keep =
+        game->params().recommended_overrides;
+
+    {
+        BaselineScheme b;
+        SessionResult r = runSession(*game, b, ecfg);
+        out.baseline_energy = r.report.total();
+        out.baseline_report = r.report;
+    }
+    {
+        SnipModel model = buildSnipModel(profile, *game, scfg);
+        SnipScheme s(model);
+        SessionResult r = runSession(*game, s, ecfg);
+        out.snip_energy = r.report.total();
+        out.snip_stats = r.stats;
+    }
+    {
+        SnipModel model = buildSnipModel(profile, *game, scfg);
+        SnipScheme s(model, SnipRuntimeConfig{}, false);
+        SessionResult r = runSession(*game, s, ecfg);
+        out.noover_energy = r.report.total();
+    }
+    return out;
+}
+
+class PipelineTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(PipelineTest, SnipSavesMeaningfulEnergy)
+{
+    PipelineResult r = runPipeline(GetParam());
+    double savings = 1.0 - r.snip_energy / r.baseline_energy;
+    EXPECT_GT(savings, 0.10) << "SNIP should save >10% on "
+                             << GetParam();
+    EXPECT_LT(savings, 0.70);
+}
+
+TEST_P(PipelineTest, SchemeEnergyOrdering)
+{
+    PipelineResult r = runPipeline(GetParam());
+    // No-overheads SNIP <= SNIP <= Baseline.
+    EXPECT_LE(r.noover_energy, r.snip_energy * 1.001);
+    EXPECT_LT(r.snip_energy, r.baseline_energy);
+}
+
+TEST_P(PipelineTest, CoverageInPlausibleBand)
+{
+    PipelineResult r = runPipeline(GetParam());
+    double cov = r.snip_stats.coverageInstr();
+    EXPECT_GT(cov, 0.20) << GetParam();
+    EXPECT_LT(cov, 0.90) << GetParam();
+}
+
+TEST_P(PipelineTest, AlmostErrorFree)
+{
+    PipelineResult r = runPipeline(GetParam());
+    EXPECT_LT(r.snip_stats.errorFieldRate(), 0.02) << GetParam();
+}
+
+TEST_P(PipelineTest, ComponentBreakdownInPaperBands)
+{
+    PipelineResult r = runPipeline(GetParam(), 60.0, 20.0);
+    double cpu =
+        r.baseline_report.socGroupFraction(soc::EnergyGroup::Cpu);
+    double ips =
+        r.baseline_report.socGroupFraction(soc::EnergyGroup::Ips);
+    double small =
+        r.baseline_report.socGroupFraction(soc::EnergyGroup::Sensors) +
+        r.baseline_report.socGroupFraction(soc::EnergyGroup::Memory);
+    EXPECT_GT(cpu, 0.35) << GetParam();
+    EXPECT_LT(cpu, 0.65) << GetParam();
+    EXPECT_GT(ips, 0.28) << GetParam();
+    EXPECT_LT(ips, 0.58) << GetParam();
+    EXPECT_LT(small, 0.12) << GetParam();
+}
+
+TEST_P(PipelineTest, UselessEventsInPaperBand)
+{
+    PipelineResult r = runPipeline(GetParam(), 120.0, 20.0);
+    trace::FieldStatistics stats(
+        r.profile, games::makeGame(GetParam())->schema());
+    EXPECT_GT(stats.uselessFraction(), 0.08) << GetParam();
+    EXPECT_LT(stats.uselessFraction(), 0.55) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGames, PipelineTest,
+                         ::testing::ValuesIn(games::allGameNames()));
+
+TEST(IntegrationShape, BatteryLifeOrderingLightToHeavy)
+{
+    // Fig. 3's ordering: the lightest game outlives the heaviest by
+    // a wide margin.
+    SimulationConfig cfg;
+    cfg.duration_s = 40.0;
+    auto light = games::makeGame("colorphun");
+    auto heavy = games::makeGame("race_kings");
+    BaselineScheme a, b;
+    double p_light =
+        runSession(*light, a, cfg).report.averagePower();
+    double p_heavy =
+        runSession(*heavy, b, cfg).report.averagePower();
+    EXPECT_GT(p_heavy, p_light * 2.0);
+}
+
+TEST(IntegrationShape, SnipBeatsMaxCpuAndMaxIpEverywhere)
+{
+    // The paper's central comparison (Fig. 11a): end-to-end
+    // snipping dominates CPU-only and IP-only optimization.
+    for (const auto &name : games::allGameNames()) {
+        auto game = games::makeGame(name);
+        BaselineScheme baseline;
+        SimulationConfig pcfg;
+        pcfg.duration_s = 300.0;
+        pcfg.record_events = true;
+        pcfg.seed = 77;
+        SessionResult prof = runSession(*game, baseline, pcfg);
+        auto replica = games::makeGame(name);
+        trace::Profile profile =
+            trace::Replayer::replay(prof.trace, *replica);
+        SnipConfig scfg;
+        scfg.overrides.force_keep =
+            game->params().recommended_overrides;
+
+        SimulationConfig ecfg;
+        ecfg.duration_s = 25.0;
+        ecfg.seed = 991;
+
+        BaselineScheme b;
+        double e_base = runSession(*game, b, ecfg).report.total();
+        MaxCpuScheme mc;
+        double e_maxcpu = runSession(*game, mc, ecfg).report.total();
+        MaxIpScheme mi;
+        double e_maxip = runSession(*game, mi, ecfg).report.total();
+        SnipModel model = buildSnipModel(profile, *game, scfg);
+        SnipScheme snip(model);
+        double e_snip = runSession(*game, snip, ecfg).report.total();
+
+        EXPECT_LT(e_maxcpu, e_base) << name;
+        EXPECT_LT(e_maxip, e_base) << name;
+        EXPECT_LT(e_snip, e_maxcpu) << name;
+        EXPECT_LT(e_snip, e_maxip) << name;
+    }
+}
+
+TEST(IntegrationShape, MemoryGameIsTheOverheadOutlier)
+{
+    // Fig. 11c: Memory Game's wide necessary state makes its
+    // lookup overhead several times the other games'.
+    auto overhead = [](const std::string &name) {
+        auto game = games::makeGame(name);
+        BaselineScheme baseline;
+        SimulationConfig pcfg;
+        pcfg.duration_s = 300.0;
+        pcfg.record_events = true;
+        pcfg.seed = 77;
+        SessionResult prof = runSession(*game, baseline, pcfg);
+        auto replica = games::makeGame(name);
+        trace::Profile profile =
+            trace::Replayer::replay(prof.trace, *replica);
+        SnipConfig scfg;
+        scfg.overrides.force_keep =
+            game->params().recommended_overrides;
+        SnipModel model = buildSnipModel(profile, *game, scfg);
+        SnipScheme s(model);
+        SimulationConfig ecfg;
+        ecfg.duration_s = 25.0;
+        ecfg.seed = 991;
+        SessionResult r = runSession(*game, s, ecfg);
+        return r.stats.lookup_energy_j / r.report.total();
+    };
+    double memory = overhead("memory_game");
+    double colorphun = overhead("colorphun");
+    double abevo = overhead("ab_evolution");
+    EXPECT_GT(memory, 2.0 * colorphun);
+    EXPECT_GT(memory, 2.0 * abevo);
+    EXPECT_GT(memory, 0.04);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace snip

@@ -1,0 +1,390 @@
+/**
+ * @file
+ * Tests for the ML layer on synthetic data with known ground truth:
+ * dataset construction, the table predictor's exact-match
+ * semantics, decision tree / random forest learning, PFI importance
+ * ranking, and the necessary-input selector recovering planted
+ * necessary features.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "ml/dataset.h"
+#include "ml/decision_tree.h"
+#include "ml/feature_selection.h"
+#include "ml/pfi.h"
+#include "ml/random_forest.h"
+#include "ml/table_predictor.h"
+#include "util/rng.h"
+
+namespace snip {
+namespace ml {
+namespace {
+
+/**
+ * Synthetic world: inputs a (necessary, 4 values), b (necessary,
+ * 3 values), n (noise, 16 values), h (big noisy history blob).
+ * Output label = f(a, b). Returns records + schema.
+ */
+struct Synthetic {
+    events::FieldSchema schema;
+    events::FieldId fa, fb, fn, fh, out;
+    std::vector<games::HandlerExecution> records;
+
+    explicit Synthetic(size_t n_records, uint64_t seed = 1)
+    {
+        fa = schema.addInput("a", events::InputCategory::Event, 2);
+        fb = schema.addInput("b", events::InputCategory::History, 4);
+        fn = schema.addInput("n", events::InputCategory::Event, 8);
+        fh = schema.addInput("h", events::InputCategory::History,
+                             4096);
+        out = schema.addOutput("o", events::OutputCategory::History,
+                               8);
+        util::Rng rng(seed);
+        for (size_t i = 0; i < n_records; ++i) {
+            games::HandlerExecution r;
+            r.type = events::EventType::Touch;
+            r.seq = i;
+            uint64_t a = rng.uniformInt(0, 3);
+            uint64_t b = rng.uniformInt(0, 2);
+            uint64_t noise = rng.uniformInt(0, 15);
+            uint64_t blob = util::mix64(i);  // row-id-like feature
+            r.inputs = {{fa, a}, {fb, b}, {fn, noise}, {fh, blob}};
+            r.outputs = {{out, util::mixCombine(a * 31 + b, 7)}};
+            r.cpu_instructions = 1000;
+            records.push_back(std::move(r));
+        }
+    }
+
+    std::vector<const games::HandlerExecution *> ptrs() const
+    {
+        std::vector<const games::HandlerExecution *> p;
+        for (const auto &r : records)
+            p.push_back(&r);
+        return p;
+    }
+};
+
+// ------------------------------------------------------------ Dataset
+
+TEST(DatasetTest, ColumnsAndValues)
+{
+    Synthetic syn(50);
+    Dataset ds(syn.ptrs(), syn.schema);
+    EXPECT_EQ(ds.numRows(), 50u);
+    EXPECT_EQ(ds.numFeatures(), 4u);
+    size_t col_a = ds.columnOf(syn.fa);
+    ASSERT_NE(col_a, SIZE_MAX);
+    EXPECT_EQ(ds.featureField(col_a), syn.fa);
+    EXPECT_EQ(ds.value(0, col_a), syn.records[0].inputs[0].value);
+    EXPECT_EQ(ds.columnOf(9999), SIZE_MAX);
+    EXPECT_EQ(ds.weight(0), 1000u);
+    EXPECT_EQ(ds.totalWeight(), 50u * 1000u);
+}
+
+TEST(DatasetTest, AbsentMarkerForMissingFields)
+{
+    Synthetic syn(10);
+    // Remove field fn from half the records.
+    for (size_t i = 0; i < syn.records.size(); i += 2) {
+        auto &in = syn.records[i].inputs;
+        in.erase(in.begin() + 2);
+    }
+    Dataset ds(syn.ptrs(), syn.schema);
+    size_t col_n = ds.columnOf(syn.fn);
+    ASSERT_NE(col_n, SIZE_MAX);
+    EXPECT_EQ(ds.value(0, col_n), kAbsent);
+    EXPECT_NE(ds.value(1, col_n), kAbsent);
+}
+
+TEST(DatasetTest, LabelIsOutputSignature)
+{
+    Synthetic syn(30);
+    Dataset ds(syn.ptrs(), syn.schema);
+    for (size_t i = 0; i < ds.numRows(); ++i) {
+        EXPECT_EQ(ds.label(i),
+                  events::hashFields(syn.records[i].outputs));
+    }
+}
+
+TEST(DatasetTest, FeatureBytes)
+{
+    Synthetic syn(5);
+    Dataset ds(syn.ptrs(), syn.schema);
+    EXPECT_EQ(ds.featureBytes(ds.columnOf(syn.fh)), 4096u);
+    std::vector<size_t> all(ds.numFeatures());
+    for (size_t i = 0; i < all.size(); ++i)
+        all[i] = i;
+    EXPECT_EQ(ds.bytesOfColumns(all), 2u + 4u + 8u + 4096u);
+}
+
+// ----------------------------------------------------- TablePredictor
+
+TEST(TablePredictorTest, PerfectOnTrainingWithAllFeatures)
+{
+    Synthetic syn(200);
+    Dataset ds(syn.ptrs(), syn.schema);
+    std::vector<size_t> cols = {0, 1, 2, 3};
+    TablePredictor tp;
+    tp.train(ds, cols);
+    EXPECT_DOUBLE_EQ(weightedErrorRate(tp, ds), 0.0);
+}
+
+TEST(TablePredictorTest, NecessaryOnlyStillPerfect)
+{
+    Synthetic syn(200);
+    Dataset ds(syn.ptrs(), syn.schema);
+    std::vector<size_t> cols = {ds.columnOf(syn.fa),
+                                ds.columnOf(syn.fb)};
+    TablePredictor tp;
+    tp.train(ds, cols);
+    EXPECT_DOUBLE_EQ(weightedErrorRate(tp, ds), 0.0);
+    // 4 x 3 joint values -> at most 12 keys.
+    EXPECT_LE(tp.tableRows(), 12u);
+}
+
+TEST(TablePredictorTest, MissingNecessaryFeatureErrs)
+{
+    Synthetic syn(400);
+    Dataset ds(syn.ptrs(), syn.schema);
+    std::vector<size_t> cols = {ds.columnOf(syn.fb)};  // drop a
+    TablePredictor tp;
+    tp.train(ds, cols);
+    EXPECT_GT(weightedErrorRate(tp, ds), 0.3);
+    EXPECT_GT(tp.ambiguousWeightFraction(), 0.5);
+    EXPECT_GT(tp.meanLabelsPerKey(), 1.5);
+}
+
+TEST(TablePredictorTest, StrictLookupMissesUnseenKeys)
+{
+    Synthetic syn(20);
+    Dataset ds(syn.ptrs(), syn.schema);
+    std::vector<size_t> cols = {ds.columnOf(syn.fh)};  // row ids
+    std::vector<size_t> train_rows = {0, 1, 2, 3, 4};
+    TablePredictor tp;
+    tp.trainOnRows(ds, cols, train_rows);
+    uint64_t label;
+    EXPECT_TRUE(tp.lookupLabel(ds, 0, label));
+    EXPECT_FALSE(tp.lookupLabel(ds, 10, label));
+}
+
+TEST(TablePredictorTest, InsertRowFirstWins)
+{
+    Synthetic syn(20);
+    Dataset ds(syn.ptrs(), syn.schema);
+    std::vector<size_t> cols = {ds.columnOf(syn.fa),
+                                ds.columnOf(syn.fb)};
+    TablePredictor tp;
+    tp.trainOnRows(ds, cols, {});
+    tp.insertRow(ds, 3);
+    uint64_t label;
+    ASSERT_TRUE(tp.lookupLabel(ds, 3, label));
+    EXPECT_EQ(label, ds.label(3));
+    // Re-inserting a row with the same key does not overwrite.
+    size_t rows_before = tp.tableRows();
+    tp.insertRow(ds, 3);
+    EXPECT_EQ(tp.tableRows(), rows_before);
+}
+
+TEST(TablePredictorTest, PredictRowReturnsRepresentative)
+{
+    Synthetic syn(100);
+    Dataset ds(syn.ptrs(), syn.schema);
+    std::vector<size_t> cols = {ds.columnOf(syn.fa),
+                                ds.columnOf(syn.fb)};
+    TablePredictor tp;
+    tp.train(ds, cols);
+    size_t repr = tp.predictRow(ds, 7);
+    ASSERT_NE(repr, SIZE_MAX);
+    EXPECT_EQ(ds.label(repr), ds.label(7));
+}
+
+// ------------------------------------------------------ DecisionTree
+
+TEST(DecisionTreeTest, LearnsSeparableFunction)
+{
+    Synthetic syn(600);
+    Dataset ds(syn.ptrs(), syn.schema);
+    std::vector<size_t> cols = {ds.columnOf(syn.fa),
+                                ds.columnOf(syn.fb)};
+    DecisionTree tree;
+    tree.train(ds, cols);
+    EXPECT_LT(weightedErrorRate(tree, ds), 0.02);
+    EXPECT_GT(tree.nodeCount(), 3u);
+}
+
+TEST(DecisionTreeTest, RespectsMaxDepth)
+{
+    Synthetic syn(600);
+    Dataset ds(syn.ptrs(), syn.schema);
+    TreeConfig cfg;
+    cfg.max_depth = 1;
+    DecisionTree stump(cfg);
+    std::vector<size_t> cols = {ds.columnOf(syn.fa),
+                                ds.columnOf(syn.fb)};
+    stump.train(ds, cols);
+    EXPECT_LE(stump.nodeCount(), 3u);
+}
+
+TEST(DecisionTreeTest, OverrideValueChangesPath)
+{
+    Synthetic syn(600);
+    Dataset ds(syn.ptrs(), syn.schema);
+    std::vector<size_t> cols = {ds.columnOf(syn.fa),
+                                ds.columnOf(syn.fb)};
+    DecisionTree tree;
+    tree.train(ds, cols);
+    // Overriding the necessary column with varying values must
+    // produce at least two distinct predictions.
+    std::set<uint64_t> preds;
+    for (uint64_t v = 0; v < 4; ++v)
+        preds.insert(tree.predict(ds, 0, ds.columnOf(syn.fa), v));
+    EXPECT_GE(preds.size(), 2u);
+}
+
+// ------------------------------------------------------ RandomForest
+
+TEST(RandomForestTest, LearnsSeparableFunction)
+{
+    Synthetic syn(600);
+    Dataset ds(syn.ptrs(), syn.schema);
+    std::vector<size_t> cols = {0, 1, 2, 3};
+    ForestConfig cfg;
+    cfg.num_trees = 12;
+    RandomForest forest(cfg);
+    forest.train(ds, cols);
+    EXPECT_EQ(forest.treeCount(), 12u);
+    EXPECT_LT(weightedErrorRate(forest, ds), 0.1);
+}
+
+// ---------------------------------------------------------------- PFI
+
+TEST(PfiTest, NecessaryFeaturesRankAboveNoise)
+{
+    Synthetic syn(800);
+    Dataset ds(syn.ptrs(), syn.schema);
+    std::vector<size_t> cols = {ds.columnOf(syn.fa),
+                                ds.columnOf(syn.fb),
+                                ds.columnOf(syn.fn)};
+    TablePredictor tp;
+    tp.train(ds, cols);
+    PfiResult pfi = computePfi(tp, ds, cols);
+    EXPECT_DOUBLE_EQ(pfi.base_error, 0.0);
+    // Permuting a or b destroys predictions strictly more than
+    // permuting the (coarser) noise column would be expected to...
+    // with an exact-match table all permutations cause misses, but
+    // necessary columns additionally cause wrong outputs. Require
+    // they are at least comparable and positive.
+    EXPECT_GT(pfi.importance[0], 0.0);
+    EXPECT_GT(pfi.importance[1], 0.0);
+}
+
+TEST(PfiTest, DeterministicForSeed)
+{
+    Synthetic syn(300);
+    Dataset ds(syn.ptrs(), syn.schema);
+    std::vector<size_t> cols = {0, 1, 2};
+    TablePredictor tp;
+    tp.train(ds, cols);
+    PfiConfig cfg;
+    cfg.seed = 99;
+    PfiResult a = computePfi(tp, ds, cols, cfg);
+    PfiResult b = computePfi(tp, ds, cols, cfg);
+    EXPECT_EQ(a.importance, b.importance);
+}
+
+// ------------------------------------------------- FeatureSelection
+
+TEST(SelectionTest, RecoversPlantedNecessarySet)
+{
+    Synthetic syn(1200);
+    Dataset ds(syn.ptrs(), syn.schema);
+    SelectionConfig cfg;
+    cfg.max_error = 0.002;
+    cfg.max_conditional_error = 0.012;
+    SelectionResult r = selectNecessaryInputs(ds, cfg);
+    // Must keep a and b; must drop the 4 kB row-id blob.
+    EXPECT_NE(std::find(r.selected.begin(), r.selected.end(), syn.fa),
+              r.selected.end());
+    EXPECT_NE(std::find(r.selected.begin(), r.selected.end(), syn.fb),
+              r.selected.end());
+    EXPECT_EQ(std::find(r.selected.begin(), r.selected.end(), syn.fh),
+              r.selected.end());
+    EXPECT_LE(r.selected_bytes, 14u);
+    EXPECT_LE(r.selected_error, 0.002);
+    EXPECT_GT(r.selected_hit_rate, 0.8);
+}
+
+TEST(SelectionTest, CurveBytesMonotonicallyDecrease)
+{
+    Synthetic syn(400);
+    Dataset ds(syn.ptrs(), syn.schema);
+    SelectionResult r = selectNecessaryInputs(ds);
+    uint64_t prev = ~0ull;
+    for (const auto &step : r.curve) {
+        EXPECT_LT(step.remaining_bytes, prev);
+        prev = step.remaining_bytes;
+    }
+    EXPECT_FALSE(r.curve.empty());
+}
+
+TEST(SelectionTest, ForcedKeepHonored)
+{
+    Synthetic syn(400);
+    Dataset ds(syn.ptrs(), syn.schema);
+    SelectionConfig cfg;
+    cfg.forced_keep = {syn.fn};  // force the noise field
+    SelectionResult r = selectNecessaryInputs(ds, cfg);
+    EXPECT_NE(std::find(r.selected.begin(), r.selected.end(), syn.fn),
+              r.selected.end());
+}
+
+TEST(SelectionTest, TailExploresPastTheKnee)
+{
+    Synthetic syn(800);
+    Dataset ds(syn.ptrs(), syn.schema);
+    SelectionConfig cfg;
+    cfg.max_error = 0.002;
+    cfg.max_conditional_error = 0.012;
+    SelectionResult r = selectNecessaryInputs(ds, cfg);
+    // The exploratory tail must record at least one step whose
+    // error exceeds the budget (the Fig. 9 ramp).
+    bool past_knee = false;
+    for (const auto &s : r.curve)
+        past_knee |= (s.error > cfg.max_error);
+    EXPECT_TRUE(past_knee);
+}
+
+TEST(SelectionTest, TinyProfileStillTerminates)
+{
+    Synthetic syn(8);
+    Dataset ds(syn.ptrs(), syn.schema);
+    SelectionResult r = selectNecessaryInputs(ds);
+    EXPECT_FALSE(r.selected.empty());
+}
+
+// Parameterized: selection quality vs dataset size.
+class SelectionSizeTest : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(SelectionSizeTest, ErrorWithinBudget)
+{
+    Synthetic syn(GetParam(), GetParam() * 13 + 7);
+    Dataset ds(syn.ptrs(), syn.schema);
+    SelectionConfig cfg;
+    cfg.max_error = 0.002;
+    cfg.max_conditional_error = 0.012;
+    SelectionResult r = selectNecessaryInputs(ds, cfg);
+    EXPECT_LE(r.selected_error, cfg.max_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SelectionSizeTest,
+                         ::testing::Values(32, 100, 400, 1500));
+
+}  // namespace
+}  // namespace ml
+}  // namespace snip

@@ -1,0 +1,374 @@
+/**
+ * @file
+ * Unit tests for the SoC energy model: component busy/static
+ * accounting, sleep/wake transitions, CPU/memory/IP/sensor charging,
+ * the assembled Soc, battery, and report grouping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "soc/soc.h"
+#include "util/logging.h"
+
+namespace snip {
+namespace soc {
+namespace {
+
+EnergyModel
+model()
+{
+    return EnergyModel::snapdragon821();
+}
+
+// ---------------------------------------------------------- Component
+
+TEST(Component, StaticAccrualIdle)
+{
+    Component c("c", 1.0, 0.1, 0.01);
+    c.accrue(10.0);
+    EXPECT_DOUBLE_EQ(c.staticEnergy(), 1.0);  // 10 s at 0.1 W idle
+    EXPECT_DOUBLE_EQ(c.dynamicEnergy(), 0.0);
+}
+
+TEST(Component, BusyTimeAccruesAtActivePower)
+{
+    Component c("c", 1.0, 0.1, 0.01);
+    c.recordBusy(2.0);
+    c.accrue(10.0);
+    // 2 s active (1 W) + 8 s idle (0.1 W).
+    EXPECT_DOUBLE_EQ(c.staticEnergy(), 2.0 + 0.8);
+    EXPECT_DOUBLE_EQ(c.busyTime(), 2.0);
+}
+
+TEST(Component, BusyCarriesAcrossIntervals)
+{
+    Component c("c", 1.0, 0.0, 0.0);
+    c.recordBusy(3.0);
+    c.accrue(1.0);
+    c.accrue(1.0);
+    c.accrue(2.0);  // only 1 s of busy left here
+    EXPECT_DOUBLE_EQ(c.staticEnergy(), 3.0);
+    EXPECT_DOUBLE_EQ(c.busyTime(), 3.0);
+}
+
+TEST(Component, SleepFloorAndWakeEnergy)
+{
+    Component c("c", 1.0, 0.1, 0.01);
+    c.setWakeEnergy(0.5);
+    c.setSleeping(true);
+    c.accrue(10.0);
+    EXPECT_DOUBLE_EQ(c.staticEnergy(), 0.1);  // 10 s at sleep floor
+    EXPECT_EQ(c.wakeCount(), 0u);
+    c.setSleeping(false);
+    EXPECT_DOUBLE_EQ(c.dynamicEnergy(), 0.5);
+    EXPECT_EQ(c.wakeCount(), 1u);
+}
+
+TEST(Component, RecordBusyWakes)
+{
+    Component c("c", 1.0, 0.1, 0.01);
+    c.setWakeEnergy(0.25);
+    c.setSleeping(true);
+    c.recordBusy(1.0);
+    EXPECT_FALSE(c.sleeping());
+    EXPECT_DOUBLE_EQ(c.dynamicEnergy(), 0.25);
+}
+
+TEST(Component, RedundantSleepIsFree)
+{
+    Component c("c", 1.0, 0.1, 0.01);
+    c.setWakeEnergy(1.0);
+    c.setSleeping(true);
+    c.setSleeping(true);
+    c.setSleeping(false);
+    c.setSleeping(false);
+    EXPECT_EQ(c.wakeCount(), 1u);
+    EXPECT_DOUBLE_EQ(c.dynamicEnergy(), 1.0);
+}
+
+TEST(Component, ResetClearsEverything)
+{
+    Component c("c", 1.0, 0.1, 0.01);
+    c.recordBusy(1.0);
+    c.accrue(2.0);
+    c.reset();
+    EXPECT_DOUBLE_EQ(c.totalEnergy(), 0.0);
+    EXPECT_DOUBLE_EQ(c.busyTime(), 0.0);
+    EXPECT_FALSE(c.sleeping());
+}
+
+TEST(Component, NegativeInputsPanic)
+{
+    bool prev = util::setThrowOnError(true);
+    Component c("c", 1.0, 0.1, 0.01);
+    EXPECT_THROW(c.recordBusy(-1.0), std::runtime_error);
+    EXPECT_THROW(c.accrue(-1.0), std::runtime_error);
+    util::setThrowOnError(prev);
+}
+
+// ---------------------------------------------------------------- Cpu
+
+TEST(Cpu, ChargesPerInstruction)
+{
+    EnergyModel m = model();
+    Cpu cpu(m);
+    cpu.execute(1'000'000, CpuCluster::Big);
+    EXPECT_NEAR(cpu.dynamicEnergy(), m.cpu_big_instr_j * 1e6, 1e-12);
+    EXPECT_EQ(cpu.bigInstructions(), 1'000'000u);
+    EXPECT_EQ(cpu.totalInstructions(), 1'000'000u);
+}
+
+TEST(Cpu, LittleClusterCheaper)
+{
+    EnergyModel m = model();
+    Cpu big(m), little(m);
+    big.execute(1'000'000, CpuCluster::Big);
+    little.execute(1'000'000, CpuCluster::Little);
+    EXPECT_GT(big.dynamicEnergy(), little.dynamicEnergy());
+    EXPECT_EQ(little.littleInstructions(), 1'000'000u);
+}
+
+TEST(Cpu, BusyTimeFromThroughput)
+{
+    EnergyModel m = model();
+    Cpu cpu(m);
+    uint64_t instr = static_cast<uint64_t>(m.cpu_giga_ips * 1e9);
+    cpu.execute(instr, CpuCluster::Big);
+    cpu.accrue(2.0);
+    EXPECT_NEAR(cpu.busyTime(), 1.0, 1e-9);
+}
+
+TEST(Cpu, ZeroInstructionsNoCharge)
+{
+    Cpu cpu(model());
+    cpu.execute(0, CpuCluster::Big);
+    EXPECT_DOUBLE_EQ(cpu.dynamicEnergy(), 0.0);
+}
+
+// ------------------------------------------------------------ IpBlock
+
+TEST(IpBlock, ChargesPerWorkUnit)
+{
+    EnergyModel m = model();
+    IpBlock gpu(IpKind::Gpu, m.ip[static_cast<int>(IpKind::Gpu)]);
+    gpu.invoke(3.0);
+    EXPECT_NEAR(gpu.dynamicEnergy(),
+                3.0 * m.ip[static_cast<int>(IpKind::Gpu)].work_j,
+                1e-12);
+    EXPECT_EQ(gpu.invocations(), 1u);
+    EXPECT_DOUBLE_EQ(gpu.workUnits(), 3.0);
+}
+
+TEST(IpBlock, WakeOnInvoke)
+{
+    EnergyModel m = model();
+    IpBlock gpu(IpKind::Gpu, m.ip[static_cast<int>(IpKind::Gpu)]);
+    gpu.setSleeping(true);
+    gpu.invoke(1.0);
+    EXPECT_FALSE(gpu.sleeping());
+    EXPECT_EQ(gpu.wakeCount(), 1u);
+}
+
+TEST(IpBlock, NegativeWorkPanics)
+{
+    bool prev = util::setThrowOnError(true);
+    EnergyModel m = model();
+    IpBlock gpu(IpKind::Gpu, m.ip[static_cast<int>(IpKind::Gpu)]);
+    EXPECT_THROW(gpu.invoke(-1.0), std::runtime_error);
+    util::setThrowOnError(prev);
+}
+
+TEST(IpKindNames, AllNamed)
+{
+    for (int k = 0; k < kNumIpKinds; ++k) {
+        EXPECT_STRNE(ipKindName(static_cast<IpKind>(k)), "?");
+    }
+}
+
+// ------------------------------------------------------------- Memory
+
+TEST(Memory, ChargesPerByte)
+{
+    EnergyModel m = model();
+    Memory mem(m);
+    mem.access(1000);
+    EXPECT_NEAR(mem.dynamicEnergy(), 1000 * m.mem_byte_j, 1e-15);
+    EXPECT_EQ(mem.bytesMoved(), 1000u);
+}
+
+// ---------------------------------------------------------- SensorHub
+
+TEST(SensorHub, SamplesAndCamera)
+{
+    EnergyModel m = model();
+    SensorHubDevice hub(m);
+    hub.sample(10);
+    hub.captureCameraFrame();
+    EXPECT_EQ(hub.samplesTaken(), 10u);
+    EXPECT_EQ(hub.cameraFrames(), 1u);
+    EXPECT_NEAR(hub.dynamicEnergy(),
+                10 * m.sensor_sample_j + m.camera_frame_j, 1e-12);
+}
+
+// ------------------------------------------------------------ Battery
+
+TEST(Battery, DrainAndRemaining)
+{
+    Battery b(1000, 3.6);  // 12960 J
+    EXPECT_NEAR(b.capacity(), 12960.0, 0.1);
+    b.drain(6480.0);
+    EXPECT_NEAR(b.remainingFraction(), 0.5, 1e-9);
+    EXPECT_FALSE(b.empty());
+    b.drain(1e9);
+    EXPECT_TRUE(b.empty());
+    EXPECT_DOUBLE_EQ(b.remainingFraction(), 0.0);
+    b.recharge();
+    EXPECT_DOUBLE_EQ(b.remainingFraction(), 1.0);
+}
+
+TEST(Battery, HoursToEmpty)
+{
+    Battery b(3450, 3.85);
+    EXPECT_NEAR(b.hoursToEmpty(1.0), 13.28, 0.05);
+}
+
+// ---------------------------------------------------------------- Soc
+
+TEST(Soc, AdvanceAccruesAllComponents)
+{
+    Soc soc;
+    soc.setInUse(true);
+    soc.advance(1.0);
+    EXPECT_GT(soc.cpu().staticEnergy(), 0.0);
+    EXPECT_GT(soc.memory().staticEnergy(), 0.0);
+    EXPECT_GT(soc.platform().staticEnergy(), 0.0);
+    EXPECT_DOUBLE_EQ(soc.now(), 1.0);
+}
+
+TEST(Soc, ChargingRoutes)
+{
+    Soc soc;
+    soc.executeCpu(1000, CpuCluster::Big);
+    soc.accessMemory(64);
+    soc.sampleSensors(2);
+    soc.captureCameraFrame();
+    soc.invokeIp(IpKind::Dsp, 1.5);
+    EXPECT_GT(soc.cpu().dynamicEnergy(), 0.0);
+    EXPECT_GT(soc.memory().dynamicEnergy(), 0.0);
+    EXPECT_GT(soc.sensorHub().dynamicEnergy(), 0.0);
+    EXPECT_GT(soc.ip(IpKind::Dsp).dynamicEnergy(), 0.0);
+    EXPECT_DOUBLE_EQ(soc.ip(IpKind::Gpu).dynamicEnergy(), 0.0);
+}
+
+TEST(Soc, ResetZeroesEverything)
+{
+    Soc soc;
+    soc.executeCpu(1000, CpuCluster::Big);
+    soc.advance(1.0);
+    soc.reset();
+    EXPECT_DOUBLE_EQ(soc.now(), 0.0);
+    EXPECT_DOUBLE_EQ(soc.report().total(), 0.0);
+}
+
+TEST(Soc, ReportGroupsSumToTotal)
+{
+    Soc soc;
+    soc.setInUse(true);
+    soc.executeCpu(5'000'000, CpuCluster::Big);
+    soc.invokeIp(IpKind::Gpu, 2.0);
+    soc.accessMemory(4096);
+    soc.advance(0.5);
+    EnergyReport r = soc.report();
+    double groups = 0.0;
+    for (int g = 0; g < static_cast<int>(EnergyGroup::NumGroups); ++g)
+        groups += r.groupEnergy(static_cast<EnergyGroup>(g));
+    EXPECT_NEAR(groups, r.total(), 1e-9);
+}
+
+TEST(Soc, SocGroupFractionsSumToOne)
+{
+    Soc soc;
+    soc.setInUse(true);
+    soc.executeCpu(5'000'000, CpuCluster::Big);
+    soc.advance(0.5);
+    EnergyReport r = soc.report();
+    double f = r.socGroupFraction(EnergyGroup::Sensors) +
+               r.socGroupFraction(EnergyGroup::Memory) +
+               r.socGroupFraction(EnergyGroup::Cpu) +
+               r.socGroupFraction(EnergyGroup::Ips);
+    EXPECT_NEAR(f, 1.0, 1e-9);
+}
+
+TEST(Soc, InUseRaisesPlatformPower)
+{
+    Soc active, idle;
+    active.setInUse(true);
+    idle.setInUse(false);
+    active.advance(10.0);
+    idle.advance(10.0);
+    EXPECT_GT(active.platform().staticEnergy(),
+              idle.platform().staticEnergy());
+}
+
+TEST(Soc, AveragePower)
+{
+    Soc soc;
+    soc.setInUse(true);
+    soc.advance(10.0);
+    EnergyReport r = soc.report();
+    EXPECT_NEAR(r.averagePower(), r.total() / 10.0, 1e-9);
+}
+
+TEST(EnergyReportTest, ToStringMentionsComponents)
+{
+    Soc soc;
+    soc.advance(1.0);
+    std::string s = soc.report().toString();
+    EXPECT_NE(s.find("cpu"), std::string::npos);
+    EXPECT_NE(s.find("gpu"), std::string::npos);
+    EXPECT_NE(s.find("platform"), std::string::npos);
+}
+
+TEST(EnergyModelTest, DefaultsSane)
+{
+    EnergyModel m = model();
+    EXPECT_GT(m.cpu_big_instr_j, m.cpu_little_instr_j);
+    EXPECT_GT(m.cpu_giga_ips, 0.0);
+    EXPECT_GT(m.battery_mah, 0.0);
+    for (int k = 0; k < kNumIpKinds; ++k) {
+        EXPECT_GT(m.ip[k].work_j, 0.0) << ipKindName(
+            static_cast<IpKind>(k));
+        EXPECT_GE(m.ip[k].active_static_w, m.ip[k].idle_static_w);
+        EXPECT_GE(m.ip[k].idle_static_w, m.ip[k].sleep_static_w);
+        EXPECT_GT(m.ip[k].unit_time_s, 0.0);
+    }
+}
+
+// Parameterized: every IP kind wakes, charges, and sleeps correctly.
+class IpKindTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(IpKindTest, LifecycleInvariants)
+{
+    EnergyModel m = model();
+    auto kind = static_cast<IpKind>(GetParam());
+    IpBlock ip(kind, m.ip[GetParam()]);
+    EXPECT_EQ(ip.kind(), kind);
+    ip.setSleeping(true);
+    ip.accrue(1.0);
+    double sleep_static = ip.staticEnergy();
+    ip.invoke(1.0);
+    EXPECT_FALSE(ip.sleeping());
+    EXPECT_EQ(ip.wakeCount(), 1u);
+    ip.accrue(1.0);
+    EXPECT_GT(ip.staticEnergy(), sleep_static);
+    EXPECT_GT(ip.dynamicEnergy(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, IpKindTest,
+                         ::testing::Range(0, kNumIpKinds));
+
+}  // namespace
+}  // namespace soc
+}  // namespace snip

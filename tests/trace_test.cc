@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Tests for the trace layer: event recording, offline replay
+ * fidelity (the emulator must reproduce the on-device execution
+ * exactly), serialization round-trips, and profile statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/simulation.h"
+#include "games/registry.h"
+#include "trace/field_stats.h"
+#include "trace/recorder.h"
+#include "trace/trace_log.h"
+#include "util/logging.h"
+
+namespace snip {
+namespace trace {
+namespace {
+
+/** A short recorded baseline session of the given game. */
+core::SessionResult
+record(const std::string &game_name, games::Game &game,
+       double secs = 20.0)
+{
+    core::BaselineScheme baseline;
+    core::SimulationConfig cfg;
+    cfg.duration_s = secs;
+    cfg.record_events = true;
+    cfg.seed = 4242;
+    (void)game_name;
+    return core::runSession(game, baseline, cfg);
+}
+
+TEST(EventRecorderTest, CapturesEventsInOrder)
+{
+    EventRecorder rec("g");
+    events::EventObject a, b;
+    a.seq = 1;
+    b.seq = 2;
+    rec.onEvent(a);
+    rec.onEvent(b);
+    ASSERT_EQ(rec.size(), 2u);
+    EXPECT_EQ(rec.trace().events[0].seq, 1u);
+    EXPECT_EQ(rec.trace().events[1].seq, 2u);
+    rec.clear();
+    EXPECT_EQ(rec.size(), 0u);
+}
+
+TEST(ReplayerTest, ReplayMatchesLiveExecution)
+{
+    // The cloud replay must reproduce the on-device execution
+    // record-for-record: same inputs, outputs, and costs.
+    auto game = games::makeGame("colorphun");
+    core::SessionResult res = record("colorphun", *game);
+    ASSERT_GT(res.trace.events.size(), 20u);
+
+    auto replica = games::makeGame("colorphun");
+    Profile profile = Replayer::replay(res.trace, *replica);
+    ASSERT_EQ(profile.records.size(), res.trace.events.size());
+
+    // Re-replay gives identical records (determinism).
+    auto replica2 = games::makeGame("colorphun");
+    Profile again = Replayer::replay(res.trace, *replica2);
+    ASSERT_EQ(again.records.size(), profile.records.size());
+    for (size_t i = 0; i < profile.records.size(); ++i) {
+        EXPECT_EQ(profile.records[i].inputs, again.records[i].inputs);
+        EXPECT_EQ(profile.records[i].outputs,
+                  again.records[i].outputs);
+        EXPECT_EQ(profile.records[i].cpu_instructions,
+                  again.records[i].cpu_instructions);
+    }
+}
+
+TEST(ProfileTest, HelpersAndTruncation)
+{
+    auto game = games::makeGame("ab_evolution");
+    core::SessionResult res = record("ab_evolution", *game);
+    auto replica = games::makeGame("ab_evolution");
+    Profile p = Replayer::replay(res.trace, *replica);
+
+    EXPECT_GT(p.totalInstructions(), 0u);
+    auto types = p.typesPresent();
+    EXPECT_GE(types.size(), 2u);
+    size_t sum = 0;
+    for (auto t : types)
+        sum += p.ofType(t).size();
+    EXPECT_EQ(sum, p.records.size());
+
+    Profile t10 = p.truncated(10);
+    EXPECT_EQ(t10.records.size(), 10u);
+    Profile huge = p.truncated(1u << 30);
+    EXPECT_EQ(huge.records.size(), p.records.size());
+
+    size_t before = p.records.size();
+    p.append(t10);
+    EXPECT_EQ(p.records.size(), before + 10);
+}
+
+TEST(TraceLogTest, EventTraceRoundTrip)
+{
+    auto game = games::makeGame("greenwall");
+    core::SessionResult res = record("greenwall", *game, 10.0);
+
+    util::ByteBuffer buf;
+    encodeEventTrace(res.trace, buf);
+    buf.rewind();
+    EventTrace back = decodeEventTrace(buf);
+    EXPECT_EQ(back.game, res.trace.game);
+    ASSERT_EQ(back.events.size(), res.trace.events.size());
+    for (size_t i = 0; i < back.events.size(); ++i) {
+        EXPECT_EQ(back.events[i].type, res.trace.events[i].type);
+        EXPECT_EQ(back.events[i].seq, res.trace.events[i].seq);
+        EXPECT_EQ(back.events[i].fields, res.trace.events[i].fields);
+    }
+}
+
+TEST(TraceLogTest, ProfileRoundTrip)
+{
+    auto game = games::makeGame("greenwall");
+    core::SessionResult res = record("greenwall", *game, 10.0);
+    auto replica = games::makeGame("greenwall");
+    Profile p = Replayer::replay(res.trace, *replica);
+
+    util::ByteBuffer buf;
+    encodeProfile(p, buf);
+    buf.rewind();
+    Profile back = decodeProfile(buf);
+    ASSERT_EQ(back.records.size(), p.records.size());
+    for (size_t i = 0; i < p.records.size(); ++i) {
+        EXPECT_EQ(back.records[i].inputs, p.records[i].inputs);
+        EXPECT_EQ(back.records[i].outputs, p.records[i].outputs);
+        EXPECT_EQ(back.records[i].useless, p.records[i].useless);
+        EXPECT_EQ(back.records[i].cpu_instructions,
+                  p.records[i].cpu_instructions);
+        EXPECT_EQ(back.records[i].ip_calls.size(),
+                  p.records[i].ip_calls.size());
+    }
+}
+
+TEST(TraceLogTest, BadMagicFatal)
+{
+    bool prev = util::setThrowOnError(true);
+    util::ByteBuffer buf;
+    buf.putU32(0xdeadbeef);
+    buf.putU32(1);
+    buf.rewind();
+    EXPECT_THROW(decodeEventTrace(buf), std::runtime_error);
+    util::setThrowOnError(prev);
+}
+
+TEST(TraceLogTest, FileSaveLoadRoundTrip)
+{
+    util::ByteBuffer buf;
+    buf.putString("snip test payload");
+    std::string path = ::testing::TempDir() + "/snip_trace_test.bin";
+    saveBuffer(buf, path);
+    util::ByteBuffer loaded = loadBuffer(path);
+    EXPECT_EQ(loaded.data(), buf.data());
+    std::remove(path.c_str());
+}
+
+TEST(FieldStatisticsTest, CategoriesAccounted)
+{
+    auto game = games::makeGame("ab_evolution");
+    core::SessionResult res = record("ab_evolution", *game, 30.0);
+    auto replica = games::makeGame("ab_evolution");
+    Profile p = Replayer::replay(res.trace, *replica);
+
+    FieldStatistics stats(p, game->schema());
+    EXPECT_EQ(stats.recordCount(), p.records.size());
+    EXPECT_NEAR(stats.inEventPresence(), 1.0, 1e-9);
+    EXPECT_GT(stats.inHistoryPresence(), 0.5);
+    EXPECT_GT(stats.uselessFraction(), 0.05);
+    EXPECT_LT(stats.uselessFraction(), 0.7);
+    // In.Event sizes must be within the paper's 2-640 B envelope.
+    EXPECT_GE(stats.inEventSizes().minValue(), 2.0);
+    EXPECT_LE(stats.inEventSizes().maxValue(), 640.0);
+}
+
+TEST(FieldStatisticsTest, RecordBytesSplitsByCategory)
+{
+    auto game = games::makeGame("colorphun");
+    core::SessionResult res = record("colorphun", *game, 10.0);
+    auto replica = games::makeGame("colorphun");
+    Profile p = Replayer::replay(res.trace, *replica);
+    ASSERT_FALSE(p.records.empty());
+
+    for (const auto &rec : p.records) {
+        RecordBytes rb = recordBytes(rec, game->schema());
+        EXPECT_EQ(rb.inputs(),
+                  game->schema().bytesOf(rec.inputs));
+        EXPECT_EQ(rb.outputs(),
+                  game->schema().bytesOf(rec.outputs));
+        EXPECT_EQ(rb.in_event,
+                  events::eventObjectBytes(rec.type));
+    }
+}
+
+TEST(DynamicEnergy, MonotoneInWork)
+{
+    soc::EnergyModel m = soc::EnergyModel::snapdragon821();
+    games::HandlerExecution small, big;
+    small.cpu_instructions = 1'000'000;
+    small.memory_bytes = 1000;
+    big = small;
+    big.cpu_instructions = 10'000'000;
+    big.ip_calls.push_back({soc::IpKind::Gpu, 5.0});
+    EXPECT_GT(dynamicEnergyOf(big, m), dynamicEnergyOf(small, m));
+    EXPECT_GT(dynamicEnergyOf(small, m), 0.0);
+}
+
+}  // namespace
+}  // namespace trace
+}  // namespace snip

@@ -1,0 +1,497 @@
+/**
+ * @file
+ * Unit tests for the util layer: RNG determinism and distribution
+ * properties, byte buffers and hashing, statistics primitives,
+ * table/CSV rendering, and unit conversions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/bytes.h"
+#include "util/csv_writer.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+#include "util/units.h"
+
+namespace snip {
+namespace util {
+namespace {
+
+class ThrowOnErrorGuard
+{
+  public:
+    ThrowOnErrorGuard() { prev_ = setThrowOnError(true); }
+    ~ThrowOnErrorGuard() { setThrowOnError(prev_); }
+
+  private:
+    bool prev_;
+};
+
+// ---------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedRestartsSequence)
+{
+    Rng a(7);
+    uint64_t first = a.next();
+    a.next();
+    a.seed(7);
+    EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, UniformIntInRange)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        uint64_t v = rng.uniformInt(5, 17);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 17u);
+    }
+}
+
+TEST(Rng, UniformIntDegenerateRange)
+{
+    Rng rng(3);
+    EXPECT_EQ(rng.uniformInt(9, 9), 9u);
+}
+
+TEST(Rng, UniformIntCoversAllValues)
+{
+    Rng rng(11);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.uniformInt(0, 7));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformRealInUnitInterval)
+{
+    Rng rng(5);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double v = rng.uniformReal();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(1);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(9);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(13);
+    double sum = 0, sq = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        double v = rng.gaussian();
+        sum += v;
+        sq += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, GaussianScaled)
+{
+    Rng rng(14);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, LogNormalMedian)
+{
+    Rng rng(15);
+    std::vector<double> vals;
+    for (int i = 0; i < 20001; ++i)
+        vals.push_back(rng.logNormal(100.0, 0.5));
+    std::sort(vals.begin(), vals.end());
+    EXPECT_NEAR(vals[10000], 100.0, 5.0);
+}
+
+TEST(Rng, LogNormalRejectsNonPositiveMedian)
+{
+    ThrowOnErrorGuard guard;
+    Rng rng(1);
+    EXPECT_THROW(rng.logNormal(0.0, 1.0), std::runtime_error);
+}
+
+TEST(Rng, PermutationIsBijection)
+{
+    Rng rng(21);
+    auto p = rng.permutation(257);
+    std::set<size_t> seen(p.begin(), p.end());
+    EXPECT_EQ(seen.size(), 257u);
+    EXPECT_EQ(*seen.begin(), 0u);
+    EXPECT_EQ(*seen.rbegin(), 256u);
+}
+
+TEST(Rng, PermutationEmpty)
+{
+    Rng rng(1);
+    EXPECT_TRUE(rng.permutation(0).empty());
+}
+
+TEST(Rng, WeightedIndexRespectsWeights)
+{
+    Rng rng(31);
+    std::vector<double> w = {0.0, 1.0, 3.0};
+    int counts[3] = {};
+    for (int i = 0; i < 20000; ++i)
+        ++counts[rng.weightedIndex(w)];
+    EXPECT_EQ(counts[0], 0);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.3);
+}
+
+TEST(Rng, WeightedIndexRejectsAllZero)
+{
+    ThrowOnErrorGuard guard;
+    Rng rng(1);
+    std::vector<double> w = {0.0, 0.0};
+    EXPECT_THROW(rng.weightedIndex(w), std::runtime_error);
+}
+
+TEST(Rng, BurstLengthBounds)
+{
+    Rng rng(33);
+    for (int i = 0; i < 1000; ++i) {
+        uint64_t len = rng.burstLength(4.0, 10);
+        EXPECT_GE(len, 1u);
+        EXPECT_LE(len, 10u);
+    }
+}
+
+TEST(Rng, ForkDecorrelates)
+{
+    Rng a(55);
+    Rng child = a.fork(1);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == child.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Mix64, AvalancheOnSingleBit)
+{
+    uint64_t a = mix64(0x1234);
+    uint64_t b = mix64(0x1235);
+    int diff = __builtin_popcountll(a ^ b);
+    EXPECT_GT(diff, 16);
+}
+
+TEST(Mix64, CombineOrderSensitive)
+{
+    EXPECT_NE(mixCombine(1, 2), mixCombine(2, 1));
+}
+
+// -------------------------------------------------------------- bytes
+
+TEST(Fnv1a, KnownProperties)
+{
+    EXPECT_EQ(fnv1a("", 0), 0xcbf29ce484222325ULL);
+    EXPECT_NE(fnv1a(std::string("a")), fnv1a(std::string("b")));
+    EXPECT_EQ(fnv1a(std::string("hello")), fnv1a(std::string("hello")));
+}
+
+TEST(HashWords, OrderSensitive)
+{
+    EXPECT_NE(hashWords({1, 2}), hashWords({2, 1}));
+    EXPECT_NE(hashWords({1}), hashWords({1, 0}));
+}
+
+TEST(ByteBuffer, RoundTripPrimitives)
+{
+    ByteBuffer buf;
+    buf.putU8(0xab);
+    buf.putU32(0xdeadbeef);
+    buf.putU64(0x0123456789abcdefULL);
+    buf.putString("snip");
+    EXPECT_EQ(buf.getU8(), 0xab);
+    EXPECT_EQ(buf.getU32(), 0xdeadbeefu);
+    EXPECT_EQ(buf.getU64(), 0x0123456789abcdefULL);
+    EXPECT_EQ(buf.getString(), "snip");
+    EXPECT_EQ(buf.remaining(), 0u);
+}
+
+TEST(ByteBuffer, RewindRereads)
+{
+    ByteBuffer buf;
+    buf.putU32(7);
+    EXPECT_EQ(buf.getU32(), 7u);
+    buf.rewind();
+    EXPECT_EQ(buf.getU32(), 7u);
+}
+
+TEST(ByteBuffer, UnderrunPanics)
+{
+    ThrowOnErrorGuard guard;
+    ByteBuffer buf;
+    buf.putU8(1);
+    buf.getU8();
+    EXPECT_THROW(buf.getU8(), std::runtime_error);
+}
+
+TEST(ByteBuffer, HashChangesWithContent)
+{
+    ByteBuffer a, b;
+    a.putU32(1);
+    b.putU32(2);
+    EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(ToHex, Formats)
+{
+    uint8_t data[] = {0x00, 0xff, 0x1a};
+    EXPECT_EQ(toHex(data, 3), "00ff1a");
+}
+
+TEST(FormatSize, Scales)
+{
+    EXPECT_EQ(formatSize(640), "640 B");
+    EXPECT_EQ(formatSize(1536), "1.50 kB");
+    EXPECT_EQ(formatSize(5.0 * 1024 * 1024 * 1024), "5.00 GB");
+}
+
+// -------------------------------------------------------------- stats
+
+TEST(Summary, BasicMoments)
+{
+    Summary s;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Summary, MergeEqualsCombined)
+{
+    Summary a, b, all;
+    for (int i = 0; i < 10; ++i) {
+        double v = i * 1.7 - 3;
+        (i < 5 ? a : b).add(v);
+        all.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Summary, MergeWithEmpty)
+{
+    Summary a, empty;
+    a.add(5.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 1u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 5.0);
+}
+
+TEST(EmpiricalCdf, Quantiles)
+{
+    EmpiricalCdf cdf;
+    for (int i = 1; i <= 100; ++i)
+        cdf.add(i);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 50.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 100.0);
+    EXPECT_DOUBLE_EQ(cdf.minValue(), 1.0);
+    EXPECT_DOUBLE_EQ(cdf.maxValue(), 100.0);
+}
+
+TEST(EmpiricalCdf, CdfAt)
+{
+    EmpiricalCdf cdf;
+    for (int i = 1; i <= 10; ++i)
+        cdf.add(i);
+    EXPECT_DOUBLE_EQ(cdf.cdfAt(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(cdf.cdfAt(5.0), 0.5);
+    EXPECT_DOUBLE_EQ(cdf.cdfAt(10.0), 1.0);
+}
+
+TEST(EmpiricalCdf, EmptyPanics)
+{
+    ThrowOnErrorGuard guard;
+    EmpiricalCdf cdf;
+    EXPECT_THROW(cdf.quantile(0.5), std::runtime_error);
+}
+
+TEST(Log2Histogram, Buckets)
+{
+    Log2Histogram h;
+    h.add(1);
+    h.add(2);
+    h.add(3);
+    h.add(1024);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.buckets().at(1), 1u);
+    EXPECT_EQ(h.buckets().at(2), 2u);
+    EXPECT_EQ(h.buckets().at(1024), 1u);
+}
+
+TEST(CounterSet, IncrementAndRead)
+{
+    CounterSet c;
+    c.inc("a");
+    c.inc("a", 2);
+    EXPECT_EQ(c.get("a"), 3u);
+    EXPECT_EQ(c.get("missing"), 0u);
+}
+
+// ---------------------------------------------------- table / csv
+
+TEST(TablePrinter, AlignsColumns)
+{
+    TablePrinter t({"name", "value"});
+    t.addRow({"x", "1.5"});
+    t.addRow({"longer", "22.25"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    EXPECT_NE(out.find("22.25"), std::string::npos);
+}
+
+TEST(TablePrinter, RowArityMismatchPanics)
+{
+    ThrowOnErrorGuard guard;
+    TablePrinter t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only one"}), std::runtime_error);
+}
+
+TEST(TablePrinter, Formatters)
+{
+    EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::pct(0.5), "50.0%");
+    EXPECT_EQ(TablePrinter::pct(0.123456, 2), "12.35%");
+}
+
+TEST(CsvWriter, EscapesSpecials)
+{
+    std::ostringstream os;
+    CsvWriter csv(os, {"a", "b"});
+    csv.row({"plain", "with,comma"});
+    csv.row({"quote\"inside", "multi\nline"});
+    std::string out = os.str();
+    EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+    EXPECT_NE(out.find("\"quote\"\"inside\""), std::string::npos);
+    EXPECT_EQ(csv.rowsWritten(), 2u);
+}
+
+TEST(CsvWriter, ArityEnforced)
+{
+    ThrowOnErrorGuard guard;
+    std::ostringstream os;
+    CsvWriter csv(os, {"a"});
+    EXPECT_THROW(csv.row({"1", "2"}), std::runtime_error);
+}
+
+// -------------------------------------------------------------- units
+
+TEST(Units, BatteryCapacity)
+{
+    // 3450 mAh at 3.85 V = 3.45 * 3600 * 3.85 J.
+    EXPECT_NEAR(batteryCapacityJoules(3450, 3.85), 47816.0, 1.0);
+}
+
+TEST(Units, HoursToDrain)
+{
+    EXPECT_NEAR(hoursToDrain(3600.0, 1.0), 1.0, 1e-12);
+    EXPECT_NEAR(hoursToDrain(47816.0, 4.43), 3.0, 0.01);
+}
+
+TEST(Units, Conversions)
+{
+    EXPECT_DOUBLE_EQ(nanojoules(1e9), 1.0);
+    EXPECT_DOUBLE_EQ(millijoules(1000), 1.0);
+    EXPECT_DOUBLE_EQ(milliwatts(500), 0.5);
+    EXPECT_DOUBLE_EQ(hours(2), 7200.0);
+}
+
+TEST(Units, Formatters)
+{
+    EXPECT_EQ(formatEnergy(1500.0), "1.50 kJ");
+    EXPECT_EQ(formatEnergy(0.002), "2.00 mJ");
+    EXPECT_EQ(formatPower(0.5), "500 mW");
+    EXPECT_EQ(formatTime(7200.0), "2.00 h");
+    EXPECT_EQ(formatTime(0.0167), "16.70 ms");
+}
+
+TEST(Units, InvalidBatteryFatal)
+{
+    ThrowOnErrorGuard guard;
+    EXPECT_THROW(batteryCapacityJoules(0, 3.85), std::runtime_error);
+    EXPECT_THROW(hoursToDrain(100.0, 0.0), std::runtime_error);
+}
+
+// Parameterized sweep: uniformInt is unbiased across ranges.
+class RngRangeTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(RngRangeTest, UniformIntMeanIsCentered)
+{
+    uint64_t hi = GetParam();
+    Rng rng(hi * 7 + 1);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.uniformInt(0, hi));
+    double mean = sum / n;
+    double expect = static_cast<double>(hi) / 2.0;
+    EXPECT_NEAR(mean, expect, std::max(0.05, expect * 0.05));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, RngRangeTest,
+                         ::testing::Values(1, 2, 7, 16, 100, 1023,
+                                           65535));
+
+}  // namespace
+}  // namespace util
+}  // namespace snip

@@ -1,0 +1,38 @@
+#include <cstdio>
+#include "core/simulation.h"
+#include "core/snip.h"
+#include "games/registry.h"
+#include "trace/recorder.h"
+#include "trace/field_stats.h"
+#include "util/units.h"
+
+using namespace snip;
+
+int main() {
+    auto model = soc::EnergyModel::snapdragon821();
+    std::printf("idle power: %s -> %.1f h\n",
+        util::formatPower(core::idlePhonePower(model)).c_str(),
+        util::hoursToDrain(util::batteryCapacityJoules(3450), core::idlePhonePower(model)));
+    for (const auto &name : games::allGameNames()) {
+        auto game = games::makeGame(name);
+        core::BaselineScheme base;
+        core::SimulationConfig cfg;
+        cfg.duration_s = 60.0;
+        cfg.record_events = true;
+        auto res = core::runSession(*game, base, cfg);
+        auto replica = games::makeGame(name);
+        auto profile = trace::Replayer::replay(res.trace, *replica);
+        trace::FieldStatistics fs(profile, game->schema());
+        double p = res.report.averagePower();
+        std::printf("%-14s P=%.2fW h=%.1f cpu=%.0f%% ip=%.0f%% s+m=%.0f%% useless=%.0f%%/%.0f%%i rep=%.1f%% outred=%.0f%% ev=%llu\n",
+            name.c_str(), p,
+            util::hoursToDrain(util::batteryCapacityJoules(3450), p),
+            100*res.report.socGroupFraction(soc::EnergyGroup::Cpu),
+            100*res.report.socGroupFraction(soc::EnergyGroup::Ips),
+            100*(res.report.socGroupFraction(soc::EnergyGroup::Sensors)+res.report.socGroupFraction(soc::EnergyGroup::Memory)),
+            100*fs.uselessFraction(), 100*fs.uselessInstructionFraction(),
+            100*fs.exactRepeatFraction(), 100*fs.outputRedundancyFraction(),
+            (unsigned long long)res.stats.events);
+    }
+    return 0;
+}

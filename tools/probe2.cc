@@ -1,0 +1,51 @@
+#include <cstdio>
+#include "core/simulation.h"
+#include "core/snip.h"
+#include "games/registry.h"
+#include "trace/recorder.h"
+#include "util/bytes.h"
+
+using namespace snip;
+
+int main(int argc, char **argv) {
+    double profile_s = argc > 1 ? atof(argv[1]) : 120.0;
+    double eval_s = argc > 2 ? atof(argv[2]) : 90.0;
+    for (const auto &name : games::allGameNames()) {
+        auto game = games::makeGame(name);
+        // 1. profile session (baseline, recorded)
+        core::BaselineScheme base;
+        core::SimulationConfig pcfg; pcfg.duration_s = profile_s; pcfg.record_events = true; pcfg.seed = 77;
+        auto prof_res = core::runSession(*game, base, pcfg);
+        auto replica = games::makeGame(name);
+        auto profile = trace::Replayer::replay(prof_res.trace, *replica);
+        // 2. build model (with the game's recommended Option-1 overrides)
+        core::SnipConfig scfg0;
+        scfg0.overrides.force_keep = game->params().recommended_overrides;
+        auto model = core::buildSnipModel(profile, *game, scfg0);
+        uint64_t selbytes = 0; int ntypes = 0;
+        for (auto &t : model.types) { selbytes += t.selection.selected_bytes; ntypes++; }
+        // 3. eval sessions
+        core::SimulationConfig ecfg; ecfg.duration_s = eval_s; ecfg.seed = 991;
+        double eb = 0;
+        std::printf("%-14s seltypes=%d selbytes=%llu tbl=%s\n", name.c_str(), ntypes,
+                    (unsigned long long)selbytes, util::formatSize((double)model.table->totalBytes()).c_str());
+        for (auto kind : {core::SchemeKind::Baseline, core::SchemeKind::MaxCpu, core::SchemeKind::MaxIp,
+                          core::SchemeKind::Snip, core::SchemeKind::NoOverheads}) {
+            // fresh table copy per run? table is shared & mutated (hits/online fill). Rebuild for snip/noover.
+            auto m2 = core::buildSnipModel(profile, *game, scfg0);
+            auto scheme = core::makeScheme(kind, &m2);
+            auto res = core::runSession(*game, *scheme, ecfg);
+            double e = res.report.total();
+            if (kind == core::SchemeKind::Baseline) eb = e;
+            std::printf("  %-12s E=%7.1fJ save=%5.1f%% cov=%5.1f%% covIP=%5.1f%% sc=%llu/%llu errSC=%llu fieldErr=%.3f%% lookupE=%.2fJ cand/ev=%.0f bytes/ev=%s\n",
+                core::schemeName(kind), e, 100*(1-e/eb), 100*res.stats.coverageInstr(),
+                100*res.stats.coverageIpWork(),
+                (unsigned long long)res.stats.shortcircuits, (unsigned long long)res.stats.events,
+                (unsigned long long)res.stats.erroneous_shortcircuits,
+                100*res.stats.errorFieldRate(), res.stats.lookup_energy_j,
+                res.stats.events? (double)res.stats.lookup_candidates/res.stats.events : 0,
+                util::formatSize(res.stats.events? (double)res.stats.lookup_bytes/res.stats.events:0).c_str());
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,31 @@
+#include <cstdio>
+#include "core/simulation.h"
+#include "core/snip.h"
+#include "games/registry.h"
+#include "trace/recorder.h"
+
+using namespace snip;
+
+int main(int argc, char **argv) {
+    const char *gname = argc > 1 ? argv[1] : "ab_evolution";
+    auto game = games::makeGame(gname);
+    core::BaselineScheme base;
+    core::SimulationConfig pcfg; pcfg.duration_s = argc > 2 ? atof(argv[2]) : 60; pcfg.record_events = true; pcfg.seed = 77;
+    auto prof_res = core::runSession(*game, base, pcfg);
+    auto replica = games::makeGame(gname);
+    auto profile = trace::Replayer::replay(prof_res.trace, *replica);
+    auto model = core::buildSnipModel(profile, *game);
+    for (auto &t : model.types) {
+        std::printf("type %s: full_err=%.4f sel_err=%.4f sel_bytes=%llu fields:\n",
+            events::eventTypeName(t.type), t.selection.full_error, t.selection.selected_error,
+            (unsigned long long)t.selection.selected_bytes);
+        for (auto fid : t.selection.selected)
+            std::printf("   %s (%uB)\n", game->schema().def(fid).name.c_str(), game->schema().def(fid).size_bytes);
+        // ground truth
+        std::printf("   GROUND TRUTH:");
+        for (auto fid : game->necessaryInputIds(t.type))
+            std::printf(" %s", game->schema().def(fid).name.c_str());
+        std::printf("\n");
+    }
+    return 0;
+}
