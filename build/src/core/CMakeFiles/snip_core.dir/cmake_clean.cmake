@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snip_core.dir/continuous_learning.cc.o"
+  "CMakeFiles/snip_core.dir/continuous_learning.cc.o.d"
+  "CMakeFiles/snip_core.dir/federated.cc.o"
+  "CMakeFiles/snip_core.dir/federated.cc.o.d"
+  "CMakeFiles/snip_core.dir/lookup_table.cc.o"
+  "CMakeFiles/snip_core.dir/lookup_table.cc.o.d"
+  "CMakeFiles/snip_core.dir/memo_table.cc.o"
+  "CMakeFiles/snip_core.dir/memo_table.cc.o.d"
+  "CMakeFiles/snip_core.dir/output_diff.cc.o"
+  "CMakeFiles/snip_core.dir/output_diff.cc.o.d"
+  "CMakeFiles/snip_core.dir/qoe.cc.o"
+  "CMakeFiles/snip_core.dir/qoe.cc.o.d"
+  "CMakeFiles/snip_core.dir/scheme.cc.o"
+  "CMakeFiles/snip_core.dir/scheme.cc.o.d"
+  "CMakeFiles/snip_core.dir/simulation.cc.o"
+  "CMakeFiles/snip_core.dir/simulation.cc.o.d"
+  "CMakeFiles/snip_core.dir/snip.cc.o"
+  "CMakeFiles/snip_core.dir/snip.cc.o.d"
+  "libsnip_core.a"
+  "libsnip_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snip_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
