@@ -95,19 +95,26 @@ main(int argc, char **argv)
                  "table: only exact matches\n justify substituting "
                  "memoized outputs)\n\n";
 
-    // --- 2. error-budget sweep ---
+    // --- 2. error-budget sweep (each budget point is independent,
+    //        so the sweep fans out over the session workers) ---
     std::cout << "(2) selection error-budget sweep (drag events)\n";
     util::TablePrinter bud({"abs budget", "cond budget",
                             "selected bytes", "holdout hit rate",
                             "holdout wrong hits"});
     const double abs_budgets[] = {0.05, 0.01, 0.002, 0.0005};
-    for (double b : abs_budgets) {
+    constexpr size_t kNumBudgets =
+        sizeof(abs_budgets) / sizeof(abs_budgets[0]);
+    ml::SelectionResult bud_results[kNumBudgets];
+    opts.runner().forEach(kNumBudgets, [&](size_t i) {
         ml::SelectionConfig c;
-        c.max_error = b;
-        c.max_conditional_error = b * 6;
-        ml::SelectionResult r = ml::selectNecessaryInputs(ds, c);
-        bud.addRow({util::TablePrinter::pct(b, 2),
-                    util::TablePrinter::pct(b * 6, 2),
+        c.max_error = abs_budgets[i];
+        c.max_conditional_error = abs_budgets[i] * 6;
+        bud_results[i] = ml::selectNecessaryInputs(ds, c);
+    });
+    for (size_t i = 0; i < kNumBudgets; ++i) {
+        const ml::SelectionResult &r = bud_results[i];
+        bud.addRow({util::TablePrinter::pct(abs_budgets[i], 2),
+                    util::TablePrinter::pct(abs_budgets[i] * 6, 2),
                     util::formatSize(
                         static_cast<double>(r.selected_bytes)),
                     util::TablePrinter::pct(r.selected_hit_rate),
@@ -116,24 +123,36 @@ main(int argc, char **argv)
     bud.print(std::cout);
     std::cout << "\n";
 
-    // --- 3. profile-length sweep ---
+    // --- 3. profile-length sweep (parallel, same pattern) ---
     std::cout << "(3) profile-length sweep (drag events)\n";
     util::TablePrinter len({"records", "selected fields",
                             "selected bytes", "wrong hits"});
     const size_t fractions[] = {20, 60, 200, 1000, SIZE_MAX};
-    for (size_t n : fractions) {
+    constexpr size_t kNumFractions =
+        sizeof(fractions) / sizeof(fractions[0]);
+    struct LenRow {
+        size_t rows = 0;
+        ml::SelectionResult r;
+    };
+    LenRow len_results[kNumFractions];
+    opts.runner().forEach(kNumFractions, [&](size_t i) {
         auto recs = pg.profile.ofType(events::EventType::Drag);
-        if (n != SIZE_MAX && recs.size() > n)
-            recs.resize(n);
+        if (fractions[i] != SIZE_MAX && recs.size() > fractions[i])
+            recs.resize(fractions[i]);
         if (recs.size() < 16)
-            continue;
+            return;
         ml::Dataset d2(std::move(recs), schema);
-        ml::SelectionResult r = ml::selectNecessaryInputs(d2, scfg);
-        len.addRow({std::to_string(d2.numRows()),
-                    std::to_string(r.selected.size()),
+        len_results[i].rows = d2.numRows();
+        len_results[i].r = ml::selectNecessaryInputs(d2, scfg);
+    });
+    for (const LenRow &lr : len_results) {
+        if (lr.rows == 0)
+            continue;
+        len.addRow({std::to_string(lr.rows),
+                    std::to_string(lr.r.selected.size()),
                     util::formatSize(
-                        static_cast<double>(r.selected_bytes)),
-                    util::TablePrinter::pct(r.selected_error, 3)});
+                        static_cast<double>(lr.r.selected_bytes)),
+                    util::TablePrinter::pct(lr.r.selected_error, 3)});
     }
     len.print(std::cout);
     std::cout << "(small profiles under-select: the Fig. 12 "

@@ -27,13 +27,23 @@ main(int argc, char **argv)
     util::TablePrinter table({"game", "baseline", "low-fi sensors",
                               "sensor saving", "SNIP saving"});
 
-    for (const auto &name : games::allGameNames()) {
-        bench::ProfiledGame pg = bench::profileGame(name, opts);
+    // Each game's profile + three evaluation sessions form one
+    // independent task; the catalog runs in parallel.
+    const auto &names = games::allGameNames();
+    struct Row {
+        std::string display;
+        double e_base = 0.0, e_lofi = 0.0, e_snip = 0.0;
+    };
+    std::vector<Row> rows(names.size());
+    opts.runner().forEach(names.size(), [&](size_t i) {
+        bench::ProfiledGame pg = bench::profileGame(names[i], opts);
         core::SimulationConfig ecfg = bench::evalConfig(opts);
+        Row &row = rows[i];
+        row.display = pg.game->displayName();
 
         core::BaselineScheme b1;
-        double e_base = core::runSession(*pg.game, b1, ecfg)
-                            .report.total();
+        row.e_base = core::runSession(*pg.game, b1, ecfg)
+                         .report.total();
 
         // Low-fidelity mode: halve sensor sampling and camera
         // capture energy (an optimistic bound on [13]-style
@@ -42,21 +52,23 @@ main(int argc, char **argv)
         lofi.model.sensor_sample_j *= 0.5;
         lofi.model.camera_frame_j *= 0.5;
         core::BaselineScheme b2;
-        double e_lofi =
+        row.e_lofi =
             core::runSession(*pg.game, b2, lofi).report.total();
 
         core::SnipModel model = bench::buildModel(pg, opts);
         core::SnipScheme snip(model);
-        double e_snip = core::runSession(*pg.game, snip, ecfg)
-                            .report.total();
+        row.e_snip = core::runSession(*pg.game, snip, ecfg)
+                         .report.total();
+    });
 
-        table.addRow({pg.game->displayName(),
-                      util::formatEnergy(e_base),
-                      util::formatEnergy(e_lofi),
-                      util::TablePrinter::pct(1.0 - e_lofi / e_base,
-                                              2),
-                      util::TablePrinter::pct(1.0 - e_snip / e_base,
-                                              1)});
+    for (const Row &row : rows) {
+        table.addRow({row.display,
+                      util::formatEnergy(row.e_base),
+                      util::formatEnergy(row.e_lofi),
+                      util::TablePrinter::pct(
+                          1.0 - row.e_lofi / row.e_base, 2),
+                      util::TablePrinter::pct(
+                          1.0 - row.e_snip / row.e_base, 1)});
     }
     table.print(std::cout);
     std::cout << "\n(paper §II-C: \"the drawback ... is that our "

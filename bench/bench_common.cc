@@ -20,9 +20,16 @@ parseOptions(int argc, char **argv)
             opts.csv_path = argv[++i];
         } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
             opts.seed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--threads") == 0 &&
+                   i + 1 < argc) {
+            opts.threads = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 0));
+            if (opts.threads == 0)
+                util::fatal("--threads must be >= 1");
         } else {
             util::fatal("unknown argument '%s' (expected --quick, "
-                        "--csv <path>, --seed <n>)", argv[i]);
+                        "--csv <path>, --seed <n>, --threads <n>)",
+                        argv[i]);
         }
     }
     return opts;
@@ -46,6 +53,17 @@ profileGame(const std::string &game_name, const BenchOptions &opts,
     auto replica = games::makeGame(game_name);
     pg.profile = trace::Replayer::replay(res.trace, *replica);
     return pg;
+}
+
+std::vector<ProfiledGame>
+profileAllGames(const BenchOptions &opts, double profile_s)
+{
+    const auto &names = games::allGameNames();
+    std::vector<ProfiledGame> pgs(names.size());
+    opts.runner().forEach(names.size(), [&](size_t i) {
+        pgs[i] = profileGame(names[i], opts, profile_s);
+    });
+    return pgs;
 }
 
 core::SnipModel

@@ -8,6 +8,9 @@
  *   --quick          shorter sessions (CI-friendly)
  *   --csv <path>     also dump the series as CSV
  *   --seed <n>       override the default seed
+ *   --threads <n>    session-level worker threads (default: all
+ *                    cores, or SNIP_THREADS); results are bitwise
+ *                    independent of the thread count
  */
 
 #ifndef SNIP_BENCH_BENCH_COMMON_H
@@ -17,6 +20,7 @@
 #include <memory>
 #include <string>
 
+#include "core/parallel_runner.h"
 #include "core/simulation.h"
 #include "core/snip.h"
 #include "games/registry.h"
@@ -30,11 +34,19 @@ struct BenchOptions {
     bool quick = false;
     std::string csv_path;
     uint64_t seed = 77;
+    /** Worker threads for independent sessions (0 = default). */
+    unsigned threads = 0;
 
     /** Profiling session length (s). */
     double profileSeconds() const { return quick ? 90.0 : 300.0; }
     /** Evaluation session length (s). */
     double evalSeconds() const { return quick ? 30.0 : 60.0; }
+
+    /** Session-parallel runner configured by --threads. */
+    core::ParallelRunner runner() const
+    {
+        return core::ParallelRunner(threads);
+    }
 };
 
 /** Parse the common options; fatal() on unknown arguments. */
@@ -55,6 +67,14 @@ struct ProfiledGame {
 ProfiledGame profileGame(const std::string &game_name,
                          const BenchOptions &opts,
                          double profile_s = 0.0);
+
+/**
+ * Profile every catalog game (one parallel task per game), returned
+ * in games::allGameNames() order. Identical to calling profileGame()
+ * serially for each name.
+ */
+std::vector<ProfiledGame> profileAllGames(const BenchOptions &opts,
+                                          double profile_s = 0.0);
 
 /**
  * Build the deployable SNIP model for a profiled game using the

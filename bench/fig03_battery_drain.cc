@@ -46,21 +46,33 @@ main(int argc, char **argv)
         csv->row({"idle", std::to_string(idle_w),
                   std::to_string(idle_h)});
 
-    for (const auto &name : games::allGameNames()) {
-        auto game = games::makeGame(name);
-        core::BaselineScheme baseline;
-        core::SimulationConfig cfg = bench::evalConfig(opts);
-        cfg.duration_s = opts.profileSeconds() / 2;
-        core::SessionResult res =
-            core::runSession(*game, baseline, cfg);
-        util::Power p = res.report.averagePower();
+    // One independent baseline session per game — run the whole
+    // catalog in parallel, then print rows in catalog order.
+    const auto &names = games::allGameNames();
+    std::vector<core::SessionSpec> specs;
+    for (const auto &name : names) {
+        core::SessionSpec spec;
+        spec.make_game = [name] { return games::makeGame(name); };
+        spec.make_scheme = [](games::Game &) {
+            return std::make_unique<core::BaselineScheme>();
+        };
+        spec.cfg = bench::evalConfig(opts);
+        spec.cfg.duration_s = opts.profileSeconds() / 2;
+        specs.push_back(std::move(spec));
+    }
+    std::vector<core::SessionResult> results =
+        opts.runner().runSessions(specs);
+
+    for (size_t i = 0; i < names.size(); ++i) {
+        auto game = games::makeGame(names[i]);
+        util::Power p = results[i].report.averagePower();
         double h = battery.hoursToEmpty(p);
         char speedup[32];
         std::snprintf(speedup, sizeof(speedup), "%.1fx", idle_h / h);
         table.addRow({game->displayName(), util::formatPower(p),
                       util::TablePrinter::num(h, 1), speedup});
         if (csv)
-            csv->row({name, std::to_string(p), std::to_string(h)});
+            csv->row({names[i], std::to_string(p), std::to_string(h)});
     }
     table.print(std::cout);
     std::cout << "\npaper anchors: idle ~20 h; lightest game ~8.5 h; "

@@ -55,9 +55,40 @@ main(int argc, char **argv)
     double save_sum = 0.0, cov_sum = 0.0, extra_h_sum = 0.0;
     int n_games = 0;
 
-    for (const auto &name : games::allGameNames()) {
-        bench::ProfiledGame pg = bench::profileGame(name, opts);
+    const core::SchemeKind kinds[] = {
+        core::SchemeKind::Baseline, core::SchemeKind::MaxCpu,
+        core::SchemeKind::MaxIp, core::SchemeKind::Snip,
+        core::SchemeKind::NoOverheads};
+    constexpr size_t kNumKinds = 5;
+
+    // Phase 1: profile every game in parallel. Phase 2: every
+    // (game, scheme) evaluation session is an independent task —
+    // its own game clone and its own freshly built model (the table
+    // mutates via online fill during evaluation) — so per-session
+    // stats are bitwise identical for any --threads value.
+    core::ParallelRunner runner = opts.runner();
+    std::vector<bench::ProfiledGame> pgs = bench::profileAllGames(opts);
+
+    struct SchemeRun {
+        core::SessionResult res;
+        uint64_t table_bytes = 0;
+    };
+    const auto &names = games::allGameNames();
+    std::vector<SchemeRun> evals(names.size() * kNumKinds);
+    runner.forEach(evals.size(), [&](size_t i) {
+        const bench::ProfiledGame &pg = pgs[i / kNumKinds];
+        core::SchemeKind kind = kinds[i % kNumKinds];
         core::SimulationConfig ecfg = bench::evalConfig(opts);
+        core::SnipModel model = bench::buildModel(pg, opts);
+        auto game = games::makeGame(pg.game->name());
+        auto scheme = core::makeScheme(kind, &model);
+        evals[i].res = core::runSession(*game, *scheme, ecfg);
+        evals[i].table_bytes = model.table->totalBytes();
+    });
+
+    for (size_t g = 0; g < names.size(); ++g) {
+        const std::string &name = names[g];
+        const bench::ProfiledGame &pg = pgs[g];
 
         double baseline_e = 0.0, baseline_p = 0.0;
         double row_save[4] = {};
@@ -67,17 +98,9 @@ main(int argc, char **argv)
         double cand_per_ev = 0.0, bytes_per_ev = 0.0;
         uint64_t table_bytes = 0;
 
-        const core::SchemeKind kinds[] = {
-            core::SchemeKind::Baseline, core::SchemeKind::MaxCpu,
-            core::SchemeKind::MaxIp, core::SchemeKind::Snip,
-            core::SchemeKind::NoOverheads};
-        for (int k = 0; k < 5; ++k) {
-            // Fresh model per scheme run: the table mutates (online
-            // fill) during evaluation.
-            core::SnipModel model = bench::buildModel(pg, opts);
-            auto scheme = core::makeScheme(kinds[k], &model);
-            core::SessionResult res =
-                core::runSession(*pg.game, *scheme, ecfg);
+        for (size_t k = 0; k < kNumKinds; ++k) {
+            const SchemeRun &run = evals[g * kNumKinds + k];
+            const core::SessionResult &res = run.res;
             double e = res.report.total();
             if (k == 0) {
                 baseline_e = e;
@@ -103,7 +126,7 @@ main(int argc, char **argv)
                 bytes_per_ev =
                     static_cast<double>(res.stats.lookup_bytes) /
                     static_cast<double>(res.stats.events);
-                table_bytes = model.table->totalBytes();
+                table_bytes = run.table_bytes;
                 break;
               default:
                 break;

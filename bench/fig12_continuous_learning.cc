@@ -9,6 +9,7 @@
  * within ~40 training epochs.
  */
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 
@@ -29,9 +30,6 @@ main(int argc, char **argv)
         "Fig. 12 — ~40% erroneous output fields initially, < 0.1% "
         "within ~40 epochs of record/replay/re-learn");
 
-    auto game = games::makeGame("ab_evolution");
-    auto replica = games::makeGame("ab_evolution");
-
     core::LearningConfig cfg;
     cfg.epochs = opts.quick ? 16 : 48;
     cfg.session_s = opts.quick ? 8.0 : 10.0;
@@ -41,8 +39,24 @@ main(int argc, char **argv)
     cfg.snip.seed = opts.seed;
     cfg.sim.seed = opts.seed;
 
-    core::ContinuousLearner learner(*game, *replica, cfg);
-    std::vector<core::EpochResult> epochs = learner.run();
+    // The epochs of one trajectory are inherently sequential (each
+    // session's events feed the next re-learn), but independent
+    // trajectories are not: run the paper's ungated learner and the
+    // confidence-gated variant (§V-B, withhold deployment until the
+    // tested error clears the gate) side by side.
+    core::LearningConfig gated_cfg = cfg;
+    gated_cfg.confidence_gate = true;
+
+    const core::LearningConfig *cfgs[] = {&cfg, &gated_cfg};
+    std::vector<core::EpochResult> trajectories[2];
+    opts.runner().forEach(2, [&](size_t i) {
+        auto game = games::makeGame("ab_evolution");
+        auto replica = games::makeGame("ab_evolution");
+        core::ContinuousLearner learner(*game, *replica, *cfgs[i]);
+        trajectories[i] = learner.run();
+    });
+    const std::vector<core::EpochResult> &epochs = trajectories[0];
+    const std::vector<core::EpochResult> &gated = trajectories[1];
 
     util::TablePrinter table({"epoch", "profile records",
                               "table size", "% erroneous fields",
@@ -99,5 +113,23 @@ main(int argc, char **argv)
         std::cout << ", first epoch below 0.1%: " << converged_at
                   << " [paper ~40]";
     std::cout << "\n";
+
+    // Confidence-gate comparison: worst user-visible epoch error
+    // with and without withholding deployment early on.
+    double worst_ungated = 0.0, worst_gated = 0.0;
+    int gate_deployed_at = -1;
+    for (const auto &e : epochs)
+        worst_ungated = std::max(worst_ungated, e.error_field_rate);
+    for (const auto &e : gated) {
+        worst_gated = std::max(worst_gated, e.error_field_rate);
+        if (gate_deployed_at < 0 && e.deployed)
+            gate_deployed_at = e.epoch;
+    }
+    std::cout << "confidence gate: worst epoch error "
+              << util::TablePrinter::pct(worst_ungated, 2)
+              << " ungated vs "
+              << util::TablePrinter::pct(worst_gated, 2)
+              << " gated (first deployed epoch "
+              << gate_deployed_at << ")\n";
     return 0;
 }

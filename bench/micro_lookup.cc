@@ -4,17 +4,74 @@
  * MemoTable lookup (hash + candidate compare) and insert, across
  * table sizes, plus the handler-execution ground-truth computation
  * the simulator performs per event.
+ *
+ * The lookup benchmarks run single- and multi-threaded against ONE
+ * shared const table (the concurrency contract the simulator's
+ * parallel session runner relies on) and report:
+ *   - items_per_second per thread count (the scaling trajectory);
+ *   - allocs_per_iter, counted by a global counting allocator, to
+ *     prove the scratch-based hit path does zero heap allocations.
+ *
+ * Unless the caller passes its own --benchmark_out, results are
+ * also written as JSON to BENCH_micro_lookup.json.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
+
 #include "core/memo_table.h"
+#include "core/simulation.h"
 #include "core/snip.h"
 #include "games/registry.h"
 #include "trace/recorder.h"
-#include "core/simulation.h"
 
 using namespace snip;
+
+// ------------------------------------------------ counting allocator
+// Global operator new/delete instrumentation: cheap relaxed atomic,
+// good enough to assert "zero allocations per lookup" on the hot
+// path (any alloc anywhere in the process inflates the count, which
+// only makes the zero-allocation claim stronger).
+//
+// GCC flags malloc-backed replacement allocators as mismatched with
+// the deletes it inlines elsewhere in the TU; the pair below is
+// consistent (new->malloc, delete->free), so silence it.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+namespace {
+std::atomic<uint64_t> g_allocs{0};
+}
+
+void *
+operator new(size_t size)
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](size_t size)
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete(void *p, size_t) noexcept { std::free(p); }
+void operator delete[](void *p, size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -50,23 +107,54 @@ fixture()
     return f;
 }
 
+/**
+ * The hot path as the runtime drives it: per-caller scratch, shared
+ * const table, shared const game (all reads). With ->Threads(N),
+ * N threads hammer the same table concurrently; items_per_second is
+ * the aggregate lookup throughput.
+ */
 void
 BM_MemoTableLookup(benchmark::State &state)
 {
     Fixture &f = fixture();
-    size_t i = 0;
+    const core::MemoTable &table = *f.model.table;
+    const games::Game &game = *f.game;
+    core::LookupScratch scratch;
+    // Stride the event stream by thread so threads don't walk in
+    // lockstep; warm the scratch before counting allocations.
+    size_t i = static_cast<size_t>(state.thread_index()) * 7919;
+    core::MemoLookup warm =
+        table.lookup(f.events[i % f.events.size()], game, scratch);
+    benchmark::DoNotOptimize(warm);
+
     uint64_t hits = 0;
+    uint64_t allocs_before = g_allocs.load(std::memory_order_relaxed);
     for (auto _ : state) {
         const auto &ev = f.events[i++ % f.events.size()];
-        core::MemoLookup res = f.model.table->lookup(ev, *f.game);
+        core::MemoLookup res = table.lookup(ev, game, scratch);
         hits += res.hit;
         benchmark::DoNotOptimize(res);
     }
+    uint64_t allocs =
+        g_allocs.load(std::memory_order_relaxed) - allocs_before;
+    // Per-thread rates: averaged (not summed) across threads.
     state.counters["hit_rate"] = benchmark::Counter(
         static_cast<double>(hits) /
-        static_cast<double>(state.iterations()));
+            static_cast<double>(state.iterations()),
+        benchmark::Counter::kAvgThreads);
+    state.counters["allocs_per_iter"] = benchmark::Counter(
+        static_cast<double>(allocs) /
+            static_cast<double>(state.iterations()),
+        benchmark::Counter::kAvgThreads);
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()));
 }
-BENCHMARK(BM_MemoTableLookup);
+BENCHMARK(BM_MemoTableLookup)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
 
 void
 BM_MemoTableInsert(benchmark::State &state)
@@ -114,4 +202,25 @@ BENCHMARK(BM_EventGeneration);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Default to also emitting machine-readable JSON (the BENCH_*
+    // trajectory file) unless the caller picked an output already.
+    bool has_out = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strncmp(argv[i], "--benchmark_out", 15) == 0)
+            has_out = true;
+    std::vector<char *> args(argv, argv + argc);
+    std::string out_flag = "--benchmark_out=BENCH_micro_lookup.json";
+    std::string fmt_flag = "--benchmark_out_format=json";
+    if (!has_out) {
+        args.push_back(out_flag.data());
+        args.push_back(fmt_flag.data());
+    }
+    int args_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&args_argc, args.data());
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

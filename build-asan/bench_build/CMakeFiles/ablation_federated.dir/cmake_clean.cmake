@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_federated"
+  "../bench/ablation_federated.pdb"
+  "CMakeFiles/ablation_federated.dir/ablation_federated.cc.o"
+  "CMakeFiles/ablation_federated.dir/ablation_federated.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_federated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_pfi"
+  "../bench/ablation_pfi.pdb"
+  "CMakeFiles/ablation_pfi.dir/ablation_pfi.cc.o"
+  "CMakeFiles/ablation_pfi.dir/ablation_pfi.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pfi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_sensor_fidelity"
+  "../bench/ablation_sensor_fidelity.pdb"
+  "CMakeFiles/ablation_sensor_fidelity.dir/ablation_sensor_fidelity.cc.o"
+  "CMakeFiles/ablation_sensor_fidelity.dir/ablation_sensor_fidelity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sensor_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_battery_drain"
+  "../bench/fig03_battery_drain.pdb"
+  "CMakeFiles/fig03_battery_drain.dir/fig03_battery_drain.cc.o"
+  "CMakeFiles/fig03_battery_drain.dir/fig03_battery_drain.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_battery_drain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_useless_events"
+  "../bench/fig04_useless_events.pdb"
+  "CMakeFiles/fig04_useless_events.dir/fig04_useless_events.cc.o"
+  "CMakeFiles/fig04_useless_events.dir/fig04_useless_events.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_useless_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

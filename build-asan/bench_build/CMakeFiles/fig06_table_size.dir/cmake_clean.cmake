@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_table_size"
+  "../bench/fig06_table_size.pdb"
+  "CMakeFiles/fig06_table_size.dir/fig06_table_size.cc.o"
+  "CMakeFiles/fig06_table_size.dir/fig06_table_size.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_table_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_io_characteristics"
+  "../bench/fig07_io_characteristics.pdb"
+  "CMakeFiles/fig07_io_characteristics.dir/fig07_io_characteristics.cc.o"
+  "CMakeFiles/fig07_io_characteristics.dir/fig07_io_characteristics.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_io_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_inevent_table"
+  "../bench/fig08_inevent_table.pdb"
+  "CMakeFiles/fig08_inevent_table.dir/fig08_inevent_table.cc.o"
+  "CMakeFiles/fig08_inevent_table.dir/fig08_inevent_table.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_inevent_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_pfi_trimming"
+  "../bench/fig09_pfi_trimming.pdb"
+  "CMakeFiles/fig09_pfi_trimming.dir/fig09_pfi_trimming.cc.o"
+  "CMakeFiles/fig09_pfi_trimming.dir/fig09_pfi_trimming.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_pfi_trimming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

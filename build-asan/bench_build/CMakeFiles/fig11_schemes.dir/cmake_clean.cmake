@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_schemes"
+  "../bench/fig11_schemes.pdb"
+  "CMakeFiles/fig11_schemes.dir/fig11_schemes.cc.o"
+  "CMakeFiles/fig11_schemes.dir/fig11_schemes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

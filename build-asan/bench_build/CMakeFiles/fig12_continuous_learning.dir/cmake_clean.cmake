@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_continuous_learning"
+  "../bench/fig12_continuous_learning.pdb"
+  "CMakeFiles/fig12_continuous_learning.dir/fig12_continuous_learning.cc.o"
+  "CMakeFiles/fig12_continuous_learning.dir/fig12_continuous_learning.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_continuous_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_lookup"
+  "../bench/micro_lookup.pdb"
+  "CMakeFiles/micro_lookup.dir/micro_lookup.cc.o"
+  "CMakeFiles/micro_lookup.dir/micro_lookup.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snip_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/snip_bench_common.dir/bench_common.cc.o.d"
+  "libsnip_bench_common.a"
+  "libsnip_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snip_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

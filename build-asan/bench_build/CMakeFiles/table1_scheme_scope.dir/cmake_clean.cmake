@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_scheme_scope"
+  "../bench/table1_scheme_scope.pdb"
+  "CMakeFiles/table1_scheme_scope.dir/table1_scheme_scope.cc.o"
+  "CMakeFiles/table1_scheme_scope.dir/table1_scheme_scope.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_scheme_scope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ar_game_session.dir/ar_game_session.cpp.o"
+  "CMakeFiles/ar_game_session.dir/ar_game_session.cpp.o.d"
+  "ar_game_session"
+  "ar_game_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ar_game_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

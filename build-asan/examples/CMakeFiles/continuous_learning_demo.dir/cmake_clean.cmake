@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/continuous_learning_demo.dir/continuous_learning_demo.cpp.o"
+  "CMakeFiles/continuous_learning_demo.dir/continuous_learning_demo.cpp.o.d"
+  "continuous_learning_demo"
+  "continuous_learning_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/continuous_learning_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

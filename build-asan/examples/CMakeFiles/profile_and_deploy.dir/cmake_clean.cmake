@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_and_deploy.dir/profile_and_deploy.cpp.o"
+  "CMakeFiles/profile_and_deploy.dir/profile_and_deploy.cpp.o.d"
+  "profile_and_deploy"
+  "profile_and_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_and_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

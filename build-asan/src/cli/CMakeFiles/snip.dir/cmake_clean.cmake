@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snip.dir/snip_cli.cc.o"
+  "CMakeFiles/snip.dir/snip_cli.cc.o.d"
+  "snip"
+  "snip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

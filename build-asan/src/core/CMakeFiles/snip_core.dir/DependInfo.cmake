@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/continuous_learning.cc" "src/core/CMakeFiles/snip_core.dir/continuous_learning.cc.o" "gcc" "src/core/CMakeFiles/snip_core.dir/continuous_learning.cc.o.d"
+  "/root/repo/src/core/federated.cc" "src/core/CMakeFiles/snip_core.dir/federated.cc.o" "gcc" "src/core/CMakeFiles/snip_core.dir/federated.cc.o.d"
+  "/root/repo/src/core/lookup_table.cc" "src/core/CMakeFiles/snip_core.dir/lookup_table.cc.o" "gcc" "src/core/CMakeFiles/snip_core.dir/lookup_table.cc.o.d"
+  "/root/repo/src/core/memo_table.cc" "src/core/CMakeFiles/snip_core.dir/memo_table.cc.o" "gcc" "src/core/CMakeFiles/snip_core.dir/memo_table.cc.o.d"
+  "/root/repo/src/core/output_diff.cc" "src/core/CMakeFiles/snip_core.dir/output_diff.cc.o" "gcc" "src/core/CMakeFiles/snip_core.dir/output_diff.cc.o.d"
+  "/root/repo/src/core/parallel_runner.cc" "src/core/CMakeFiles/snip_core.dir/parallel_runner.cc.o" "gcc" "src/core/CMakeFiles/snip_core.dir/parallel_runner.cc.o.d"
+  "/root/repo/src/core/qoe.cc" "src/core/CMakeFiles/snip_core.dir/qoe.cc.o" "gcc" "src/core/CMakeFiles/snip_core.dir/qoe.cc.o.d"
+  "/root/repo/src/core/scheme.cc" "src/core/CMakeFiles/snip_core.dir/scheme.cc.o" "gcc" "src/core/CMakeFiles/snip_core.dir/scheme.cc.o.d"
+  "/root/repo/src/core/simulation.cc" "src/core/CMakeFiles/snip_core.dir/simulation.cc.o" "gcc" "src/core/CMakeFiles/snip_core.dir/simulation.cc.o.d"
+  "/root/repo/src/core/snip.cc" "src/core/CMakeFiles/snip_core.dir/snip.cc.o" "gcc" "src/core/CMakeFiles/snip_core.dir/snip.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/snip_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/soc/CMakeFiles/snip_soc.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/events/CMakeFiles/snip_events.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/games/CMakeFiles/snip_games.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/trace/CMakeFiles/snip_trace.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/ml/CMakeFiles/snip_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsnip_core.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/events/binder.cc" "src/events/CMakeFiles/snip_events.dir/binder.cc.o" "gcc" "src/events/CMakeFiles/snip_events.dir/binder.cc.o.d"
+  "/root/repo/src/events/event.cc" "src/events/CMakeFiles/snip_events.dir/event.cc.o" "gcc" "src/events/CMakeFiles/snip_events.dir/event.cc.o.d"
+  "/root/repo/src/events/field.cc" "src/events/CMakeFiles/snip_events.dir/field.cc.o" "gcc" "src/events/CMakeFiles/snip_events.dir/field.cc.o.d"
+  "/root/repo/src/events/sensor.cc" "src/events/CMakeFiles/snip_events.dir/sensor.cc.o" "gcc" "src/events/CMakeFiles/snip_events.dir/sensor.cc.o.d"
+  "/root/repo/src/events/sensor_manager.cc" "src/events/CMakeFiles/snip_events.dir/sensor_manager.cc.o" "gcc" "src/events/CMakeFiles/snip_events.dir/sensor_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/snip_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/soc/CMakeFiles/snip_soc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

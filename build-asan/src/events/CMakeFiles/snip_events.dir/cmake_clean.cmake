@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snip_events.dir/binder.cc.o"
+  "CMakeFiles/snip_events.dir/binder.cc.o.d"
+  "CMakeFiles/snip_events.dir/event.cc.o"
+  "CMakeFiles/snip_events.dir/event.cc.o.d"
+  "CMakeFiles/snip_events.dir/field.cc.o"
+  "CMakeFiles/snip_events.dir/field.cc.o.d"
+  "CMakeFiles/snip_events.dir/sensor.cc.o"
+  "CMakeFiles/snip_events.dir/sensor.cc.o.d"
+  "CMakeFiles/snip_events.dir/sensor_manager.cc.o"
+  "CMakeFiles/snip_events.dir/sensor_manager.cc.o.d"
+  "libsnip_events.a"
+  "libsnip_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snip_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snip_games.dir/catalog.cc.o"
+  "CMakeFiles/snip_games.dir/catalog.cc.o.d"
+  "CMakeFiles/snip_games.dir/game.cc.o"
+  "CMakeFiles/snip_games.dir/game.cc.o.d"
+  "CMakeFiles/snip_games.dir/game_state.cc.o"
+  "CMakeFiles/snip_games.dir/game_state.cc.o.d"
+  "CMakeFiles/snip_games.dir/handler.cc.o"
+  "CMakeFiles/snip_games.dir/handler.cc.o.d"
+  "CMakeFiles/snip_games.dir/registry.cc.o"
+  "CMakeFiles/snip_games.dir/registry.cc.o.d"
+  "libsnip_games.a"
+  "libsnip_games.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snip_games.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snip_ml.dir/dataset.cc.o"
+  "CMakeFiles/snip_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/snip_ml.dir/decision_tree.cc.o"
+  "CMakeFiles/snip_ml.dir/decision_tree.cc.o.d"
+  "CMakeFiles/snip_ml.dir/feature_selection.cc.o"
+  "CMakeFiles/snip_ml.dir/feature_selection.cc.o.d"
+  "CMakeFiles/snip_ml.dir/pfi.cc.o"
+  "CMakeFiles/snip_ml.dir/pfi.cc.o.d"
+  "CMakeFiles/snip_ml.dir/random_forest.cc.o"
+  "CMakeFiles/snip_ml.dir/random_forest.cc.o.d"
+  "CMakeFiles/snip_ml.dir/table_predictor.cc.o"
+  "CMakeFiles/snip_ml.dir/table_predictor.cc.o.d"
+  "libsnip_ml.a"
+  "libsnip_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snip_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soc/battery.cc" "src/soc/CMakeFiles/snip_soc.dir/battery.cc.o" "gcc" "src/soc/CMakeFiles/snip_soc.dir/battery.cc.o.d"
+  "/root/repo/src/soc/component.cc" "src/soc/CMakeFiles/snip_soc.dir/component.cc.o" "gcc" "src/soc/CMakeFiles/snip_soc.dir/component.cc.o.d"
+  "/root/repo/src/soc/cpu.cc" "src/soc/CMakeFiles/snip_soc.dir/cpu.cc.o" "gcc" "src/soc/CMakeFiles/snip_soc.dir/cpu.cc.o.d"
+  "/root/repo/src/soc/energy_model.cc" "src/soc/CMakeFiles/snip_soc.dir/energy_model.cc.o" "gcc" "src/soc/CMakeFiles/snip_soc.dir/energy_model.cc.o.d"
+  "/root/repo/src/soc/energy_report.cc" "src/soc/CMakeFiles/snip_soc.dir/energy_report.cc.o" "gcc" "src/soc/CMakeFiles/snip_soc.dir/energy_report.cc.o.d"
+  "/root/repo/src/soc/ip_block.cc" "src/soc/CMakeFiles/snip_soc.dir/ip_block.cc.o" "gcc" "src/soc/CMakeFiles/snip_soc.dir/ip_block.cc.o.d"
+  "/root/repo/src/soc/memory.cc" "src/soc/CMakeFiles/snip_soc.dir/memory.cc.o" "gcc" "src/soc/CMakeFiles/snip_soc.dir/memory.cc.o.d"
+  "/root/repo/src/soc/sensor_hub.cc" "src/soc/CMakeFiles/snip_soc.dir/sensor_hub.cc.o" "gcc" "src/soc/CMakeFiles/snip_soc.dir/sensor_hub.cc.o.d"
+  "/root/repo/src/soc/soc.cc" "src/soc/CMakeFiles/snip_soc.dir/soc.cc.o" "gcc" "src/soc/CMakeFiles/snip_soc.dir/soc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/snip_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

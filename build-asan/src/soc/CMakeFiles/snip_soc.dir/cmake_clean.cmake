@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snip_soc.dir/battery.cc.o"
+  "CMakeFiles/snip_soc.dir/battery.cc.o.d"
+  "CMakeFiles/snip_soc.dir/component.cc.o"
+  "CMakeFiles/snip_soc.dir/component.cc.o.d"
+  "CMakeFiles/snip_soc.dir/cpu.cc.o"
+  "CMakeFiles/snip_soc.dir/cpu.cc.o.d"
+  "CMakeFiles/snip_soc.dir/energy_model.cc.o"
+  "CMakeFiles/snip_soc.dir/energy_model.cc.o.d"
+  "CMakeFiles/snip_soc.dir/energy_report.cc.o"
+  "CMakeFiles/snip_soc.dir/energy_report.cc.o.d"
+  "CMakeFiles/snip_soc.dir/ip_block.cc.o"
+  "CMakeFiles/snip_soc.dir/ip_block.cc.o.d"
+  "CMakeFiles/snip_soc.dir/memory.cc.o"
+  "CMakeFiles/snip_soc.dir/memory.cc.o.d"
+  "CMakeFiles/snip_soc.dir/sensor_hub.cc.o"
+  "CMakeFiles/snip_soc.dir/sensor_hub.cc.o.d"
+  "CMakeFiles/snip_soc.dir/soc.cc.o"
+  "CMakeFiles/snip_soc.dir/soc.cc.o.d"
+  "libsnip_soc.a"
+  "libsnip_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snip_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

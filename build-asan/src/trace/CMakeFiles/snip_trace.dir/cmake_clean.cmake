@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snip_trace.dir/field_stats.cc.o"
+  "CMakeFiles/snip_trace.dir/field_stats.cc.o.d"
+  "CMakeFiles/snip_trace.dir/profile.cc.o"
+  "CMakeFiles/snip_trace.dir/profile.cc.o.d"
+  "CMakeFiles/snip_trace.dir/recorder.cc.o"
+  "CMakeFiles/snip_trace.dir/recorder.cc.o.d"
+  "CMakeFiles/snip_trace.dir/trace_log.cc.o"
+  "CMakeFiles/snip_trace.dir/trace_log.cc.o.d"
+  "libsnip_trace.a"
+  "libsnip_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snip_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snip_util.dir/bytes.cc.o"
+  "CMakeFiles/snip_util.dir/bytes.cc.o.d"
+  "CMakeFiles/snip_util.dir/csv_writer.cc.o"
+  "CMakeFiles/snip_util.dir/csv_writer.cc.o.d"
+  "CMakeFiles/snip_util.dir/logging.cc.o"
+  "CMakeFiles/snip_util.dir/logging.cc.o.d"
+  "CMakeFiles/snip_util.dir/rng.cc.o"
+  "CMakeFiles/snip_util.dir/rng.cc.o.d"
+  "CMakeFiles/snip_util.dir/stats.cc.o"
+  "CMakeFiles/snip_util.dir/stats.cc.o.d"
+  "CMakeFiles/snip_util.dir/table_printer.cc.o"
+  "CMakeFiles/snip_util.dir/table_printer.cc.o.d"
+  "CMakeFiles/snip_util.dir/units.cc.o"
+  "CMakeFiles/snip_util.dir/units.cc.o.d"
+  "libsnip_util.a"
+  "libsnip_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snip_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/games_test.dir/games_test.cc.o"
+  "CMakeFiles/games_test.dir/games_test.cc.o.d"
+  "games_test"
+  "games_test.pdb"
+  "games_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/games_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/util_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/soc_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/events_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/games_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/trace_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/ml_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/core_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/parallel_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/extensions_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe2.dir/probe2.cc.o"
+  "CMakeFiles/probe2.dir/probe2.cc.o.d"
+  "probe2"
+  "probe2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

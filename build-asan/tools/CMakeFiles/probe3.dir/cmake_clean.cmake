@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe3.dir/probe3.cc.o"
+  "CMakeFiles/probe3.dir/probe3.cc.o.d"
+  "probe3"
+  "probe3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

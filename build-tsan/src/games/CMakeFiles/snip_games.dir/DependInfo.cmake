@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/games/catalog.cc" "src/games/CMakeFiles/snip_games.dir/catalog.cc.o" "gcc" "src/games/CMakeFiles/snip_games.dir/catalog.cc.o.d"
+  "/root/repo/src/games/game.cc" "src/games/CMakeFiles/snip_games.dir/game.cc.o" "gcc" "src/games/CMakeFiles/snip_games.dir/game.cc.o.d"
+  "/root/repo/src/games/game_state.cc" "src/games/CMakeFiles/snip_games.dir/game_state.cc.o" "gcc" "src/games/CMakeFiles/snip_games.dir/game_state.cc.o.d"
+  "/root/repo/src/games/handler.cc" "src/games/CMakeFiles/snip_games.dir/handler.cc.o" "gcc" "src/games/CMakeFiles/snip_games.dir/handler.cc.o.d"
+  "/root/repo/src/games/registry.cc" "src/games/CMakeFiles/snip_games.dir/registry.cc.o" "gcc" "src/games/CMakeFiles/snip_games.dir/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/snip_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/soc/CMakeFiles/snip_soc.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/events/CMakeFiles/snip_events.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

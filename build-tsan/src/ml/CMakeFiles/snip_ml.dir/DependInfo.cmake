@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/dataset.cc" "src/ml/CMakeFiles/snip_ml.dir/dataset.cc.o" "gcc" "src/ml/CMakeFiles/snip_ml.dir/dataset.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/ml/CMakeFiles/snip_ml.dir/decision_tree.cc.o" "gcc" "src/ml/CMakeFiles/snip_ml.dir/decision_tree.cc.o.d"
+  "/root/repo/src/ml/feature_selection.cc" "src/ml/CMakeFiles/snip_ml.dir/feature_selection.cc.o" "gcc" "src/ml/CMakeFiles/snip_ml.dir/feature_selection.cc.o.d"
+  "/root/repo/src/ml/pfi.cc" "src/ml/CMakeFiles/snip_ml.dir/pfi.cc.o" "gcc" "src/ml/CMakeFiles/snip_ml.dir/pfi.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/ml/CMakeFiles/snip_ml.dir/random_forest.cc.o" "gcc" "src/ml/CMakeFiles/snip_ml.dir/random_forest.cc.o.d"
+  "/root/repo/src/ml/table_predictor.cc" "src/ml/CMakeFiles/snip_ml.dir/table_predictor.cc.o" "gcc" "src/ml/CMakeFiles/snip_ml.dir/table_predictor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/snip_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/events/CMakeFiles/snip_events.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/games/CMakeFiles/snip_games.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/soc/CMakeFiles/snip_soc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/util_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/soc_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/events_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/games_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/trace_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/ml_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/core_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/parallel_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/extensions_test[1]_include.cmake")

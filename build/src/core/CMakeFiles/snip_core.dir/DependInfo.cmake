@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/lookup_table.cc" "src/core/CMakeFiles/snip_core.dir/lookup_table.cc.o" "gcc" "src/core/CMakeFiles/snip_core.dir/lookup_table.cc.o.d"
   "/root/repo/src/core/memo_table.cc" "src/core/CMakeFiles/snip_core.dir/memo_table.cc.o" "gcc" "src/core/CMakeFiles/snip_core.dir/memo_table.cc.o.d"
   "/root/repo/src/core/output_diff.cc" "src/core/CMakeFiles/snip_core.dir/output_diff.cc.o" "gcc" "src/core/CMakeFiles/snip_core.dir/output_diff.cc.o.d"
+  "/root/repo/src/core/parallel_runner.cc" "src/core/CMakeFiles/snip_core.dir/parallel_runner.cc.o" "gcc" "src/core/CMakeFiles/snip_core.dir/parallel_runner.cc.o.d"
   "/root/repo/src/core/qoe.cc" "src/core/CMakeFiles/snip_core.dir/qoe.cc.o" "gcc" "src/core/CMakeFiles/snip_core.dir/qoe.cc.o.d"
   "/root/repo/src/core/scheme.cc" "src/core/CMakeFiles/snip_core.dir/scheme.cc.o" "gcc" "src/core/CMakeFiles/snip_core.dir/scheme.cc.o.d"
   "/root/repo/src/core/simulation.cc" "src/core/CMakeFiles/snip_core.dir/simulation.cc.o" "gcc" "src/core/CMakeFiles/snip_core.dir/simulation.cc.o.d"

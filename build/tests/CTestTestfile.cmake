@@ -12,4 +12,5 @@ include("/root/repo/build/tests/trace_test[1]_include.cmake")
 include("/root/repo/build/tests/ml_test[1]_include.cmake")
 include("/root/repo/build/tests/core_test[1]_include.cmake")
 include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_test[1]_include.cmake")
 include("/root/repo/build/tests/extensions_test[1]_include.cmake")

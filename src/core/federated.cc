@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "core/parallel_runner.h"
 #include "core/simulation.h"
 #include "games/registry.h"
 #include "trace/recorder.h"
@@ -24,8 +25,12 @@ struct UserData {
 std::vector<UserData>
 recordUsers(const std::string &game_name, const FederatedConfig &cfg)
 {
-    std::vector<UserData> users;
-    for (int u = 0; u < cfg.num_users; ++u) {
+    // Every user's session+replay is independent and fully seeded,
+    // so the fleet records in parallel (one game + replica clone per
+    // user) with results identical to the serial loop.
+    std::vector<UserData> users(cfg.num_users);
+    ParallelRunner runner;
+    runner.forEach(static_cast<size_t>(cfg.num_users), [&](size_t u) {
         auto game = games::makeGame(game_name);
         BaselineScheme baseline;
         SimulationConfig scfg;
@@ -35,11 +40,9 @@ recordUsers(const std::string &game_name, const FederatedConfig &cfg)
                                      0x05e7000ULL + static_cast<uint64_t>(u));
         SessionResult res = runSession(*game, baseline, scfg);
         auto replica = games::makeGame(game_name);
-        UserData ud;
-        ud.trace = res.trace;
-        ud.profile = trace::Replayer::replay(res.trace, *replica);
-        users.push_back(std::move(ud));
-    }
+        users[u].trace = res.trace;
+        users[u].profile = trace::Replayer::replay(res.trace, *replica);
+    });
     return users;
 }
 

@@ -9,7 +9,7 @@ namespace snip {
 namespace core {
 
 MemoTable::MemoTable(const events::FieldSchema &schema)
-    : schema_(&schema)
+    : schema_(schema)
 {
 }
 
@@ -24,12 +24,15 @@ MemoTable::setSelected(events::EventType type,
     std::sort(selected.begin(), selected.end());
     tt.selected = std::move(selected);
     tt.selected_event.clear();
+    tt.selected_is_event.clear();
     tt.selected_bytes = 0;
     for (events::FieldId fid : tt.selected) {
-        const auto &d = schema_->def(fid);
+        const auto &d = schema_.def(fid);
         tt.selected_bytes += d.size_bytes;
-        if (d.side == events::FieldSide::Input &&
-            d.in_cat == events::InputCategory::Event)
+        bool is_event = d.side == events::FieldSide::Input &&
+                        d.in_cat == events::InputCategory::Event;
+        tt.selected_is_event.push_back(is_event);
+        if (is_event)
             tt.selected_event.push_back(fid);
     }
 }
@@ -54,8 +57,13 @@ MemoTable::eventSubkey(
     uint64_t h = 0xe4e27000ULL;
     for (events::FieldId fid : tt.selected_event) {
         const events::FieldValue *fv = events::findField(fields, fid);
-        uint64_t v = fv ? fv->value : ~0ULL;
-        h = util::mixCombine(h, util::mixCombine(fid, v));
+        // Mix an explicit presence bit instead of a sentinel value:
+        // a missing field must never hash like any real value
+        // (UINT64_MAX is legitimate field content).
+        uint64_t present = fv ? 1 : 0;
+        uint64_t v = fv ? fv->value : 0;
+        h = util::mixCombine(
+            h, util::mixCombine(fid, util::mixCombine(present, v)));
     }
     return h;
 }
@@ -67,17 +75,36 @@ MemoTable::insert(const games::HandlerExecution &rec)
     if (tt.selected.empty())
         return;  // type not deployed
 
-    // Project inputs onto the selected set (both sorted by id).
-    std::vector<events::FieldValue> key;
-    size_t si = 0;
-    for (const auto &fv : rec.inputs) {
-        while (si < tt.selected.size() && tt.selected[si] < fv.id)
-            ++si;
-        if (si < tt.selected.size() && tt.selected[si] == fv.id)
-            key.push_back(fv);
+    // The two-pointer projection below requires inputs sorted by id;
+    // records from non-canonical producers get a sorted local copy
+    // (an unsorted record must not silently drop key fields).
+    const std::vector<events::FieldValue> *inputs = &rec.inputs;
+    std::vector<events::FieldValue> sorted_inputs;
+    if (!std::is_sorted(rec.inputs.begin(), rec.inputs.end(),
+                        [](const events::FieldValue &a,
+                           const events::FieldValue &b) {
+                            return a.id < b.id;
+                        })) {
+        sorted_inputs = rec.inputs;
+        events::canonicalize(sorted_inputs);
+        inputs = &sorted_inputs;
     }
 
-    uint64_t subkey = eventSubkey(tt, rec.inputs);
+    // Project inputs onto the selected set (both sorted by id),
+    // keeping each key field's slot within the selected layout.
+    std::vector<events::FieldValue> key;
+    std::vector<uint32_t> slots;
+    size_t si = 0;
+    for (const auto &fv : *inputs) {
+        while (si < tt.selected.size() && tt.selected[si] < fv.id)
+            ++si;
+        if (si < tt.selected.size() && tt.selected[si] == fv.id) {
+            key.push_back(fv);
+            slots.push_back(static_cast<uint32_t>(si));
+        }
+    }
+
+    uint64_t subkey = eventSubkey(tt, *inputs);
     auto &bucket = tt.buckets[subkey];
     for (const auto &e : bucket) {
         if (e.key_fields == key)
@@ -85,12 +112,13 @@ MemoTable::insert(const games::HandlerExecution &rec)
     }
     MemoEntry entry;
     entry.key_fields = std::move(key);
+    entry.key_slots = std::move(slots);
     entry.outputs = rec.outputs;
     uint64_t bytes = 0;
     for (const auto &fv : entry.key_fields)
-        bytes += schema_->def(fv.id).size_bytes;
+        bytes += schema_.def(fv.id).size_bytes;
     for (const auto &fv : entry.outputs)
-        bytes += schema_->def(fv.id).size_bytes;
+        bytes += schema_.def(fv.id).size_bytes;
     entry.entry_bytes = static_cast<uint32_t>(bytes);
     tt.bytes += bytes + kEntryHeaderBytes;
     ++tt.entries;
@@ -99,10 +127,12 @@ MemoTable::insert(const games::HandlerExecution &rec)
 
 MemoLookup
 MemoTable::lookup(const events::EventObject &ev,
-                  const games::Game &game) const
+                  const games::Game &game,
+                  LookupScratch &scratch) const
 {
     const TypeTable &tt = types_[static_cast<int>(ev.type)];
     MemoLookup res;
+    res.type = ev.type;
     if (tt.selected.empty())
         return res;
 
@@ -110,35 +140,41 @@ MemoTable::lookup(const events::EventObject &ev,
     // table has no candidates (they must be loaded to compare).
     res.bytes_scanned = tt.selected_bytes;
 
-    auto it = tt.buckets.find(eventSubkey(tt, ev.fields));
+    res.subkey = eventSubkey(tt, ev.fields);
+    auto it = tt.buckets.find(res.subkey);
     if (it == tt.buckets.end())
         return res;
 
-    // Gather current values of the selected fields once.
-    std::vector<events::FieldValue> gathered;
-    gathered.reserve(tt.selected.size());
-    for (events::FieldId fid : tt.selected) {
-        const auto &d = schema_->def(fid);
-        if (d.in_cat == events::InputCategory::Event) {
+    // Gather current values of the selected fields once, into the
+    // caller's reusable slot layout (resize only grows capacity the
+    // first time a type this wide is looked up).
+    size_t n = tt.selected.size();
+    scratch.values.resize(n);
+    scratch.present.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+        events::FieldId fid = tt.selected[i];
+        if (tt.selected_is_event[i]) {
             const events::FieldValue *fv =
                 events::findField(ev.fields, fid);
-            if (fv)
-                gathered.push_back(*fv);
+            scratch.present[i] = fv != nullptr;
+            scratch.values[i] = fv ? fv->value : 0;
         } else {
-            uint64_t v;
-            if (game.gatherInputValue(fid, v))
-                gathered.push_back({fid, v});
+            uint64_t v = 0;
+            scratch.present[i] = game.gatherInputValue(fid, v);
+            scratch.values[i] = v;
         }
     }
 
+    uint32_t index = 0;
     for (const MemoEntry &e : it->second) {
         ++res.candidates;
         res.bytes_scanned += e.entry_bytes + kEntryHeaderBytes;
         bool match = true;
-        for (const auto &kf : e.key_fields) {
-            const events::FieldValue *gv =
-                events::findField(gathered, kf.id);
-            if (!gv || gv->value != kf.value) {
+        size_t nk = e.key_fields.size();
+        for (size_t j = 0; j < nk; ++j) {
+            uint32_t slot = e.key_slots[j];
+            if (!scratch.present[slot] ||
+                scratch.values[slot] != e.key_fields[j].value) {
                 match = false;
                 break;
             }
@@ -146,11 +182,33 @@ MemoTable::lookup(const events::EventObject &ev,
         if (match) {
             res.hit = true;
             res.entry = &e;
-            const_cast<MemoEntry &>(e).hits++;
+            res.entry_index = index;
             return res;
         }
+        ++index;
     }
     return res;
+}
+
+MemoLookup
+MemoTable::lookup(const events::EventObject &ev,
+                  const games::Game &game) const
+{
+    thread_local LookupScratch scratch;
+    return lookup(ev, game, scratch);
+}
+
+void
+MemoTable::recordHit(const MemoLookup &res)
+{
+    if (!res.hit)
+        return;
+    TypeTable &tt = types_[static_cast<int>(res.type)];
+    auto it = tt.buckets.find(res.subkey);
+    if (it == tt.buckets.end() ||
+        res.entry_index >= it->second.size())
+        util::panic("MemoTable::recordHit: stale lookup result");
+    ++it->second[res.entry_index].hits;
 }
 
 size_t

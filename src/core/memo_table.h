@@ -34,11 +34,15 @@ struct MemoEntry {
      *  the profiled execution did not read are simply not stored;
      *  comparison only checks stored fields. */
     std::vector<events::FieldValue> key_fields;
+    /** Precomputed slot of each key field within the type's sorted
+     *  selected set (parallel to key_fields). Lets lookup() compare
+     *  against the gathered-value layout without per-field searches. */
+    std::vector<uint32_t> key_slots;
     /** Memoized output writes. */
     std::vector<events::FieldValue> outputs;
     /** Entry payload size in bytes (keys + outputs). */
     uint32_t entry_bytes = 0;
-    /** Times this entry produced a short-circuit. */
+    /** Times this entry produced a short-circuit (see recordHit()). */
     uint64_t hits = 0;
 };
 
@@ -51,13 +55,35 @@ struct MemoLookup {
     uint32_t candidates = 0;
     /** Total bytes gathered + compared during the scan. */
     uint64_t bytes_scanned = 0;
+
+    /** Locator of the matched entry, for recordHit(). */
+    events::EventType type = events::EventType::Touch;
+    uint64_t subkey = 0;
+    uint32_t entry_index = 0;
+};
+
+/**
+ * Caller-owned reusable gather buffers. lookup() fills one slot per
+ * selected field of the event's type (slot order == the sorted
+ * selected set); reusing the scratch across calls makes the hit path
+ * allocation-free after the first event of the largest type.
+ */
+struct LookupScratch {
+    /** Gathered value per selected-field slot. */
+    std::vector<uint64_t> values;
+    /** Whether the slot's field was present/readable. */
+    std::vector<uint8_t> present;
 };
 
 /** Per-game deployed lookup table. */
 class MemoTable
 {
   public:
-    /** Bind to a game's schema. */
+    /**
+     * Bind to a game's schema. The table keeps its own copy: models
+     * built from a short-lived game (e.g. the federated builders)
+     * must stay valid after that game is destroyed.
+     */
     explicit MemoTable(const events::FieldSchema &schema);
 
     /**
@@ -85,9 +111,27 @@ class MemoTable
     /**
      * Look up an event at runtime. Event-side values come from
      * @p ev; history-side values are read from @p game's live state.
+     *
+     * Thread safety: lookup() never mutates the table, so any number
+     * of threads may look up concurrently on a shared const table
+     * (each with its own scratch) as long as no thread insert()s or
+     * clear()s. Hit accounting is the caller's job via recordHit().
      */
     MemoLookup lookup(const events::EventObject &ev,
+                      const games::Game &game,
+                      LookupScratch &scratch) const;
+
+    /** Convenience overload with a thread-local scratch. */
+    MemoLookup lookup(const events::EventObject &ev,
                       const games::Game &game) const;
+
+    /**
+     * Credit a hit to the entry @p res matched. Split out of
+     * lookup() so the hot path stays const/race-free; call it only
+     * with exclusive ownership of the table (as the single-writer
+     * SnipScheme has).
+     */
+    void recordHit(const MemoLookup &res);
 
     /** Number of entries across all types. */
     size_t entryCount() const;
@@ -106,6 +150,9 @@ class MemoTable
     struct TypeTable {
         std::vector<events::FieldId> selected;   // sorted
         std::vector<events::FieldId> selected_event;    // In.Event subset
+        /** Per-slot In.Event flag (parallel to selected); lets
+         *  lookup() gather without consulting the schema per field. */
+        std::vector<uint8_t> selected_is_event;
         uint64_t selected_bytes = 0;
         /** Event-subkey hash -> candidate entries. */
         std::unordered_map<uint64_t, std::vector<MemoEntry>> buckets;
@@ -117,7 +164,7 @@ class MemoTable
                          const std::vector<events::FieldValue> &fields)
         const;
 
-    const events::FieldSchema *schema_;
+    events::FieldSchema schema_;
     std::array<TypeTable, events::kNumEventTypes> types_;
 };
 

@@ -76,10 +76,11 @@ SnipScheme::decide(const games::Game &game, const events::EventObject &ev,
     Decision d;
     d.charge_lookup = chargeOverheads_;
     auditPending_ = false;
-    MemoLookup res = model_.table->lookup(ev, game);
+    MemoLookup res = model_.table->lookup(ev, game, scratch_);
     d.lookup_bytes = res.bytes_scanned;
     d.lookup_candidates = res.candidates;
     if (res.hit) {
+        model_.table->recordHit(res);
         // Audit watchdog: periodically let a would-be hit run at
         // full cost so the table's output can be checked against
         // ground truth in observe().

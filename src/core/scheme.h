@@ -196,6 +196,9 @@ class SnipScheme : public Scheme
     uint32_t windowFailures_ = 0;
     bool auditPending_ = false;
     std::vector<events::FieldValue> auditOutputs_;
+
+    /** Reusable gather buffers: zero-allocation lookups. */
+    LookupScratch scratch_;
 };
 
 /** Construct a scheme by kind (Snip/NoOverheads need a model). */

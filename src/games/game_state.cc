@@ -15,7 +15,6 @@ GameState::build(const std::vector<HistoryFieldDecl> &decls)
     outToIn_.clear();
     boundedOrder_.clear();
     epoch_ = 0;
-    fpDirty_ = true;
     for (const auto &d : decls) {
         if (d.in_fid == events::kInvalidField ||
             d.out_fid == events::kInvalidField) {
@@ -29,7 +28,8 @@ GameState::build(const std::vector<HistoryFieldDecl> &decls)
             boundedOrder_.push_back(d.in_fid);
     }
     std::sort(boundedOrder_.begin(), boundedOrder_.end());
-    refreshedFp_ = boundedFingerprint();
+    fp_ = computeFingerprint();
+    refreshedFp_ = fp_;
 }
 
 uint64_t
@@ -63,9 +63,9 @@ GameState::apply(events::FieldId out_fid, uint64_t value)
         return false;
     slot.value = stored;
     ++epoch_;
-    fpDirty_ = true;
+    fp_ = computeFingerprint();
     if (epoch_ % kBlockRefreshPeriod == 0)
-        refreshedFp_ = boundedFingerprint();
+        refreshedFp_ = fp_;
     return true;
 }
 
@@ -89,16 +89,18 @@ GameState::wouldChange(events::FieldId out_fid, uint64_t value) const
 uint64_t
 GameState::boundedFingerprint() const
 {
-    if (fpDirty_) {
-        uint64_t h = 0xf19e0000ULL;
-        for (events::FieldId fid : boundedOrder_)
-            h = util::mixCombine(h,
-                                 util::mixCombine(fid,
-                                                  slots_.at(fid).value));
-        fp_ = h;
-        fpDirty_ = false;
-    }
     return fp_;
+}
+
+uint64_t
+GameState::computeFingerprint() const
+{
+    uint64_t h = 0xf19e0000ULL;
+    for (events::FieldId fid : boundedOrder_)
+        h = util::mixCombine(h,
+                             util::mixCombine(fid,
+                                              slots_.at(fid).value));
+    return h;
 }
 
 uint64_t
@@ -113,8 +115,8 @@ GameState::reset()
     for (auto &kv : slots_)
         kv.second.value = kv.second.init;
     epoch_ = 0;
-    fpDirty_ = true;
-    refreshedFp_ = boundedFingerprint();
+    fp_ = computeFingerprint();
+    refreshedFp_ = fp_;
 }
 
 }  // namespace games

@@ -111,13 +111,18 @@ class GameState
         uint64_t init = 0;
     };
 
+    /** Recompute the bounded-state hash (fp_'s value). */
+    uint64_t computeFingerprint() const;
+
     std::unordered_map<events::FieldId, Slot> slots_;        // by in_fid
     std::unordered_map<events::FieldId, events::FieldId> outToIn_;
     std::vector<events::FieldId> boundedOrder_;
     uint64_t epoch_ = 0;
     uint64_t refreshedFp_ = 0;
-    mutable bool fpDirty_ = true;
-    mutable uint64_t fp_ = 0;
+    /** Maintained eagerly on every state change so all const reads
+     *  (fingerprint, block contents) are safe from concurrent
+     *  readers — no lazily-filled mutable caches. */
+    uint64_t fp_ = 0;
 
     /** State changes between context-block refreshes. */
     static constexpr uint64_t kBlockRefreshPeriod = 3;

@@ -54,7 +54,7 @@ EnergyReport::socGroupFraction(EnergyGroup g) const
 util::Power
 EnergyReport::averagePower() const
 {
-    return total_ / elapsed_;
+    return elapsed_ > 0 ? total_ / elapsed_ : 0.0;
 }
 
 std::string

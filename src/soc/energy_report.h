@@ -45,6 +45,13 @@ class EnergyReport
 {
   public:
     /**
+     * Empty placeholder report (no components, zero elapsed time)
+     * so result slots can be pre-allocated and assigned later —
+     * e.g. by ParallelRunner workers filling a result vector.
+     */
+    EnergyReport() = default;
+
+    /**
      * @param components Per-component energies.
      * @param elapsed Simulated session length (s).
      */
@@ -80,7 +87,7 @@ class EnergyReport
 
   private:
     std::vector<ComponentEnergy> components_;
-    util::Time elapsed_;
+    util::Time elapsed_ = 0.0;
     util::Energy total_ = 0.0;
     util::Energy group_[static_cast<int>(EnergyGroup::NumGroups)] = {};
 };

@@ -212,6 +212,156 @@ TEST_F(MemoTableTest, SetSelectedAfterInsertFatal)
     util::setThrowOnError(prev);
 }
 
+// Regression: lookup() must be genuinely const (callable through a
+// const MemoTable& — the shape concurrent readers use) and must not
+// mutate hit counters itself; hits flow via recordHit().
+TEST_F(MemoTableTest, ConstLookupDoesNotMutateHitsFlowViaRecordHit)
+{
+    util::Rng rng(8);
+    table_->insert(nextExecution(rng));
+
+    const MemoTable &ct = *table_;
+    LookupScratch scratch;
+    MemoLookup res = ct.lookup(last_event_, *game_, scratch);
+    ASSERT_TRUE(res.hit);
+    EXPECT_EQ(res.entry->hits, 0u);  // lookup alone never counts
+
+    table_->recordHit(res);
+    MemoLookup res2 = ct.lookup(last_event_, *game_);
+    ASSERT_TRUE(res2.hit);
+    EXPECT_EQ(res2.entry->hits, 1u);
+}
+
+// Regression: an insert whose inputs are not sorted by FieldId must
+// project the same key as the canonical record (the two-pointer
+// projection used to silently drop every field after the first
+// out-of-order one).
+TEST_F(MemoTableTest, UnsortedInsertKeepsAllKeyFields)
+{
+    util::Rng rng(9);
+    games::HandlerExecution ex = nextExecution(rng);
+    ASSERT_GT(ex.inputs.size(), 1u);
+
+    games::HandlerExecution reversed = ex;
+    std::reverse(reversed.inputs.begin(), reversed.inputs.end());
+
+    MemoTable other(game_->schema());
+    other.setSelected(events::EventType::Touch, selected_);
+    other.insert(reversed);
+    table_->insert(ex);
+
+    EXPECT_EQ(other.entryCount(), table_->entryCount());
+    EXPECT_EQ(other.totalBytes(), table_->totalBytes());
+    MemoLookup res = other.lookup(last_event_, *game_);
+    EXPECT_TRUE(res.hit);
+}
+
+// Regression: a missing In.Event field must not hash (and therefore
+// match) like a present field whose value is UINT64_MAX — the old
+// code used ~0ULL as the absence sentinel.
+TEST_F(MemoTableTest, MissingFieldDoesNotCollideWithMaxValue)
+{
+    // Deploy a single In.Event key field.
+    events::FieldId key_fid = events::kInvalidField;
+    for (events::FieldId fid : selected_) {
+        const auto &d = game_->schema().def(fid);
+        if (d.side == events::FieldSide::Input &&
+            d.in_cat == events::InputCategory::Event) {
+            key_fid = fid;
+            break;
+        }
+    }
+    ASSERT_NE(key_fid, events::kInvalidField);
+    MemoTable table(game_->schema());
+    table.setSelected(events::EventType::Touch, {key_fid});
+
+    // Entry recorded from an execution that never read the field.
+    games::HandlerExecution rec;
+    rec.type = events::EventType::Touch;
+    rec.outputs = {{game_->schema().find("o.mode"), 1}};
+    table.insert(rec);
+    ASSERT_EQ(table.entryCount(), 1u);
+
+    // An event carrying the legitimate value UINT64_MAX must not
+    // land in the missing-field bucket (a false short-circuit).
+    events::EventObject ev;
+    ev.type = events::EventType::Touch;
+    ev.fields = {{key_fid, ~0ULL}};
+    MemoLookup res = table.lookup(ev, *game_);
+    EXPECT_FALSE(res.hit);
+    EXPECT_EQ(res.candidates, 0u);
+
+    // And the converse: an event missing the field must not match
+    // an entry keyed on value UINT64_MAX.
+    games::HandlerExecution rec_max;
+    rec_max.type = events::EventType::Touch;
+    rec_max.inputs = {{key_fid, ~0ULL}};
+    rec_max.outputs = {{game_->schema().find("o.mode"), 2}};
+    MemoTable table2(game_->schema());
+    table2.setSelected(events::EventType::Touch, {key_fid});
+    table2.insert(rec_max);
+    events::EventObject missing;
+    missing.type = events::EventType::Touch;
+    MemoLookup res2 = table2.lookup(missing, *game_);
+    EXPECT_FALSE(res2.hit);
+    EXPECT_EQ(res2.candidates, 0u);
+}
+
+// Duplicate inserts must leave both entryCount() and totalBytes()
+// untouched (append-only semantics keep the first outputs).
+TEST_F(MemoTableTest, DuplicateInsertAccountingUnchanged)
+{
+    util::Rng rng(10);
+    games::HandlerExecution ex = nextExecution(rng);
+    table_->insert(ex);
+    size_t count = table_->entryCount();
+    uint64_t bytes = table_->totalBytes();
+    table_->insert(ex);
+    table_->insert(ex);
+    EXPECT_EQ(table_->entryCount(), count);
+    EXPECT_EQ(table_->totalBytes(), bytes);
+}
+
+// clear() then re-inserting the same records must reproduce the
+// exact accounting and hit behaviour of the first fill.
+TEST_F(MemoTableTest, ClearThenReinsertRoundTrip)
+{
+    util::Rng rng(11);
+    games::HandlerExecution ex = nextExecution(rng);
+    table_->insert(ex);
+    size_t count = table_->entryCount();
+    uint64_t bytes = table_->totalBytes();
+
+    table_->clear();
+    EXPECT_EQ(table_->entryCount(), 0u);
+    EXPECT_EQ(table_->totalBytes(), 0u);
+
+    table_->insert(ex);
+    EXPECT_EQ(table_->entryCount(), count);
+    EXPECT_EQ(table_->totalBytes(), bytes);
+    MemoLookup res = table_->lookup(last_event_, *game_);
+    EXPECT_TRUE(res.hit);
+    EXPECT_EQ(res.entry->outputs, ex.outputs);
+}
+
+// The reusable scratch must produce results identical to the
+// convenience overload, whatever type width was looked up before.
+TEST_F(MemoTableTest, ScratchReuseAcrossLookupsIsEquivalent)
+{
+    util::Rng rng(12);
+    LookupScratch scratch;
+    for (int i = 0; i < 20; ++i) {
+        games::HandlerExecution ex = nextExecution(rng);
+        table_->insert(ex);
+        MemoLookup a = table_->lookup(last_event_, *game_, scratch);
+        MemoLookup b = table_->lookup(last_event_, *game_);
+        EXPECT_EQ(a.hit, b.hit);
+        EXPECT_EQ(a.candidates, b.candidates);
+        EXPECT_EQ(a.bytes_scanned, b.bytes_scanned);
+        EXPECT_EQ(a.entry, b.entry);
+    }
+}
+
 // ------------------------------------------------------ lookup tables
 
 class AnalysisTest : public ::testing::Test

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Tests of the multi-session parallel harness (core::ParallelRunner)
+ * and of the concurrency contracts it depends on: const MemoTable
+ * lookups from many threads, const-Game reads, and bitwise-identical
+ * session results regardless of worker count.
+ *
+ * ConcurrentLookupsOnSharedConstTable is the TSan smoke target
+ * (tools/ci.sh runs this binary under -fsanitize=thread).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "core/memo_table.h"
+#include "core/parallel_runner.h"
+#include "core/scheme.h"
+#include "core/simulation.h"
+#include "core/snip.h"
+#include "games/registry.h"
+#include "trace/recorder.h"
+#include "util/rng.h"
+
+namespace snip {
+namespace core {
+namespace {
+
+TEST(ParallelRunnerTest, DefaultThreadCountRespectsEnv)
+{
+    ::setenv("SNIP_THREADS", "3", 1);
+    EXPECT_EQ(defaultThreadCount(), 3u);
+    ::setenv("SNIP_THREADS", "bogus", 1);
+    EXPECT_GE(defaultThreadCount(), 1u);  // falls back, never 0
+    ::unsetenv("SNIP_THREADS");
+    EXPECT_GE(defaultThreadCount(), 1u);
+}
+
+TEST(ParallelRunnerTest, SessionSeedsAreDistinct)
+{
+    const uint64_t base = 0x5e551011ULL;
+    std::vector<uint64_t> seeds;
+    for (uint64_t i = 0; i < 64; ++i)
+        seeds.push_back(ParallelRunner::sessionSeed(base, i));
+    for (size_t i = 0; i < seeds.size(); ++i) {
+        EXPECT_NE(seeds[i], base);  // never the undecorated base
+        for (size_t j = i + 1; j < seeds.size(); ++j)
+            EXPECT_NE(seeds[i], seeds[j]);
+    }
+    // Derivation is a pure function of (base, index).
+    EXPECT_EQ(ParallelRunner::sessionSeed(base, 5),
+              ParallelRunner::sessionSeed(base, 5));
+}
+
+TEST(ParallelRunnerTest, ForEachCoversEveryIndexExactlyOnce)
+{
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+        ParallelRunner runner(threads);
+        EXPECT_EQ(runner.threads(), threads);
+        constexpr size_t kN = 100;
+        std::vector<std::atomic<int>> counts(kN);
+        runner.forEach(kN, [&](size_t i) {
+            counts[i].fetch_add(1, std::memory_order_relaxed);
+        });
+        for (size_t i = 0; i < kN; ++i)
+            EXPECT_EQ(counts[i].load(), 1) << "index " << i;
+    }
+    // n smaller than the pool, and n == 0, must both work.
+    ParallelRunner wide(8);
+    std::atomic<int> total{0};
+    wide.forEach(3, [&](size_t) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), 3);
+    wide.forEach(0, [&](size_t) { ADD_FAILURE() << "fn called"; });
+}
+
+/** Field-by-field equality of two session stats blocks. */
+void
+expectStatsEqual(const SessionStats &a, const SessionStats &b)
+{
+    EXPECT_EQ(a.events, b.events);
+    EXPECT_EQ(a.shortcircuits, b.shortcircuits);
+    EXPECT_EQ(a.instr_total, b.instr_total);
+    EXPECT_EQ(a.instr_skipped, b.instr_skipped);
+    EXPECT_EQ(a.ip_work_total, b.ip_work_total);
+    EXPECT_EQ(a.ip_work_skipped, b.ip_work_skipped);
+    EXPECT_EQ(a.lookup_bytes, b.lookup_bytes);
+    EXPECT_EQ(a.lookup_candidates, b.lookup_candidates);
+    EXPECT_EQ(a.lookup_energy_j, b.lookup_energy_j);
+    EXPECT_EQ(a.erroneous_shortcircuits, b.erroneous_shortcircuits);
+    EXPECT_EQ(a.err_temp_only, b.err_temp_only);
+    EXPECT_EQ(a.err_history, b.err_history);
+    EXPECT_EQ(a.err_extern, b.err_extern);
+    EXPECT_EQ(a.output_fields_total, b.output_fields_total);
+    EXPECT_EQ(a.output_fields_wrong, b.output_fields_wrong);
+    EXPECT_EQ(a.useless_events, b.useless_events);
+    EXPECT_EQ(a.useless_instr_executed, b.useless_instr_executed);
+}
+
+/**
+ * The tentpole determinism guarantee: running the same session
+ * specs on a 4-worker pool produces results bitwise identical to a
+ * plain serial loop (scheduling order must not leak into results).
+ */
+TEST(ParallelRunnerTest, RunSessionsMatchesSerialBitwise)
+{
+    constexpr size_t kSessions = 6;
+    const uint64_t base = 0xab5e5510ULL;
+
+    std::vector<SessionSpec> specs;
+    for (size_t i = 0; i < kSessions; ++i) {
+        SessionSpec spec;
+        spec.make_game = [] { return games::makeGame("colorphun"); };
+        spec.make_scheme = [](games::Game &) {
+            return std::make_unique<BaselineScheme>();
+        };
+        spec.cfg.duration_s = 10.0;
+        spec.cfg.seed = ParallelRunner::sessionSeed(base, i);
+        specs.push_back(std::move(spec));
+    }
+
+    ParallelRunner pool(4);
+    std::vector<SessionResult> par = pool.runSessions(specs);
+    ASSERT_EQ(par.size(), kSessions);
+
+    for (size_t i = 0; i < kSessions; ++i) {
+        auto game = specs[i].make_game();
+        auto scheme = specs[i].make_scheme(*game);
+        SessionResult ser = runSession(*game, *scheme, specs[i].cfg);
+        expectStatsEqual(par[i].stats, ser.stats);
+        EXPECT_EQ(par[i].report.total(), ser.report.total());
+        EXPECT_EQ(par[i].report.elapsed(), ser.report.elapsed());
+        ASSERT_EQ(par[i].report.components().size(),
+                  ser.report.components().size());
+        for (size_t c = 0; c < ser.report.components().size(); ++c) {
+            EXPECT_EQ(par[i].report.components()[c].dynamic_j,
+                      ser.report.components()[c].dynamic_j);
+            EXPECT_EQ(par[i].report.components()[c].static_j,
+                      ser.report.components()[c].static_j);
+        }
+    }
+}
+
+/**
+ * The parallel benches give each task a *fresh clone* of the game
+ * where the serial loops reused one instance (runSession resets it).
+ * Those must be equivalent, or parallelizing would change results.
+ */
+TEST(ParallelRunnerTest, FreshCloneEquivalentToReset)
+{
+    SimulationConfig cfg;
+    cfg.duration_s = 10.0;
+
+    auto reused = games::makeGame("memory_game");
+    BaselineScheme s1;
+    SessionResult warm = runSession(*reused, s1, cfg);
+    (void)warm;  // dirty the instance, then rely on reset()
+    BaselineScheme s2;
+    SessionResult again = runSession(*reused, s2, cfg);
+
+    auto fresh = games::makeGame("memory_game");
+    BaselineScheme s3;
+    SessionResult clone = runSession(*fresh, s3, cfg);
+
+    expectStatsEqual(again.stats, clone.stats);
+    EXPECT_EQ(again.report.total(), clone.report.total());
+}
+
+/**
+ * The shared-read contract the whole design rests on: many threads
+ * doing lookups against ONE const MemoTable + ONE const Game must
+ * race-free (this is the TSan smoke target) and must each see the
+ * same results a serial reader sees.
+ */
+TEST(ParallelRunnerTest, ConcurrentLookupsOnSharedConstTable)
+{
+    // Build a deployed model the way the runtime does.
+    auto game = games::makeGame("colorphun");
+    BaselineScheme baseline;
+    SimulationConfig cfg;
+    cfg.duration_s = 30.0;
+    cfg.record_events = true;
+    SessionResult res = runSession(*game, baseline, cfg);
+    auto replica = games::makeGame("colorphun");
+    trace::Profile profile =
+        trace::Replayer::replay(res.trace, *replica);
+    SnipConfig scfg;
+    SnipModel model = buildSnipModel(profile, *game, scfg);
+    ASSERT_GT(model.table->entryCount(), 0u);
+
+    game->reset();
+    const MemoTable &table = *model.table;      // shared, const
+    const games::Game &cgame = *game;           // shared, const
+    const auto &events = res.trace.events;
+    ASSERT_FALSE(events.empty());
+
+    // Serial reference pass.
+    uint64_t ref_hits = 0, ref_candidates = 0;
+    {
+        LookupScratch scratch;
+        for (const auto &ev : events) {
+            MemoLookup r = table.lookup(ev, cgame, scratch);
+            ref_hits += r.hit;
+            ref_candidates += r.candidates;
+        }
+    }
+
+    constexpr unsigned kThreads = 8;
+    constexpr int kRounds = 4;
+    std::vector<uint64_t> hits(kThreads, 0);
+    std::vector<uint64_t> candidates(kThreads, 0);
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&, t] {
+            LookupScratch scratch;  // per-caller, reused
+            for (int round = 0; round < kRounds; ++round) {
+                for (const auto &ev : events) {
+                    MemoLookup r = table.lookup(ev, cgame, scratch);
+                    hits[t] += r.hit;
+                    candidates[t] += r.candidates;
+                }
+            }
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+
+    for (unsigned t = 0; t < kThreads; ++t) {
+        EXPECT_EQ(hits[t], ref_hits * kRounds) << "thread " << t;
+        EXPECT_EQ(candidates[t], ref_candidates * kRounds)
+            << "thread " << t;
+    }
+    EXPECT_GT(ref_hits, 0u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace snip

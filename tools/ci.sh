@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI driver: build + test the default config, build + test the
+# asan/ubsan config, then run the TSan smoke of the shared-const
+# concurrent-lookup contract the parallel session runner relies on.
+#
+# Usage: tools/ci.sh [jobs]   (jobs defaults to nproc)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "==> default build + ctest"
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$JOBS"
+ctest --preset default -j "$JOBS"
+
+echo "==> asan/ubsan build + ctest"
+cmake --preset asan-ubsan >/dev/null
+cmake --build --preset asan-ubsan -j "$JOBS"
+ctest --preset asan-ubsan -j "$JOBS"
+
+echo "==> tsan smoke (concurrent const-table lookups)"
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan -j "$JOBS" --target parallel_test
+TSAN_OPTIONS="halt_on_error=1" \
+    ./build-tsan/tests/parallel_test \
+    --gtest_filter='ParallelRunnerTest.ConcurrentLookupsOnSharedConstTable:ParallelRunnerTest.RunSessionsMatchesSerialBitwise'
+
+echo "==> all green"
