@@ -15,12 +15,14 @@
 
 #include <cstdio>
 
+#include "core/model_codec.h"
 #include "core/simulation.h"
 #include "core/snip.h"
 #include "games/registry.h"
 #include "trace/recorder.h"
 #include "trace/trace_log.h"
 #include "util/bytes.h"
+#include "util/logging.h"
 #include "util/units.h"
 
 using namespace snip;
@@ -32,6 +34,7 @@ main(int argc, char **argv)
     std::string dir = "/tmp";
     std::string events_path = dir + "/snip_" + name + "_events.bin";
     std::string profile_path = dir + "/snip_" + name + "_profile.bin";
+    std::string model_path = dir + "/snip_" + name + "_model.snpm";
 
     // --- Phone side: play & record -------------------------------
     auto game = games::makeGame(name);
@@ -43,22 +46,32 @@ main(int argc, char **argv)
 
     util::ByteBuffer ev_buf;
     trace::encodeEventTrace(res.trace, ev_buf);
-    trace::saveBuffer(ev_buf, events_path);
+    util::Status st = trace::saveBuffer(ev_buf, events_path);
+    if (!st.ok())
+        util::fatal("%s", st.message().c_str());
     std::printf("[phone] recorded %zu events -> %s (%s uploaded)\n",
                 res.trace.events.size(), events_path.c_str(),
                 util::formatSize(static_cast<double>(ev_buf.size()))
                     .c_str());
 
     // --- Cloud side: replay on the emulator ----------------------
-    util::ByteBuffer ev_in = trace::loadBuffer(events_path);
-    trace::EventTrace uploaded = trace::decodeEventTrace(ev_in);
+    util::ByteBuffer ev_in;
+    st = trace::loadBuffer(events_path, &ev_in);
+    if (!st.ok())
+        util::fatal("%s", st.message().c_str());
+    trace::EventTrace uploaded;
+    st = trace::decodeEventTrace(ev_in, &uploaded);
+    if (!st.ok())
+        util::fatal("corrupt upload: %s", st.message().c_str());
     auto emulator = games::makeGame(uploaded.game);
     trace::Profile profile =
         trace::Replayer::replay(uploaded, *emulator);
 
     util::ByteBuffer prof_buf;
     trace::encodeProfile(profile, prof_buf);
-    trace::saveBuffer(prof_buf, profile_path);
+    st = trace::saveBuffer(prof_buf, profile_path);
+    if (!st.ok())
+        util::fatal("%s", st.message().c_str());
     std::printf("[cloud] replayed -> %zu full I/O records (%s on "
                 "disk; a real device would need %s for the naive "
                 "union-of-locations table)\n",
@@ -90,21 +103,33 @@ main(int argc, char **argv)
             std::printf("      - %s\n",
                         emulator->schema().def(fid).name.c_str());
     }
+    st = core::saveModel(model, model_path);
+    if (!st.ok())
+        util::fatal("%s", st.message().c_str());
     std::printf("[cloud] OTA payload: lookup table with %zu entries "
-                "(%s)\n",
+                "(%s wire) -> %s\n",
                 model.table->entryCount(),
                 util::formatSize(static_cast<double>(
-                                     model.table->totalBytes()))
-                    .c_str());
+                                     core::packedModelBytes(model)))
+                    .c_str(),
+                model_path.c_str());
 
     // --- Phone side: play with the deployed table ----------------
+    // The phone runs the model that crossed the wire, not the
+    // in-memory pointer; a corrupt package would be rejected here
+    // and the phone would simply stay on baseline.
+    util::Result<core::SnipModel> shipped =
+        core::loadModel(model_path);
+    if (!shipped.ok())
+        util::fatal("rejected OTA package: %s",
+                    shipped.status().message().c_str());
     core::SimulationConfig ecfg;
     ecfg.duration_s = 60.0;
     ecfg.seed = 7777;
     core::BaselineScheme base2;
     double e_base =
         core::runSession(*game, base2, ecfg).report.total();
-    core::SnipScheme snip(model);
+    core::SnipScheme snip(shipped.value());
     core::SessionResult r = core::runSession(*game, snip, ecfg);
     std::printf("[phone] SNIP session: %.1f%% energy saved "
                 "(%.1f%% of execution snipped, %.3f%% output fields "

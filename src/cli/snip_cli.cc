@@ -19,6 +19,15 @@
  *   snip learn --game G [--epochs E]
  *       Continuous-learning loop (Fig. 12 style) with per-epoch
  *       error rates.
+ *   snip pack --game G --out model.bin [--profile-seconds S]
+ *       Profile + PFI-select + serialize the deployable model into
+ *       the OTA package format (steps 4-5 of the paper's flow).
+ *   snip inspect --in model.bin [--verbose]
+ *       Print a package's header, integrity state, selections, and
+ *       table statistics.
+ *   snip verify --in model.bin
+ *       Integrity-check a package; exit 0 when deployable, 1 when
+ *       rejected (never aborts on corrupt input).
  *
  * Every command is deterministic under --seed.
  */
@@ -30,6 +39,7 @@
 #include <string>
 
 #include "core/continuous_learning.h"
+#include "core/model_codec.h"
 #include "core/qoe.h"
 #include "core/simulation.h"
 #include "core/snip.h"
@@ -158,7 +168,9 @@ cmdRecord(const Args &args)
 
     util::ByteBuffer buf;
     trace::encodeEventTrace(res.trace, buf);
-    trace::saveBuffer(buf, out);
+    util::Status st = trace::saveBuffer(buf, out);
+    if (!st.ok())
+        util::fatal("record: %s", st.message().c_str());
     std::printf("recorded %zu events of %s -> %s (%s)\n",
                 res.trace.events.size(), game->name().c_str(),
                 out.c_str(),
@@ -173,8 +185,14 @@ cmdSelect(const Args &args)
     std::string in = args.get("in");
     if (in.empty())
         util::fatal("select: --in <events.bin> is required");
-    util::ByteBuffer buf = trace::loadBuffer(in);
-    trace::EventTrace tr = trace::decodeEventTrace(buf);
+    util::ByteBuffer buf;
+    util::Status st = trace::loadBuffer(in, &buf);
+    if (!st.ok())
+        util::fatal("select: %s", st.message().c_str());
+    trace::EventTrace tr;
+    st = trace::decodeEventTrace(buf, &tr);
+    if (!st.ok())
+        util::fatal("select: %s", st.message().c_str());
     auto game = games::makeGame(tr.game);
     trace::Profile profile = trace::Replayer::replay(tr, *game);
 
@@ -182,7 +200,9 @@ cmdSelect(const Args &args)
     if (!out.empty()) {
         util::ByteBuffer pbuf;
         trace::encodeProfile(profile, pbuf);
-        trace::saveBuffer(pbuf, out);
+        st = trace::saveBuffer(pbuf, out);
+        if (!st.ok())
+            util::fatal("select: %s", st.message().c_str());
         std::printf("profile -> %s (%s)\n", out.c_str(),
                     util::formatSize(static_cast<double>(pbuf.size()))
                         .c_str());
@@ -328,6 +348,127 @@ cmdLearn(const Args &args)
     return 0;
 }
 
+int
+cmdPack(const Args &args)
+{
+    std::string out = args.get("out");
+    if (out.empty())
+        util::fatal("pack: --out <model.bin> is required");
+    auto game = games::makeGame(args.get("game", "ab_evolution"));
+
+    core::BaselineScheme baseline;
+    core::SimulationConfig pcfg;
+    pcfg.duration_s = args.getD("profile-seconds", 300.0);
+    pcfg.seed = args.getU("seed", 77);
+    pcfg.record_events = true;
+    core::SessionResult prof = core::runSession(*game, baseline, pcfg);
+    auto replica = games::makeGame(game->name());
+    trace::Profile profile =
+        trace::Replayer::replay(prof.trace, *replica);
+
+    core::SnipConfig scfg;
+    scfg.seed = args.getU("seed", 77);
+    scfg.overrides.force_keep = game->params().recommended_overrides;
+    core::SnipModel model = core::buildSnipModel(profile, *game, scfg);
+
+    util::Status st = core::saveModel(model, out);
+    if (!st.ok())
+        util::fatal("pack: %s", st.message().c_str());
+    std::printf("packed %s: %zu event types, %zu entries (%s table) "
+                "-> %s (%s on the wire)\n",
+                game->name().c_str(), model.types.size(),
+                model.table->entryCount(),
+                util::formatSize(static_cast<double>(
+                                     model.table->totalBytes()))
+                    .c_str(),
+                out.c_str(),
+                util::formatSize(static_cast<double>(
+                                     core::packedModelBytes(model)))
+                    .c_str());
+    return 0;
+}
+
+int
+cmdInspect(const Args &args)
+{
+    std::string in = args.get("in");
+    if (in.empty())
+        util::fatal("inspect: --in <model.bin> is required");
+    util::ByteBuffer buf;
+    util::Status st = trace::loadBuffer(in, &buf);
+    if (!st.ok())
+        util::fatal("inspect: %s", st.message().c_str());
+
+    core::PackageInfo info;
+    st = core::inspectPackage(buf, &info);
+    if (!st.ok()) {
+        std::printf("%s: NOT a model package: %s\n", in.c_str(),
+                    st.message().c_str());
+        return 1;
+    }
+    std::printf("%s: version %u, payload %s, crc 0x%08x (%s)\n",
+                in.c_str(), info.version,
+                util::formatSize(
+                    static_cast<double>(info.payload_bytes))
+                    .c_str(),
+                info.crc, info.crc_ok ? "ok" : "MISMATCH");
+
+    util::Result<core::SnipModel> model = core::unpackModel(buf);
+    if (!model.ok()) {
+        std::printf("payload rejected: %s\n",
+                    model.status().message().c_str());
+        return 1;
+    }
+    const core::SnipModel &m = model.value();
+    std::printf("game %s: %zu event types deployed\n",
+                m.game.c_str(), m.types.size());
+    for (const auto &t : m.types) {
+        std::printf("  %-12s %2zu necessary fields (%llu B), %llu "
+                    "records, holdout wrong hits %.2f%%\n",
+                    events::eventTypeName(t.type),
+                    t.selection.selected.size(),
+                    static_cast<unsigned long long>(
+                        t.selection.selected_bytes),
+                    static_cast<unsigned long long>(t.records),
+                    100.0 * t.selection.selected_error);
+        if (m.table && !args.get("verbose").empty()) {
+            for (events::FieldId fid : t.selection.selected)
+                std::printf("      %s\n",
+                            m.table->schema().def(fid).name.c_str());
+        }
+    }
+    if (m.table)
+        std::printf("table: %zu entries, %s modeled on-device\n",
+                    m.table->entryCount(),
+                    util::formatSize(static_cast<double>(
+                                         m.table->totalBytes()))
+                        .c_str());
+    else
+        std::printf("table: (none)\n");
+    return 0;
+}
+
+int
+cmdVerify(const Args &args)
+{
+    std::string in = args.get("in");
+    if (in.empty())
+        util::fatal("verify: --in <model.bin> is required");
+    util::Result<core::SnipModel> model = core::loadModel(in);
+    if (!model.ok()) {
+        std::printf("%s: REJECTED: %s\n", in.c_str(),
+                    model.status().message().c_str());
+        return 1;
+    }
+    std::printf("%s: OK (%s, %zu types, %zu entries)\n", in.c_str(),
+                model.value().game.c_str(),
+                model.value().types.size(),
+                model.value().table
+                    ? model.value().table->entryCount()
+                    : 0);
+    return 0;
+}
+
 void
 usage()
 {
@@ -341,6 +482,9 @@ usage()
         "  select --in F [--out P] [--verbose]  replay + PFI\n"
         "  eval --game G [--scheme S] [--audit N] deploy + measure\n"
         "  learn --game G [--epochs E] [--gate]  continuous learning\n"
+        "  pack --game G --out F                 build + serialize OTA model\n"
+        "  inspect --in F [--verbose]            show a packed model\n"
+        "  verify --in F                         integrity-check a model\n"
         "common: --seed N\n");
 }
 
@@ -362,6 +506,12 @@ main(int argc, char **argv)
         return cmdEval(args);
     if (args.command == "learn")
         return cmdLearn(args);
+    if (args.command == "pack")
+        return cmdPack(args);
+    if (args.command == "inspect")
+        return cmdInspect(args);
+    if (args.command == "verify")
+        return cmdVerify(args);
     usage();
     return args.command.empty() ? 0 : 1;
 }

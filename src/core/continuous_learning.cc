@@ -1,5 +1,6 @@
 #include "core/continuous_learning.h"
 
+#include "core/model_codec.h"
 #include "trace/recorder.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -20,14 +21,12 @@ ContinuousLearner::ContinuousLearner(games::Game &game,
 }
 
 double
-ContinuousLearner::testedError(const SnipModel &model) const
+testedModelError(const SnipModel &model)
 {
-    // Aggregate of the per-type selection errors, weighted by the
-    // record counts behind them.
     double weighted = 0.0;
     double total = 0.0;
     for (const auto &t : model.types) {
-        double w = 1.0;
+        double w = static_cast<double>(t.records);
         weighted += t.selection.selected_error * w;
         total += w;
     }
@@ -52,18 +51,37 @@ ContinuousLearner::run()
 
     std::vector<EpochResult> results;
     SnipModel model;
+    uint64_t payload_bytes = 0;
     for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
         if (epoch % cfg_.relearn_every == 0) {
             SnipConfig sc = cfg_.snip;
             sc.seed = util::mixCombine(cfg_.snip.seed,
                                        static_cast<uint64_t>(epoch));
-            model = buildSnipModel(profile, game_, sc);
+            SnipModel built = buildSnipModel(profile, game_, sc);
+
+            // Deploy through the OTA transport: the table the phone
+            // runs is the one that survived serialize->deserialize,
+            // never the in-memory pointer. A package that fails
+            // integrity checks is rejected and the device keeps
+            // running at baseline until the next epoch's push.
+            util::ByteBuffer pkg;
+            packModel(built, pkg);
+            payload_bytes = pkg.size();
+            util::Result<SnipModel> shipped = unpackModel(pkg);
+            if (shipped.ok()) {
+                model = std::move(shipped.value());
+            } else {
+                util::warn("continuous learning: rejected OTA "
+                           "package at epoch %d: %s", epoch,
+                           shipped.status().message().c_str());
+                model = SnipModel{};
+            }
         }
 
-        bool deployed = true;
+        bool deployed = model.table != nullptr;
         if (cfg_.confidence_gate &&
             (profile.records.size() < cfg_.gate_min_records ||
-             testedError(model) > cfg_.gate_threshold))
+             testedModelError(model) > cfg_.gate_threshold))
             deployed = false;
 
         scfg.seed = util::mixCombine(cfg_.sim.seed,
@@ -72,6 +90,7 @@ ContinuousLearner::run()
         er.epoch = epoch;
         er.profile_records = profile.records.size();
         er.table_bytes = model.table ? model.table->totalBytes() : 0;
+        er.payload_bytes = payload_bytes;
         er.deployed = deployed;
 
         SessionResult res = [&] {

@@ -60,9 +60,20 @@ struct EpochResult {
     size_t profile_records = 0;
     /** Deployed table size (bytes). */
     uint64_t table_bytes = 0;
+    /** Serialized OTA package size of the deployed model (bytes) —
+     *  the paper's headline ~kB-scale over-the-air payload. */
+    uint64_t payload_bytes = 0;
     /** Whether short-circuiting was enabled (confidence gate). */
     bool deployed = true;
 };
+
+/**
+ * Tested error of a model: the per-type holdout selection errors
+ * aggregated with each type weighted by the profiled record count
+ * behind it, so a high-error type with almost no evidence cannot
+ * dominate the confidence gate.
+ */
+double testedModelError(const SnipModel &model);
 
 /** Run the continuous-learning loop on one game. */
 class ContinuousLearner
@@ -80,9 +91,6 @@ class ContinuousLearner
     std::vector<EpochResult> run();
 
   private:
-    /** Tested error of a model on the accumulated profile. */
-    double testedError(const SnipModel &model) const;
-
     games::Game &game_;
     games::Game &replica_;
     LearningConfig cfg_;

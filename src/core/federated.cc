@@ -1,8 +1,10 @@
 #include "core/federated.h"
 
 #include <algorithm>
+#include <array>
 #include <map>
 
+#include "core/model_codec.h"
 #include "core/parallel_runner.h"
 #include "core/simulation.h"
 #include "games/registry.h"
@@ -127,6 +129,13 @@ buildFederated(const std::string &game_name,
             for (events::FieldId fid : t.selection.selected)
                 ++votes[t.type][fid];
 
+    // Evidence weight of each deployed type: profiled records of
+    // that type across the fleet (drives the confidence gate).
+    std::array<uint64_t, events::kNumEventTypes> type_records{};
+    for (const auto &u : users)
+        for (const auto &rec : u.profile.records)
+            ++type_records[static_cast<int>(rec.type)];
+
     for (const auto &tv : votes) {
         std::vector<events::FieldId> selected;
         for (const auto &fv : tv.second)
@@ -137,6 +146,7 @@ buildFederated(const std::string &game_name,
         out.model.table->setSelected(tv.first, selected);
         TypeModel tm;
         tm.type = tv.first;
+        tm.records = type_records[static_cast<int>(tv.first)];
         tm.selection.selected = selected;
         for (events::FieldId fid : selected)
             tm.selection.selected_bytes +=
@@ -146,17 +156,30 @@ buildFederated(const std::string &game_name,
     }
 
     // Each device projects its local profile onto the agreed fields
-    // and uploads only the table entries.
-    for (const auto &u : users) {
-        MemoTable local_table(game->schema());
+    // and uploads its table entries as a packed OTA-style payload;
+    // the server decodes each payload and unions it into the fleet
+    // model. A payload that fails integrity checks is dropped, not
+    // fatal — that user just contributes nothing this round.
+    for (int u = 0; u < cfg.num_users; ++u) {
+        SnipModel device;
+        device.game = game_name;
+        device.table = std::make_unique<MemoTable>(game->schema());
         for (const auto &t : out.model.types)
-            local_table.setSelected(t.type, t.selection.selected);
-        for (const auto &rec : u.profile.records)
-            local_table.insert(rec);
-        out.cost.uploaded_bytes += local_table.totalBytes();
-        // Server-side union.
-        for (const auto &rec : u.profile.records)
-            out.model.table->insert(rec);
+            device.table->setSelected(t.type, t.selection.selected);
+        for (const auto &rec : users[u].profile.records)
+            device.table->insert(rec);
+
+        util::ByteBuffer payload;
+        packModel(device, payload);
+        out.cost.uploaded_bytes += payload.size();
+
+        util::Result<SnipModel> decoded = unpackModel(payload);
+        if (!decoded.ok() || !decoded.value().table) {
+            util::warn("federated: dropping user %d upload: %s", u,
+                       decoded.status().message().c_str());
+            continue;
+        }
+        out.model.table->mergeFrom(*decoded.value().table);
     }
     return out;
 }

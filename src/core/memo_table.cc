@@ -211,6 +211,38 @@ MemoTable::recordHit(const MemoLookup &res)
     ++it->second[res.entry_index].hits;
 }
 
+void
+MemoTable::visitEntries(
+    events::EventType type,
+    const std::function<void(uint64_t, const MemoEntry &)> &fn) const
+{
+    const TypeTable &tt = types_[static_cast<int>(type)];
+    std::vector<uint64_t> subkeys;
+    subkeys.reserve(tt.buckets.size());
+    for (const auto &kv : tt.buckets)
+        subkeys.push_back(kv.first);
+    std::sort(subkeys.begin(), subkeys.end());
+    for (uint64_t sk : subkeys)
+        for (const MemoEntry &e : tt.buckets.at(sk))
+            fn(sk, e);
+}
+
+void
+MemoTable::mergeFrom(const MemoTable &other)
+{
+    for (int t = 0; t < events::kNumEventTypes; ++t) {
+        events::EventType type = static_cast<events::EventType>(t);
+        other.visitEntries(
+            type, [&](uint64_t, const MemoEntry &e) {
+                games::HandlerExecution rec;
+                rec.type = type;
+                rec.inputs = e.key_fields;  // already canonical order
+                rec.outputs = e.outputs;
+                insert(rec);
+            });
+    }
+}
+
 size_t
 MemoTable::entryCount() const
 {

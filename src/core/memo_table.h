@@ -17,6 +17,7 @@
 #define SNIP_CORE_MEMO_TABLE_H
 
 #include <array>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -132,6 +133,29 @@ class MemoTable
      * SnipScheme has).
      */
     void recordHit(const MemoLookup &res);
+
+    /** The schema copy this table is bound to. */
+    const events::FieldSchema &schema() const { return schema_; }
+
+    /**
+     * Visit every entry of @p type in canonical order: buckets by
+     * ascending event-subkey, entries in insertion order within a
+     * bucket. The order is stable across serialize/deserialize
+     * round-trips, which is what makes re-serialization
+     * byte-identical (model_codec.h).
+     */
+    void visitEntries(
+        events::EventType type,
+        const std::function<void(uint64_t subkey,
+                                 const MemoEntry &entry)> &fn) const;
+
+    /**
+     * Union another table's entries into this one (the server-side
+     * federated merge). Entries are re-projected onto *this* table's
+     * selected sets; duplicate keys keep the first-seen outputs,
+     * matching insert()'s append-only semantics.
+     */
+    void mergeFrom(const MemoTable &other);
 
     /** Number of entries across all types. */
     size_t entryCount() const;

@@ -1,0 +1,393 @@
+#include "core/model_codec.h"
+
+#include <bit>
+#include <set>
+
+#include "trace/trace_log.h"
+#include "util/crc32.h"
+
+namespace snip {
+namespace core {
+
+namespace {
+
+/** Minimum encoded sizes, used to sanity-bound decoded counts. */
+constexpr uint64_t kMinFieldDefBytes = 10;  // len + side + cat + size
+constexpr uint64_t kMinTypeModelBytes = 49; // fixed TypeModel scalars
+constexpr uint64_t kMinFieldIdBytes = 4;
+constexpr uint64_t kMinTableTypeBytes = 9;  // type + nsel + nentries
+constexpr uint64_t kMinEntryBytes = 8;      // nkey + nout
+constexpr uint64_t kMinKeyValueBytes = 12;  // id u32 + value u64
+
+void
+encodeSchema(const events::FieldSchema &schema, util::ByteBuffer &buf)
+{
+    buf.putU32(static_cast<uint32_t>(schema.size()));
+    for (const auto &d : schema.defs()) {
+        buf.putString(d.name);
+        buf.putU8(static_cast<uint8_t>(d.side));
+        buf.putU8(d.side == events::FieldSide::Input
+                      ? static_cast<uint8_t>(d.in_cat)
+                      : static_cast<uint8_t>(d.out_cat));
+        buf.putU32(d.size_bytes);
+    }
+}
+
+util::Status
+decodeSchema(util::ByteReader &r, events::FieldSchema *schema)
+{
+    uint32_t n = r.u32();
+    if (!r.fits(n, kMinFieldDefBytes))
+        return util::Status::Error("model: truncated schema");
+    std::set<std::string> names;
+    for (uint32_t i = 0; i < n; ++i) {
+        std::string name = r.str();
+        uint8_t side = r.u8();
+        uint8_t cat = r.u8();
+        uint32_t size_bytes = r.u32();
+        if (!r.ok())
+            return util::Status::Error("model: truncated schema");
+        if (name.empty() || !names.insert(name).second)
+            return util::Status::Errorf(
+                "model: bad schema field name at index %u", i);
+        if (side > 1 || cat > 2 || size_bytes == 0)
+            return util::Status::Errorf(
+                "model: bad schema field '%s'", name.c_str());
+        if (side == static_cast<uint8_t>(events::FieldSide::Input))
+            schema->addInput(
+                name, static_cast<events::InputCategory>(cat),
+                size_bytes);
+        else
+            schema->addOutput(
+                name, static_cast<events::OutputCategory>(cat),
+                size_bytes);
+    }
+    return util::Status::Ok();
+}
+
+/** Validate a decoded field-id list: in-schema, on the right side,
+ *  strictly ascending (the canonical order every encoder emits). */
+util::Status
+checkFieldIds(const std::vector<events::FieldId> &ids,
+              const events::FieldSchema &schema,
+              events::FieldSide side, const char *what)
+{
+    events::FieldId prev = events::kInvalidField;
+    for (events::FieldId id : ids) {
+        if (id >= schema.size())
+            return util::Status::Errorf("model: %s id %u out of "
+                                        "schema range", what, id);
+        if (schema.def(id).side != side)
+            return util::Status::Errorf("model: %s id %u on wrong "
+                                        "side", what, id);
+        if (prev != events::kInvalidField && id <= prev)
+            return util::Status::Errorf("model: %s ids not strictly "
+                                        "ascending", what);
+        prev = id;
+    }
+    return util::Status::Ok();
+}
+
+util::Status
+decodeFieldIds(util::ByteReader &r,
+               std::vector<events::FieldId> *ids, const char *what)
+{
+    uint32_t n = r.u32();
+    if (!r.fits(n, kMinFieldIdBytes))
+        return util::Status::Errorf("model: truncated %s list", what);
+    ids->clear();
+    ids->reserve(n);
+    for (uint32_t i = 0; i < n; ++i)
+        ids->push_back(r.u32());
+    return util::Status::Ok();
+}
+
+void
+encodeFieldValues(const std::vector<events::FieldValue> &values,
+                  util::ByteBuffer &buf)
+{
+    buf.putU32(static_cast<uint32_t>(values.size()));
+    for (const auto &fv : values) {
+        buf.putU32(fv.id);
+        buf.putU64(fv.value);
+    }
+}
+
+util::Status
+decodeFieldValues(util::ByteReader &r,
+                  std::vector<events::FieldValue> *values,
+                  const events::FieldSchema &schema,
+                  events::FieldSide side, const char *what)
+{
+    uint32_t n = r.u32();
+    if (!r.fits(n, kMinKeyValueBytes))
+        return util::Status::Errorf("model: truncated %s list", what);
+    values->clear();
+    values->reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        events::FieldValue fv;
+        fv.id = r.u32();
+        fv.value = r.u64();
+        if (r.ok() && (fv.id >= schema.size() ||
+                       schema.def(fv.id).side != side))
+            return util::Status::Errorf("model: bad %s field id %u",
+                                        what, fv.id);
+        values->push_back(fv);
+    }
+    if (!r.ok())
+        return util::Status::Errorf("model: truncated %s list", what);
+    return util::Status::Ok();
+}
+
+void
+encodePayload(const SnipModel &model, util::ByteBuffer &buf)
+{
+    buf.putString(model.game);
+
+    const events::FieldSchema empty;
+    const events::FieldSchema &schema =
+        model.table ? model.table->schema() : empty;
+    encodeSchema(schema, buf);
+
+    buf.putU32(static_cast<uint32_t>(model.types.size()));
+    for (const auto &t : model.types) {
+        buf.putU8(static_cast<uint8_t>(t.type));
+        buf.putU64(t.records);
+        buf.putU32(static_cast<uint32_t>(t.selection.selected.size()));
+        for (events::FieldId fid : t.selection.selected)
+            buf.putU32(fid);
+        buf.putU64(t.selection.selected_bytes);
+        buf.putU64(std::bit_cast<uint64_t>(t.selection.full_error));
+        buf.putU64(t.selection.full_bytes);
+        buf.putU64(
+            std::bit_cast<uint64_t>(t.selection.selected_error));
+        buf.putU64(
+            std::bit_cast<uint64_t>(t.selection.selected_hit_rate));
+    }
+
+    buf.putU8(model.table ? 1 : 0);
+    if (!model.table)
+        return;
+    const MemoTable &table = *model.table;
+    uint32_t ntypes = 0;
+    for (int t = 0; t < events::kNumEventTypes; ++t)
+        if (!table.selected(static_cast<events::EventType>(t)).empty())
+            ++ntypes;
+    buf.putU32(ntypes);
+    for (int t = 0; t < events::kNumEventTypes; ++t) {
+        events::EventType type = static_cast<events::EventType>(t);
+        if (table.selected(type).empty())
+            continue;
+        buf.putU8(static_cast<uint8_t>(t));
+        buf.putU32(
+            static_cast<uint32_t>(table.selected(type).size()));
+        for (events::FieldId fid : table.selected(type))
+            buf.putU32(fid);
+        buf.putU32(static_cast<uint32_t>(table.entryCount(type)));
+        table.visitEntries(type,
+                           [&](uint64_t, const MemoEntry &e) {
+                               encodeFieldValues(e.key_fields, buf);
+                               encodeFieldValues(e.outputs, buf);
+                           });
+    }
+}
+
+util::Status
+decodePayload(util::ByteReader &r, SnipModel *model)
+{
+    model->game = r.str();
+
+    events::FieldSchema schema;
+    util::Status st = decodeSchema(r, &schema);
+    if (!st.ok())
+        return st;
+
+    uint32_t ntypes = r.u32();
+    if (!r.fits(ntypes, kMinTypeModelBytes))
+        return util::Status::Error("model: truncated type list");
+    std::set<uint8_t> seen_types;
+    for (uint32_t i = 0; i < ntypes; ++i) {
+        TypeModel tm;
+        uint8_t type = r.u8();
+        if (r.ok() && (type >= events::kNumEventTypes ||
+                       !seen_types.insert(type).second))
+            return util::Status::Errorf(
+                "model: bad or duplicate event type %u", type);
+        tm.type = static_cast<events::EventType>(type);
+        tm.records = r.u64();
+        st = decodeFieldIds(r, &tm.selection.selected, "selection");
+        if (!st.ok())
+            return st;
+        tm.selection.selected_bytes = r.u64();
+        tm.selection.full_error = std::bit_cast<double>(r.u64());
+        tm.selection.full_bytes = r.u64();
+        tm.selection.selected_error = std::bit_cast<double>(r.u64());
+        tm.selection.selected_hit_rate =
+            std::bit_cast<double>(r.u64());
+        if (!r.ok())
+            return util::Status::Error("model: truncated type entry");
+        st = checkFieldIds(tm.selection.selected, schema,
+                           events::FieldSide::Input, "selection");
+        if (!st.ok())
+            return st;
+        model->types.push_back(std::move(tm));
+    }
+
+    uint8_t has_table = r.u8();
+    if (!r.ok())
+        return util::Status::Error("model: truncated table flag");
+    if (has_table > 1)
+        return util::Status::Errorf("model: bad table flag %u",
+                                    has_table);
+    if (!has_table)
+        return util::Status::Ok();
+
+    model->table = std::make_unique<MemoTable>(schema);
+    uint32_t ntable = r.u32();
+    if (!r.fits(ntable, kMinTableTypeBytes))
+        return util::Status::Error("model: truncated table");
+    seen_types.clear();
+    for (uint32_t i = 0; i < ntable; ++i) {
+        uint8_t type = r.u8();
+        if (r.ok() && (type >= events::kNumEventTypes ||
+                       !seen_types.insert(type).second))
+            return util::Status::Errorf(
+                "model: bad or duplicate table type %u", type);
+        events::EventType t = static_cast<events::EventType>(type);
+        std::vector<events::FieldId> selected;
+        st = decodeFieldIds(r, &selected, "table selection");
+        if (!st.ok())
+            return st;
+        st = checkFieldIds(selected, schema,
+                           events::FieldSide::Input,
+                           "table selection");
+        if (!st.ok())
+            return st;
+        if (selected.empty())
+            return util::Status::Error(
+                "model: table type with empty selection");
+        model->table->setSelected(t, selected);
+
+        uint32_t nentries = r.u32();
+        if (!r.fits(nentries, kMinEntryBytes))
+            return util::Status::Error(
+                "model: truncated entry list");
+        for (uint32_t e = 0; e < nentries; ++e) {
+            games::HandlerExecution rec;
+            rec.type = t;
+            st = decodeFieldValues(r, &rec.inputs, schema,
+                                   events::FieldSide::Input,
+                                   "entry key");
+            if (!st.ok())
+                return st;
+            st = decodeFieldValues(r, &rec.outputs, schema,
+                                   events::FieldSide::Output,
+                                   "entry output");
+            if (!st.ok())
+                return st;
+            model->table->insert(rec);
+        }
+    }
+    if (!r.ok())
+        return util::Status::Error("model: truncated payload");
+    return util::Status::Ok();
+}
+
+}  // namespace
+
+void
+packModel(const SnipModel &model, util::ByteBuffer &out)
+{
+    util::ByteBuffer payload;
+    encodePayload(model, payload);
+    out.putU32(kModelMagic);
+    out.putU32(kModelVersion);
+    out.putU32(static_cast<uint32_t>(payload.size()));
+    out.putBytes(payload.data().data(), payload.size());
+    out.putU32(util::crc32(payload.data().data(), payload.size()));
+}
+
+util::Status
+inspectPackage(util::ByteBuffer &buf, PackageInfo *info)
+{
+    buf.rewind();
+    util::ByteReader r(buf);
+    uint32_t magic = r.u32();
+    info->version = r.u32();
+    info->payload_bytes = r.u32();
+    if (!r.ok())
+        return util::Status::Error("model: truncated header");
+    if (magic != kModelMagic)
+        return util::Status::Errorf("model: bad magic 0x%08x", magic);
+    if (buf.remaining() != info->payload_bytes + 4ull)
+        return util::Status::Errorf(
+            "model: payload length %u does not match package size",
+            info->payload_bytes);
+    const uint8_t *payload = buf.data().data() + buf.cursor();
+    uint32_t computed = util::crc32(payload, info->payload_bytes);
+    const uint8_t *footer = payload + info->payload_bytes;
+    info->crc = static_cast<uint32_t>(footer[0]) |
+                static_cast<uint32_t>(footer[1]) << 8 |
+                static_cast<uint32_t>(footer[2]) << 16 |
+                static_cast<uint32_t>(footer[3]) << 24;
+    info->crc_ok = computed == info->crc;
+    return util::Status::Ok();
+}
+
+util::Result<SnipModel>
+unpackModel(util::ByteBuffer &buf)
+{
+    PackageInfo info;
+    util::Status st = inspectPackage(buf, &info);
+    if (!st.ok())
+        return st;
+    if (info.version != kModelVersion)
+        return util::Status::Errorf(
+            "model: unsupported version %u (expected %u)",
+            info.version, kModelVersion);
+    if (!info.crc_ok)
+        return util::Status::Errorf(
+            "model: CRC mismatch (stored 0x%08x): corrupt payload",
+            info.crc);
+
+    // inspectPackage left the cursor at the payload start.
+    size_t payload_end = buf.cursor() + info.payload_bytes;
+    util::ByteReader r(buf);
+    SnipModel model;
+    st = decodePayload(r, &model);
+    if (!st.ok())
+        return st;
+    if (buf.cursor() != payload_end)
+        return util::Status::Error(
+            "model: trailing bytes in payload");
+    return model;
+}
+
+util::Status
+saveModel(const SnipModel &model, const std::string &path)
+{
+    util::ByteBuffer buf;
+    packModel(model, buf);
+    return trace::saveBuffer(buf, path);
+}
+
+util::Result<SnipModel>
+loadModel(const std::string &path)
+{
+    util::ByteBuffer buf;
+    util::Status st = trace::loadBuffer(path, &buf);
+    if (!st.ok())
+        return st;
+    return unpackModel(buf);
+}
+
+uint64_t
+packedModelBytes(const SnipModel &model)
+{
+    util::ByteBuffer buf;
+    packModel(model, buf);
+    return buf.size();
+}
+
+}  // namespace core
+}  // namespace snip

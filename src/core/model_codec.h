@@ -1,0 +1,81 @@
+/**
+ * @file
+ * OTA packaging of the deployable SnipModel (paper Fig. 10 steps
+ * 4–5: ship the PFI-trimmed table to the phone, then keep pushing
+ * updated tables as re-profiling runs). A package is the versioned
+ * little-endian envelope
+ *
+ *   u32 magic "SNPM" | u32 version | u32 payload_len |
+ *   payload bytes    | u32 crc32(payload)
+ *
+ * whose payload carries the game name, a snapshot of the field
+ * schema, the per-type PFI selections, and the full MemoTable
+ * contents (entries in canonical bucket order, so that
+ * serialize(deserialize(serialize(m))) is byte-identical).
+ *
+ * Unpacking is corruption-safe: a truncated, bit-flipped, or
+ * version-mismatched package is *rejected* with an error Status —
+ * never a crash — and the runtime keeps executing at baseline
+ * (snipping is always optional). See DESIGN.md "OTA model package".
+ */
+
+#ifndef SNIP_CORE_MODEL_CODEC_H
+#define SNIP_CORE_MODEL_CODEC_H
+
+#include <string>
+
+#include "core/snip.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace snip {
+namespace core {
+
+/** Package magic ("SNPM" in the trace_log magic style). */
+constexpr uint32_t kModelMagic = 0x534e504d;
+/** Current package format version. Readers reject other versions. */
+constexpr uint32_t kModelVersion = 1;
+
+/** Serialize @p model into the OTA envelope, appended to @p out. */
+void packModel(const SnipModel &model, util::ByteBuffer &out);
+
+/**
+ * Validate (magic, version, length, CRC) and decode a package.
+ * Reads the whole buffer from the start. On any malformed input —
+ * truncation, bit corruption, bad counts or field ids, unsupported
+ * version — returns an error Status and no model.
+ */
+util::Result<SnipModel> unpackModel(util::ByteBuffer &buf);
+
+/** Shallow header/integrity summary of a package. */
+struct PackageInfo {
+    uint32_t version = 0;
+    /** Payload bytes between header and CRC footer. */
+    uint32_t payload_bytes = 0;
+    /** CRC stored in the footer. */
+    uint32_t crc = 0;
+    /** Footer CRC matches the payload bytes actually present. */
+    bool crc_ok = false;
+};
+
+/**
+ * Check the envelope without decoding the payload. Errors on a
+ * malformed header or truncated payload; CRC mismatch is reported
+ * via info->crc_ok so inspect tooling can still show the header.
+ */
+util::Status inspectPackage(util::ByteBuffer &buf, PackageInfo *info);
+
+/** Pack and write to a file. */
+util::Status saveModel(const SnipModel &model,
+                       const std::string &path);
+
+/** Read a file and unpack; error Status on I/O or corruption. */
+util::Result<SnipModel> loadModel(const std::string &path);
+
+/** Size in bytes of the packed OTA payload of @p model. */
+uint64_t packedModelBytes(const SnipModel &model);
+
+}  // namespace core
+}  // namespace snip
+
+#endif  // SNIP_CORE_MODEL_CODEC_H

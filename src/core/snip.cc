@@ -55,6 +55,7 @@ buildSnipModel(const trace::Profile &profile, const games::Game &game,
 
         TypeModel tm;
         tm.type = t;
+        tm.records = ds.numRows();
         tm.selection = ml::selectNecessaryInputs(ds, sel);
         model.table->setSelected(t, tm.selection.selected);
         model.types.push_back(std::move(tm));

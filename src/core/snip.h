@@ -53,6 +53,9 @@ struct SnipConfig {
 struct TypeModel {
     events::EventType type = events::EventType::Touch;
     ml::SelectionResult selection;
+    /** Profiled records of this type behind the selection — the
+     *  evidence weight of selection.selected_error. */
+    uint64_t records = 0;
 };
 
 /** The deployable artifact: selections + initial table. */

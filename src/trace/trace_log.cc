@@ -13,6 +13,12 @@ constexpr uint32_t kEventTraceMagic = 0x534e5045;  // "SNPE"
 constexpr uint32_t kProfileMagic = 0x534e5050;     // "SNPP"
 constexpr uint32_t kVersion = 1;
 
+/** Minimum encoded sizes, used to sanity-bound decoded counts. */
+constexpr uint64_t kMinFieldBytes = 12;   // id u32 + value u64
+constexpr uint64_t kMinEventBytes = 21;   // type + seq + ts + nfields
+constexpr uint64_t kMinRecordBytes = 54;  // fixed record scalars
+constexpr uint64_t kMinIpCallBytes = 9;   // kind u8 + work u64
+
 void
 encodeFields(const std::vector<events::FieldValue> &fields,
              util::ByteBuffer &buf)
@@ -24,19 +30,39 @@ encodeFields(const std::vector<events::FieldValue> &fields,
     }
 }
 
-std::vector<events::FieldValue>
-decodeFields(util::ByteBuffer &buf)
+util::Status
+decodeFields(util::ByteReader &r,
+             std::vector<events::FieldValue> *fields)
 {
-    uint32_t n = buf.getU32();
-    std::vector<events::FieldValue> fields;
-    fields.reserve(n);
+    uint32_t n = r.u32();
+    if (!r.fits(n, kMinFieldBytes))
+        return util::Status::Error("truncated field list");
+    fields->clear();
+    fields->reserve(n);
     for (uint32_t i = 0; i < n; ++i) {
         events::FieldValue fv;
-        fv.id = buf.getU32();
-        fv.value = buf.getU64();
-        fields.push_back(fv);
+        fv.id = r.u32();
+        fv.value = r.u64();
+        fields->push_back(fv);
     }
-    return fields;
+    return util::Status::Ok();
+}
+
+util::Status
+checkHeader(util::ByteReader &r, uint32_t magic, const char *what)
+{
+    uint32_t got_magic = r.u32();
+    uint32_t got_version = r.u32();
+    if (!r.ok())
+        return util::Status::Errorf("%s: truncated header", what);
+    if (got_magic != magic)
+        return util::Status::Errorf("%s: bad magic 0x%08x", what,
+                                    got_magic);
+    if (got_version != kVersion)
+        return util::Status::Errorf(
+            "%s: unsupported version %u (expected %u)", what,
+            got_version, kVersion);
+    return util::Status::Ok();
 }
 
 }  // namespace
@@ -56,26 +82,39 @@ encodeEventTrace(const EventTrace &trace, util::ByteBuffer &buf)
     }
 }
 
-EventTrace
-decodeEventTrace(util::ByteBuffer &buf)
+util::Status
+decodeEventTrace(util::ByteBuffer &buf, EventTrace *out)
 {
-    if (buf.getU32() != kEventTraceMagic)
-        util::fatal("decodeEventTrace: bad magic");
-    if (buf.getU32() != kVersion)
-        util::fatal("decodeEventTrace: unsupported version");
+    util::ByteReader r(buf);
+    util::Status st =
+        checkHeader(r, kEventTraceMagic, "decodeEventTrace");
+    if (!st.ok())
+        return st;
     EventTrace trace;
-    trace.game = buf.getString();
-    uint32_t n = buf.getU32();
+    trace.game = r.str();
+    uint32_t n = r.u32();
+    if (!r.fits(n, kMinEventBytes))
+        return util::Status::Error(
+            "decodeEventTrace: truncated event list");
     trace.events.reserve(n);
     for (uint32_t i = 0; i < n; ++i) {
         events::EventObject ev;
-        ev.type = static_cast<events::EventType>(buf.getU8());
-        ev.seq = buf.getU64();
-        ev.timestamp = static_cast<double>(buf.getU64()) * 1e-9;
-        ev.fields = decodeFields(buf);
+        uint8_t type = r.u8();
+        if (type >= events::kNumEventTypes)
+            return util::Status::Errorf(
+                "decodeEventTrace: bad event type %u", type);
+        ev.type = static_cast<events::EventType>(type);
+        ev.seq = r.u64();
+        ev.timestamp = static_cast<double>(r.u64()) * 1e-9;
+        st = decodeFields(r, &ev.fields);
+        if (!st.ok())
+            return st;
         trace.events.push_back(std::move(ev));
     }
-    return trace;
+    if (!r.ok())
+        return util::Status::Error("decodeEventTrace: truncated");
+    *out = std::move(trace);
+    return util::Status::Ok();
 }
 
 void
@@ -105,70 +144,100 @@ encodeProfile(const Profile &profile, util::ByteBuffer &buf)
     }
 }
 
-Profile
-decodeProfile(util::ByteBuffer &buf)
+util::Status
+decodeProfile(util::ByteBuffer &buf, Profile *out)
 {
-    if (buf.getU32() != kProfileMagic)
-        util::fatal("decodeProfile: bad magic");
-    if (buf.getU32() != kVersion)
-        util::fatal("decodeProfile: unsupported version");
+    util::ByteReader r(buf);
+    util::Status st = checkHeader(r, kProfileMagic, "decodeProfile");
+    if (!st.ok())
+        return st;
     Profile profile;
-    profile.game = buf.getString();
-    uint32_t n = buf.getU32();
+    profile.game = r.str();
+    uint32_t n = r.u32();
+    if (!r.fits(n, kMinRecordBytes))
+        return util::Status::Error(
+            "decodeProfile: truncated record list");
     profile.records.reserve(n);
     for (uint32_t i = 0; i < n; ++i) {
-        games::HandlerExecution r;
-        r.type = static_cast<events::EventType>(buf.getU8());
-        r.seq = buf.getU64();
-        r.inputs = decodeFields(buf);
-        r.outputs = decodeFields(buf);
-        r.necessary_hash = buf.getU64();
-        r.cpu_instructions = buf.getU64();
-        r.memory_bytes = buf.getU64();
-        uint32_t calls = buf.getU32();
+        games::HandlerExecution rec;
+        uint8_t type = r.u8();
+        if (r.ok() && type >= events::kNumEventTypes)
+            return util::Status::Errorf(
+                "decodeProfile: bad event type %u", type);
+        rec.type = static_cast<events::EventType>(type);
+        rec.seq = r.u64();
+        st = decodeFields(r, &rec.inputs);
+        if (!st.ok())
+            return st;
+        st = decodeFields(r, &rec.outputs);
+        if (!st.ok())
+            return st;
+        rec.necessary_hash = r.u64();
+        rec.cpu_instructions = r.u64();
+        rec.memory_bytes = r.u64();
+        uint32_t calls = r.u32();
+        if (!r.fits(calls, kMinIpCallBytes))
+            return util::Status::Error(
+                "decodeProfile: truncated ip-call list");
+        rec.ip_calls.reserve(calls);
         for (uint32_t c = 0; c < calls; ++c) {
             games::IpCall call;
-            call.kind = static_cast<soc::IpKind>(buf.getU8());
-            call.work_units = static_cast<double>(buf.getU64()) * 1e-6;
-            r.ip_calls.push_back(call);
+            uint8_t kind = r.u8();
+            if (r.ok() && kind >= soc::kNumIpKinds)
+                return util::Status::Errorf(
+                    "decodeProfile: bad ip kind %u", kind);
+            call.kind = static_cast<soc::IpKind>(kind);
+            call.work_units = static_cast<double>(r.u64()) * 1e-6;
+            rec.ip_calls.push_back(call);
         }
-        r.maxcpu_fraction = static_cast<double>(buf.getU64()) * 1e-6;
-        uint8_t flags = buf.getU8();
-        r.state_changed = flags & 1;
-        r.useless = flags & 2;
-        r.scoring = flags & 4;
-        profile.records.push_back(std::move(r));
+        rec.maxcpu_fraction = static_cast<double>(r.u64()) * 1e-6;
+        uint8_t flags = r.u8();
+        rec.state_changed = flags & 1;
+        rec.useless = flags & 2;
+        rec.scoring = flags & 4;
+        profile.records.push_back(std::move(rec));
     }
-    return profile;
+    if (!r.ok())
+        return util::Status::Error("decodeProfile: truncated");
+    *out = std::move(profile);
+    return util::Status::Ok();
 }
 
-void
+util::Status
 saveBuffer(const util::ByteBuffer &buf, const std::string &path)
 {
     std::FILE *f = std::fopen(path.c_str(), "wb");
     if (!f)
-        util::fatal("saveBuffer: cannot open %s for writing",
-                    path.c_str());
+        return util::Status::Errorf(
+            "saveBuffer: cannot open %s for writing", path.c_str());
     size_t written = std::fwrite(buf.data().data(), 1, buf.size(), f);
-    std::fclose(f);
-    if (written != buf.size())
-        util::fatal("saveBuffer: short write to %s", path.c_str());
+    int close_err = std::fclose(f);
+    if (written != buf.size() || close_err != 0)
+        return util::Status::Errorf("saveBuffer: short write to %s",
+                                    path.c_str());
+    return util::Status::Ok();
 }
 
-util::ByteBuffer
-loadBuffer(const std::string &path)
+util::Status
+loadBuffer(const std::string &path, util::ByteBuffer *out)
 {
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (!f)
-        util::fatal("loadBuffer: cannot open %s", path.c_str());
+        return util::Status::Errorf("loadBuffer: cannot open %s",
+                                    path.c_str());
     util::ByteBuffer buf;
     uint8_t chunk[4096];
     size_t got;
     while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
         for (size_t i = 0; i < got; ++i)
             buf.putU8(chunk[i]);
+    bool read_err = std::ferror(f) != 0;
     std::fclose(f);
-    return buf;
+    if (read_err)
+        return util::Status::Errorf("loadBuffer: read error on %s",
+                                    path.c_str());
+    *out = std::move(buf);
+    return util::Status::Ok();
 }
 
 }  // namespace trace

@@ -4,6 +4,12 @@
  * cloud" / "over-the-air update" transport of the paper's Fig. 10
  * flow. Format is a small versioned little-endian encoding over
  * util::ByteBuffer, with file save/load helpers.
+ *
+ * Decoding is *recoverable*: these buffers arrive over real
+ * transports, so a malformed, truncated, or version-mismatched
+ * input returns an error Status instead of terminating — the caller
+ * drops the upload (or falls back to baseline execution) and keeps
+ * running.
  */
 
 #ifndef SNIP_TRACE_TRACE_LOG_H
@@ -13,24 +19,27 @@
 
 #include "trace/profile.h"
 #include "util/bytes.h"
+#include "util/status.h"
 
 namespace snip {
 namespace trace {
 
 /** Serialize an event trace. */
 void encodeEventTrace(const EventTrace &trace, util::ByteBuffer &buf);
-/** Deserialize an event trace; fatal() on malformed input. */
-EventTrace decodeEventTrace(util::ByteBuffer &buf);
+/** Deserialize an event trace; error Status on malformed input. */
+util::Status decodeEventTrace(util::ByteBuffer &buf, EventTrace *out);
 
 /** Serialize a full profile. */
 void encodeProfile(const Profile &profile, util::ByteBuffer &buf);
-/** Deserialize a profile; fatal() on malformed input. */
-Profile decodeProfile(util::ByteBuffer &buf);
+/** Deserialize a profile; error Status on malformed input. */
+util::Status decodeProfile(util::ByteBuffer &buf, Profile *out);
 
-/** Write a buffer to a file; fatal() on I/O errors. */
-void saveBuffer(const util::ByteBuffer &buf, const std::string &path);
-/** Read a file into a buffer; fatal() on I/O errors. */
-util::ByteBuffer loadBuffer(const std::string &path);
+/** Write a buffer to a file; error Status on I/O errors. */
+util::Status saveBuffer(const util::ByteBuffer &buf,
+                        const std::string &path);
+/** Read a file into a buffer; error Status on I/O errors. */
+util::Status loadBuffer(const std::string &path,
+                        util::ByteBuffer *out);
 
 }  // namespace trace
 }  // namespace snip

@@ -90,6 +90,13 @@ ByteBuffer::putString(const std::string &s)
 }
 
 void
+ByteBuffer::putBytes(const void *data, size_t len)
+{
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    data_.insert(data_.end(), p, p + len);
+}
+
+void
 ByteBuffer::need(size_t n) const
 {
     if (cursor_ + n > data_.size())
@@ -133,6 +140,50 @@ ByteBuffer::getString()
                   data_.begin() + static_cast<long>(cursor_ + len));
     cursor_ += len;
     return s;
+}
+
+bool
+ByteBuffer::tryGetU8(uint8_t *v)
+{
+    if (remaining() < 1)
+        return false;
+    *v = data_[cursor_++];
+    return true;
+}
+
+bool
+ByteBuffer::tryGetU32(uint32_t *v)
+{
+    if (remaining() < 4)
+        return false;
+    *v = getU32();
+    return true;
+}
+
+bool
+ByteBuffer::tryGetU64(uint64_t *v)
+{
+    if (remaining() < 8)
+        return false;
+    *v = getU64();
+    return true;
+}
+
+bool
+ByteBuffer::tryGetString(std::string *s)
+{
+    size_t start = cursor_;
+    uint32_t len = 0;
+    if (!tryGetU32(&len))
+        return false;
+    if (remaining() < len) {
+        cursor_ = start;
+        return false;
+    }
+    s->assign(data_.begin() + static_cast<long>(cursor_),
+              data_.begin() + static_cast<long>(cursor_ + len));
+    cursor_ += len;
+    return true;
 }
 
 }  // namespace util

@@ -49,6 +49,8 @@ class ByteBuffer
     void putU64(uint64_t v);
     /** Append a length-prefixed string. */
     void putString(const std::string &s);
+    /** Append a raw byte range (no length prefix). */
+    void putBytes(const void *data, size_t len);
 
     /** Read back (cursor-based); panics on underrun. */
     uint8_t getU8();
@@ -56,8 +58,20 @@ class ByteBuffer
     uint64_t getU64();
     std::string getString();
 
+    /**
+     * Non-panicking reads for untrusted input (OTA payloads, files):
+     * on underrun they return false and leave the cursor unchanged.
+     */
+    bool tryGetU8(uint8_t *v);
+    bool tryGetU32(uint32_t *v);
+    bool tryGetU64(uint64_t *v);
+    bool tryGetString(std::string *s);
+
     /** Reset the read cursor to the beginning. */
     void rewind() { cursor_ = 0; }
+
+    /** Current read-cursor position. */
+    size_t cursor() const { return cursor_; }
 
     /** Number of bytes stored. */
     size_t size() const { return data_.size(); }
@@ -74,6 +88,64 @@ class ByteBuffer
 
     std::vector<uint8_t> data_;
     size_t cursor_ = 0;
+};
+
+/**
+ * Failure-latching reader over a ByteBuffer for decoding untrusted
+ * input. Reads return zero values after the first underrun and ok()
+ * turns false; decoders check ok() before trusting a value that
+ * controls allocation or iteration, then once more at the end.
+ */
+class ByteReader
+{
+  public:
+    explicit ByteReader(ByteBuffer &buf) : buf_(buf) {}
+
+    uint8_t u8()
+    {
+        uint8_t v = 0;
+        ok_ = ok_ && buf_.tryGetU8(&v);
+        return v;
+    }
+    uint32_t u32()
+    {
+        uint32_t v = 0;
+        ok_ = ok_ && buf_.tryGetU32(&v);
+        return v;
+    }
+    uint64_t u64()
+    {
+        uint64_t v = 0;
+        ok_ = ok_ && buf_.tryGetU64(&v);
+        return v;
+    }
+    std::string str()
+    {
+        std::string s;
+        ok_ = ok_ && buf_.tryGetString(&s);
+        return s;
+    }
+
+    /**
+     * Sanity-bound a decoded element count before reserving memory
+     * for it: true iff @p count elements of at least
+     * @p min_bytes_each could still fit in the remaining bytes.
+     * Latches the failure like a read would.
+     */
+    bool fits(uint64_t count, uint64_t min_bytes_each)
+    {
+        if (ok_ && min_bytes_each > 0 &&
+            count > buf_.remaining() / min_bytes_each)
+            ok_ = false;
+        return ok_;
+    }
+
+    /** No read so far has underrun (and every fits() held). */
+    bool ok() const { return ok_; }
+
+  private:
+    ByteBuffer &buf_;
+    bool ok_ = true;
 };
 
 }  // namespace util

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, polynomial 0xEDB88320) — the integrity footer
+ * of the OTA model package. FNV (bytes.h) stays the in-memory hash;
+ * CRC is used where payloads cross a transport and bit corruption
+ * must be *detected*, not just scrambled.
+ */
+
+#ifndef SNIP_UTIL_CRC32_H
+#define SNIP_UTIL_CRC32_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace snip {
+namespace util {
+
+/**
+ * CRC-32 over a byte range. @p seed chains partial computations:
+ * crc32(ab) == crc32(b, crc32(a)).
+ */
+uint32_t crc32(const void *data, size_t len, uint32_t seed = 0);
+
+}  // namespace util
+}  // namespace snip
+
+#endif  // SNIP_UTIL_CRC32_H

@@ -1,0 +1,32 @@
+#include "util/status.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+namespace snip {
+namespace util {
+
+Status
+Status::Errorf(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list copy;
+    va_copy(copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    std::string msg;
+    if (needed < 0) {
+        msg = fmt;
+    } else {
+        std::vector<char> buf(static_cast<size_t>(needed) + 1);
+        std::vsnprintf(buf.data(), buf.size(), fmt, args);
+        msg.assign(buf.data());
+    }
+    va_end(args);
+    return Error(std::move(msg));
+}
+
+}  // namespace util
+}  // namespace snip

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Recoverable-error plumbing for data that crosses a transport
+ * boundary (OTA model packages, uploaded traces, files on disk).
+ * Unlike fatal()/panic() — which are for configuration errors and
+ * internal bugs — a Status expresses "this *input* is bad": the
+ * caller rejects it and keeps running (for SNIP that means falling
+ * back to baseline full execution, since snipping is always
+ * optional).
+ */
+
+#ifndef SNIP_UTIL_STATUS_H
+#define SNIP_UTIL_STATUS_H
+
+#include <string>
+#include <utility>
+
+namespace snip {
+namespace util {
+
+/** Success-or-error of a decode/I/O operation. Default is success. */
+class Status
+{
+  public:
+    Status() = default;
+
+    /** Success. */
+    static Status Ok() { return Status(); }
+
+    /** Failure with a human-readable reason. */
+    static Status Error(std::string message)
+    {
+        Status s;
+        s.ok_ = false;
+        s.message_ = std::move(message);
+        return s;
+    }
+
+    /** Failure with a printf-formatted reason. */
+    static Status Errorf(const char *fmt, ...)
+        __attribute__((format(printf, 1, 2)));
+
+    bool ok() const { return ok_; }
+    /** Empty when ok(). */
+    const std::string &message() const { return message_; }
+
+  private:
+    bool ok_ = true;
+    std::string message_;
+};
+
+/**
+ * A Status plus the decoded value when ok(). T must be default- and
+ * move-constructible; value() is meaningful only when ok().
+ */
+template <typename T>
+class Result
+{
+  public:
+    /** Success. */
+    Result(T value) : value_(std::move(value)) {}
+    /** Failure (status must not be ok). */
+    Result(Status status) : status_(std::move(status)) {}
+
+    bool ok() const { return status_.ok(); }
+    const Status &status() const { return status_; }
+
+    T &value() { return value_; }
+    const T &value() const { return value_; }
+
+  private:
+    Status status_;
+    T value_{};
+};
+
+}  // namespace util
+}  // namespace snip
+
+#endif  // SNIP_UTIL_STATUS_H

@@ -362,6 +362,43 @@ TEST_F(MemoTableTest, ScratchReuseAcrossLookupsIsEquivalent)
     }
 }
 
+// A second table over the same schema whose entries are unioned in
+// must behave like inserting the underlying records directly, with
+// first-wins dedup preserved.
+TEST_F(MemoTableTest, MergeFromUnionsEntries)
+{
+    util::Rng rng(13);
+    games::HandlerExecution shared = nextExecution(rng);
+    events::EventObject shared_event = last_event_;
+    table_->insert(shared);
+    size_t before = table_->entryCount();
+
+    MemoTable other(game_->schema());
+    other.setSelected(events::EventType::Touch, selected_);
+    other.insert(shared);  // duplicate key: must not grow the union
+    games::HandlerExecution fresh{};
+    size_t other_only = 0;
+    for (int i = 0; i < 50 && other_only == 0; ++i) {
+        fresh = nextExecution(rng);
+        other.insert(fresh);
+        other_only = other.entryCount() - 1;
+    }
+    ASSERT_EQ(other_only, 1u);
+
+    table_->mergeFrom(other);
+    EXPECT_EQ(table_->entryCount(), before + 1);
+    MemoLookup hit = table_->lookup(last_event_, *game_);
+    ASSERT_TRUE(hit.hit);
+    EXPECT_EQ(hit.entry->outputs, fresh.outputs);
+    // Merging again is idempotent, and the shared entry kept the
+    // first-inserted outputs.
+    table_->mergeFrom(other);
+    EXPECT_EQ(table_->entryCount(), before + 1);
+    MemoLookup dup = table_->lookup(shared_event, *game_);
+    ASSERT_TRUE(dup.hit);
+    EXPECT_EQ(dup.entry->outputs, shared.outputs);
+}
+
 // ------------------------------------------------------ lookup tables
 
 class AnalysisTest : public ::testing::Test
@@ -676,6 +713,57 @@ TEST(ContinuousLearnerTest, ErrorDecaysAcrossEpochs)
     for (size_t i = 1; i < epochs.size(); ++i)
         EXPECT_GT(epochs[i].profile_records,
                   epochs[i - 1].profile_records);
+}
+
+TEST(ContinuousLearnerTest, TestedErrorWeightsByRecordCount)
+{
+    // Regression: the gate error used to average types with equal
+    // weight, so one high-error type backed by a handful of records
+    // could hold the confidence gate closed forever. The tested
+    // error must weight each type by its profiled evidence.
+    SnipModel model;
+    TypeModel common;
+    common.type = events::EventType::Touch;
+    common.records = 1000;
+    common.selection.selected_error = 0.001;
+    TypeModel rare;
+    rare.type = events::EventType::Gyro;
+    rare.records = 5;
+    rare.selection.selected_error = 0.5;
+    model.types.push_back(std::move(common));
+    model.types.push_back(std::move(rare));
+
+    double err = testedModelError(model);
+    // Weighted: (0.001*1000 + 0.5*5) / 1005 ~= 0.00348. The old
+    // unweighted mean would be ~0.25 and fail a 0.005 gate.
+    EXPECT_NEAR(err, 3.5 / 1005.0, 1e-12);
+    EXPECT_LT(err, 0.005);
+
+    // No evidence at all: maximally pessimistic.
+    SnipModel empty;
+    EXPECT_EQ(testedModelError(empty), 1.0);
+}
+
+TEST(ContinuousLearnerTest, EpochsReportOtaPayloadBytes)
+{
+    auto game = games::makeGame("colorphun");
+    auto replica = games::makeGame("colorphun");
+    LearningConfig cfg;
+    cfg.epochs = 3;
+    cfg.session_s = 6.0;
+    cfg.initial_profile_records = 20;
+    cfg.snip.min_records_per_type = 8;
+    ContinuousLearner learner(*game, *replica, cfg);
+    auto epochs = learner.run();
+    ASSERT_EQ(epochs.size(), 3u);
+    for (const auto &er : epochs) {
+        // Every epoch deploys through the OTA transport; the
+        // package always carries at least the envelope.
+        EXPECT_GT(er.payload_bytes, 16u);
+        if (er.table_bytes > 0) {
+            EXPECT_TRUE(er.deployed);
+        }
+    }
 }
 
 TEST(ContinuousLearnerTest, MismatchedReplicaFatal)

@@ -107,7 +107,8 @@ TEST(TraceLogTest, EventTraceRoundTrip)
     util::ByteBuffer buf;
     encodeEventTrace(res.trace, buf);
     buf.rewind();
-    EventTrace back = decodeEventTrace(buf);
+    EventTrace back;
+    ASSERT_TRUE(decodeEventTrace(buf, &back).ok());
     EXPECT_EQ(back.game, res.trace.game);
     ASSERT_EQ(back.events.size(), res.trace.events.size());
     for (size_t i = 0; i < back.events.size(); ++i) {
@@ -127,7 +128,8 @@ TEST(TraceLogTest, ProfileRoundTrip)
     util::ByteBuffer buf;
     encodeProfile(p, buf);
     buf.rewind();
-    Profile back = decodeProfile(buf);
+    Profile back;
+    ASSERT_TRUE(decodeProfile(buf, &back).ok());
     ASSERT_EQ(back.records.size(), p.records.size());
     for (size_t i = 0; i < p.records.size(); ++i) {
         EXPECT_EQ(back.records[i].inputs, p.records[i].inputs);
@@ -140,15 +142,105 @@ TEST(TraceLogTest, ProfileRoundTrip)
     }
 }
 
-TEST(TraceLogTest, BadMagicFatal)
+TEST(TraceLogTest, BadMagicReturnsError)
 {
-    bool prev = util::setThrowOnError(true);
     util::ByteBuffer buf;
     buf.putU32(0xdeadbeef);
     buf.putU32(1);
     buf.rewind();
-    EXPECT_THROW(decodeEventTrace(buf), std::runtime_error);
-    util::setThrowOnError(prev);
+    EventTrace trace;
+    util::Status st = decodeEventTrace(buf, &trace);
+    EXPECT_FALSE(st.ok());
+    EXPECT_NE(st.message().find("magic"), std::string::npos);
+}
+
+TEST(TraceLogTest, UnsupportedVersionReturnsError)
+{
+    auto game = games::makeGame("greenwall");
+    core::SessionResult res = record("greenwall", *game, 5.0);
+    util::ByteBuffer buf;
+    encodeEventTrace(res.trace, buf);
+
+    // Bump the version word (bytes 4..7) to an unknown value.
+    util::ByteBuffer bumped;
+    const auto &raw = buf.data();
+    for (size_t i = 0; i < raw.size(); ++i)
+        bumped.putU8(i == 4 ? raw[i] + 1 : raw[i]);
+    EventTrace trace;
+    util::Status st = decodeEventTrace(bumped, &trace);
+    EXPECT_FALSE(st.ok());
+    EXPECT_NE(st.message().find("version"), std::string::npos);
+}
+
+TEST(TraceLogTest, TruncatedBuffersReturnErrors)
+{
+    // Every strict prefix of a valid encoding must be rejected with
+    // an error Status — never a panic/abort — for both formats.
+    auto game = games::makeGame("greenwall");
+    core::SessionResult res = record("greenwall", *game, 5.0);
+    auto replica = games::makeGame("greenwall");
+    Profile p = Replayer::replay(res.trace, *replica);
+
+    util::ByteBuffer tbuf, pbuf;
+    encodeEventTrace(res.trace, tbuf);
+    encodeProfile(p, pbuf);
+
+    for (const util::ByteBuffer *full : {&tbuf, &pbuf}) {
+        ASSERT_GT(full->size(), 64u);
+        for (size_t len = 0; len < full->size();
+             len += 1 + len / 7) {
+            util::ByteBuffer cut;
+            cut.putBytes(full->data().data(), len);
+            EventTrace trace;
+            Profile profile;
+            if (full == &tbuf)
+                EXPECT_FALSE(decodeEventTrace(cut, &trace).ok())
+                    << "prefix " << len;
+            else
+                EXPECT_FALSE(decodeProfile(cut, &profile).ok())
+                    << "prefix " << len;
+        }
+    }
+}
+
+TEST(TraceLogTest, BitFlippedBuffersNeverAbort)
+{
+    // The trace format carries no checksum, so a flipped value byte
+    // may decode to different content — but a flip must never crash
+    // or abort, and flips in structure (counts, types) must come
+    // back as clean errors.
+    auto game = games::makeGame("colorphun");
+    core::SessionResult res = record("colorphun", *game, 5.0);
+    util::ByteBuffer buf;
+    encodeEventTrace(res.trace, buf);
+
+    for (size_t pos = 0; pos < buf.size(); pos += 1 + pos / 11) {
+        for (uint8_t bit : {0, 3, 7}) {
+            util::ByteBuffer flipped;
+            flipped.putBytes(buf.data().data(), buf.size());
+            const_cast<std::vector<uint8_t> &>(flipped.data())[pos] ^=
+                static_cast<uint8_t>(1u << bit);
+            EventTrace trace;
+            util::Status st = decodeEventTrace(flipped, &trace);
+            if (st.ok()) {
+                EXPECT_EQ(trace.events.size(),
+                          res.trace.events.size());
+            }
+        }
+    }
+}
+
+TEST(TraceLogTest, GarbageCountDoesNotOverAllocate)
+{
+    // A corrupt event count in the header must be rejected by the
+    // remaining-bytes bound instead of reserving gigabytes.
+    util::ByteBuffer buf;
+    buf.putU32(0x534e5045);  // event-trace magic
+    buf.putU32(1);           // version
+    buf.putString("g");
+    buf.putU32(0xffffffffu);  // impossible event count
+    EventTrace trace;
+    EXPECT_FALSE(decodeEventTrace(buf, &trace).ok());
 }
 
 TEST(TraceLogTest, FileSaveLoadRoundTrip)
@@ -156,10 +248,22 @@ TEST(TraceLogTest, FileSaveLoadRoundTrip)
     util::ByteBuffer buf;
     buf.putString("snip test payload");
     std::string path = ::testing::TempDir() + "/snip_trace_test.bin";
-    saveBuffer(buf, path);
-    util::ByteBuffer loaded = loadBuffer(path);
+    ASSERT_TRUE(saveBuffer(buf, path).ok());
+    util::ByteBuffer loaded;
+    ASSERT_TRUE(loadBuffer(path, &loaded).ok());
     EXPECT_EQ(loaded.data(), buf.data());
     std::remove(path.c_str());
+}
+
+TEST(TraceLogTest, FileErrorsReturnStatus)
+{
+    util::ByteBuffer buf;
+    util::Status st =
+        loadBuffer("/nonexistent/dir/snip.bin", &buf);
+    EXPECT_FALSE(st.ok());
+    buf.putU8(1);
+    st = saveBuffer(buf, "/nonexistent/dir/snip.bin");
+    EXPECT_FALSE(st.ok());
 }
 
 TEST(FieldStatisticsTest, CategoriesAccounted)

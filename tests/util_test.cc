@@ -12,6 +12,7 @@
 #include <sstream>
 
 #include "util/bytes.h"
+#include "util/crc32.h"
 #include "util/csv_writer.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -278,6 +279,108 @@ TEST(ByteBuffer, HashChangesWithContent)
     a.putU32(1);
     b.putU32(2);
     EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(ByteBuffer, TryGettersFailWithoutPanicking)
+{
+    ByteBuffer buf;
+    buf.putU32(0xfeedf00d);
+    buf.putString("ok");
+
+    uint32_t u = 0;
+    EXPECT_TRUE(buf.tryGetU32(&u));
+    EXPECT_EQ(u, 0xfeedf00du);
+    std::string s;
+    EXPECT_TRUE(buf.tryGetString(&s));
+    EXPECT_EQ(s, "ok");
+
+    // Underruns return false and leave the cursor where it was.
+    size_t at = buf.cursor();
+    uint64_t big = 0;
+    uint8_t byte = 0;
+    EXPECT_FALSE(buf.tryGetU64(&big));
+    EXPECT_FALSE(buf.tryGetU8(&byte));
+    EXPECT_EQ(buf.cursor(), at);
+
+    // A string whose length prefix overruns the data must also fail
+    // without consuming the prefix.
+    ByteBuffer lying;
+    lying.putU32(1000);
+    lying.putU8('x');
+    at = lying.cursor();
+    EXPECT_FALSE(lying.tryGetString(&s));
+    EXPECT_EQ(lying.cursor(), at);
+}
+
+TEST(ByteBuffer, PutBytesAppendsRaw)
+{
+    ByteBuffer src;
+    src.putU32(0x01020304);
+    ByteBuffer dst;
+    dst.putU8(0xff);
+    dst.putBytes(src.data().data(), src.size());
+    EXPECT_EQ(dst.size(), 5u);
+    EXPECT_EQ(dst.getU8(), 0xff);
+    EXPECT_EQ(dst.getU32(), 0x01020304u);
+}
+
+TEST(ByteReader, LatchesFailure)
+{
+    ByteBuffer buf;
+    buf.putU32(42);
+    ByteReader r(buf);
+    EXPECT_EQ(r.u32(), 42u);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.u64(), 0u);  // underrun
+    EXPECT_FALSE(r.ok());
+    // Once failed, stays failed even though a byte is conceptually
+    // available.
+    EXPECT_EQ(r.u8(), 0u);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteReader, FitsBoundsCounts)
+{
+    ByteBuffer buf;
+    for (int i = 0; i < 16; ++i)
+        buf.putU8(0);
+    ByteReader r(buf);
+    EXPECT_TRUE(r.fits(4, 4));
+    EXPECT_TRUE(r.fits(0, 1000));
+    EXPECT_FALSE(r.fits(5, 4));
+    EXPECT_FALSE(r.fits(0xffffffffu, 4));  // would overflow naive mul
+}
+
+TEST(Crc32, KnownAnswers)
+{
+    // The CRC-32/IEEE check value ("123456789" -> 0xCBF43926) plus
+    // edge cases.
+    EXPECT_EQ(crc32("123456789", 9), 0xcbf43926u);
+    EXPECT_EQ(crc32("", 0), 0u);
+    EXPECT_NE(crc32("a", 1), crc32("b", 1));
+}
+
+TEST(Crc32, SeedChainsPartials)
+{
+    const char *msg = "snip ota payload";
+    uint32_t whole = crc32(msg, 16);
+    uint32_t chained = crc32(msg + 7, 9, crc32(msg, 7));
+    EXPECT_EQ(whole, chained);
+}
+
+TEST(Crc32, DetectsEveryBitFlip)
+{
+    uint8_t data[32];
+    for (size_t i = 0; i < sizeof data; ++i)
+        data[i] = static_cast<uint8_t>(i * 37 + 1);
+    uint32_t base = crc32(data, sizeof data);
+    for (size_t i = 0; i < sizeof data; ++i) {
+        for (int bit = 0; bit < 8; ++bit) {
+            data[i] ^= static_cast<uint8_t>(1 << bit);
+            EXPECT_NE(crc32(data, sizeof data), base);
+            data[i] ^= static_cast<uint8_t>(1 << bit);
+        }
+    }
 }
 
 TEST(ToHex, Formats)

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # CI driver: build + test the default config, build + test the
-# asan/ubsan config, then run the TSan smoke of the shared-const
-# concurrent-lookup contract the parallel session runner relies on.
+# asan/ubsan config, run the TSan smoke of the shared-const
+# concurrent-lookup contract the parallel session runner relies on,
+# then fuzz the OTA model codec with corrupt packages under asan
+# (truncations and random bit flips must be rejected cleanly — no
+# crashes, no sanitizer reports).
 #
 # Usage: tools/ci.sh [jobs]   (jobs defaults to nproc)
 set -euo pipefail
@@ -25,5 +28,10 @@ cmake --build --preset tsan -j "$JOBS" --target parallel_test
 TSAN_OPTIONS="halt_on_error=1" \
     ./build-tsan/tests/parallel_test \
     --gtest_filter='ParallelRunnerTest.ConcurrentLookupsOnSharedConstTable:ParallelRunnerTest.RunSessionsMatchesSerialBitwise'
+
+echo "==> corruption fuzz smoke (OTA model codec, asan)"
+SNIP_FUZZ_ITERS=512 \
+    ./build-asan/tests/model_codec_test \
+    --gtest_filter='ModelCodec*Fuzz*'
 
 echo "==> all green"
