@@ -32,6 +32,7 @@ main(int argc, char **argv)
     cfg.num_users = opts.quick ? 3 : 6;
     cfg.session_s = opts.quick ? 60.0 : 150.0;
     cfg.seed = opts.seed;
+    cfg.snip.threads = opts.threads;
 
     core::FederatedResult central = core::buildCentralized(game, cfg);
     core::FederatedResult fed = core::buildFederated(game, cfg);

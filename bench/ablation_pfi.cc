@@ -64,6 +64,7 @@ main(int argc, char **argv)
     ml::SelectionConfig scfg;
     scfg.max_error = 0.002;
     scfg.max_conditional_error = 0.012;
+    scfg.pfi.threads = opts.threads;
     ml::SelectionResult sel = ml::selectNecessaryInputs(ds, scfg);
     std::vector<size_t> sel_cols;
     for (events::FieldId fid : sel.selected)
@@ -109,6 +110,9 @@ main(int argc, char **argv)
         ml::SelectionConfig c;
         c.max_error = abs_budgets[i];
         c.max_conditional_error = abs_budgets[i] * 6;
+        // Already inside a parallel loop — keep the inner PFI
+        // serial rather than oversubscribing (output is identical).
+        c.pfi.threads = 1;
         bud_results[i] = ml::selectNecessaryInputs(ds, c);
     });
     for (size_t i = 0; i < kNumBudgets; ++i) {

@@ -72,6 +72,9 @@ buildModel(const ProfiledGame &pg, const BenchOptions &opts)
     core::SnipConfig cfg;
     cfg.seed = util::mixCombine(opts.seed, 0x5e1ec7ULL);
     cfg.overrides.force_keep = pg.game->params().recommended_overrides;
+    // --threads governs training-side (Shrink) parallelism too;
+    // selection output does not depend on it.
+    cfg.threads = opts.threads;
     return core::buildSnipModel(pg.profile, *pg.game, cfg);
 }
 

@@ -57,6 +57,7 @@ main(int argc, char **argv)
         cfg.max_error = 0.002;
         cfg.max_conditional_error = 0.012;
         cfg.pfi.seed = opts.seed;
+        cfg.pfi.threads = opts.threads;
         ml::SelectionResult sel = ml::selectNecessaryInputs(ds, cfg);
 
         std::cout << "--- " << events::eventTypeName(t) << " events ("

@@ -37,6 +37,7 @@ main(int argc, char **argv)
     cfg.max_profile_records = 16000;
     cfg.snip.min_records_per_type = 8;
     cfg.snip.seed = opts.seed;
+    cfg.snip.threads = opts.threads;
     cfg.sim.seed = opts.seed;
 
     // The epochs of one trajectory are inherently sequential (each

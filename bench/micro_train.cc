@@ -1,0 +1,357 @@
+/**
+ * @file
+ * Training-side (Shrink phase, paper §V-A) microbenchmark: forest
+ * training throughput, PFI throughput, and full necessary-input
+ * selection wall time at 1 vs N threads, plus the determinism and
+ * allocation contracts the parallel pipeline promises:
+ *
+ *   - forests / PFI importances / SelectionResult / packed OTA
+ *     model bytes are byte-identical at every thread count;
+ *   - the forest vote path does zero heap allocations per
+ *     prediction (counted by a global counting allocator);
+ *   - cached-PFI selection (SelectionConfig::cache_pfi) matches the
+ *     full-recompute selection exactly.
+ *
+ * Emits JSON (default BENCH_micro_train.json, also printed to
+ * stdout) so BENCH_* files carry a training-side perf trajectory,
+ * and exits non-zero when any contract above is violated — which is
+ * what lets tools/ci.sh use it as a determinism smoke.
+ *
+ * Flags: --quick (smaller profile/forest), --seed <n>,
+ * --threads <n> (the "N" side; default: all cores / SNIP_THREADS),
+ * --profile-s <sec>, --trees <n>, --out <path>.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/model_codec.h"
+#include "ml/dataset.h"
+#include "ml/feature_selection.h"
+#include "ml/random_forest.h"
+#include "util/crc32.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+
+using namespace snip;
+
+// ------------------------------------------------ counting allocator
+// Same instrumentation as micro_lookup: any allocation anywhere in
+// the process inflates the count, which only makes the
+// zero-allocation claim stronger.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+namespace {
+std::atomic<uint64_t> g_allocs{0};
+}
+
+void *
+operator new(size_t size)
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](size_t size)
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete(void *p, size_t) noexcept { std::free(p); }
+void operator delete[](void *p, size_t) noexcept { std::free(p); }
+
+namespace {
+
+double
+wallSeconds(const std::function<void()> &fn)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/** Order-sensitive digest of a SelectionResult. */
+uint32_t
+selectionDigest(const ml::SelectionResult &r)
+{
+    util::ByteBuffer b;
+    b.putU64(static_cast<uint64_t>(r.full_error * 1e12));
+    b.putU64(r.full_bytes);
+    b.putU64(r.selected_bytes);
+    b.putU64(static_cast<uint64_t>(r.selected_error * 1e12));
+    b.putU64(static_cast<uint64_t>(r.selected_hit_rate * 1e12));
+    for (events::FieldId f : r.selected)
+        b.putU32(f);
+    for (const auto &s : r.curve) {
+        b.putU32(s.dropped);
+        b.putU64(s.remaining_bytes);
+        b.putU64(static_cast<uint64_t>(s.error * 1e12));
+    }
+    return util::crc32(b.data().data(), b.size());
+}
+
+bool
+sameSelection(const ml::SelectionResult &a, const ml::SelectionResult &b)
+{
+    return selectionDigest(a) == selectionDigest(b) &&
+           a.selected == b.selected && a.curve.size() == b.curve.size();
+}
+
+struct Args {
+    bench::BenchOptions opts;
+    double profile_s = 60.0;
+    int trees = 32;
+    std::string out = "BENCH_micro_train.json";
+};
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args a;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            a.opts.quick = true;
+            a.profile_s = 20.0;
+            a.trees = 12;
+        } else if (std::strcmp(argv[i], "--seed") == 0 &&
+                   i + 1 < argc) {
+            a.opts.seed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--threads") == 0 &&
+                   i + 1 < argc) {
+            a.opts.threads = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 0));
+        } else if (std::strcmp(argv[i], "--profile-s") == 0 &&
+                   i + 1 < argc) {
+            a.profile_s = std::strtod(argv[++i], nullptr);
+        } else if (std::strcmp(argv[i], "--trees") == 0 &&
+                   i + 1 < argc) {
+            a.trees = static_cast<int>(
+                std::strtol(argv[++i], nullptr, 0));
+        } else if (std::strcmp(argv[i], "--out") == 0 &&
+                   i + 1 < argc) {
+            a.out = argv[++i];
+        } else {
+            util::fatal("unknown argument '%s' (expected --quick, "
+                        "--seed <n>, --threads <n>, --profile-s "
+                        "<sec>, --trees <n>, --out <path>)",
+                        argv[i]);
+        }
+    }
+    return a;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args = parseArgs(argc, argv);
+    unsigned nthreads = args.opts.threads ? args.opts.threads
+                                          : util::defaultThreadCount();
+    bench::printHeader("micro_train: Shrink-phase throughput",
+                       "training-side perf trajectory (§V-A)");
+
+    bench::ProfiledGame pg =
+        bench::profileGame("ab_evolution", args.opts, args.profile_s);
+    ml::Dataset ds(pg.profile.ofType(events::EventType::Drag),
+                   pg.game->schema());
+    std::vector<size_t> cols(ds.numFeatures());
+    for (size_t i = 0; i < cols.size(); ++i)
+        cols[i] = i;
+    std::printf("dataset: %zu rows x %zu features, N=%u threads\n\n",
+                ds.numRows(), ds.numFeatures(), nthreads);
+    bool ok = true;
+
+    // ---- 1. forest training throughput, 1 vs N threads ----------
+    ml::ForestConfig fc;
+    fc.num_trees = args.trees;
+    ml::RandomForest forest1(fc), forestN(fc);
+    double train_1t = wallSeconds([&] {
+        ml::ForestConfig c = fc;
+        c.threads = 1;
+        forest1 = ml::RandomForest(c);
+        forest1.train(ds, cols);
+    });
+    double train_nt = wallSeconds([&] {
+        ml::ForestConfig c = fc;
+        c.threads = nthreads;
+        forestN = ml::RandomForest(c);
+        forestN.train(ds, cols);
+    });
+
+    // Thread-count invariance: label-for-label identical forests.
+    std::vector<uint64_t> p1(ds.numRows()), pn(ds.numRows());
+    forest1.predictRows(ds, 0, ds.numRows(), p1.data());
+    forestN.predictRows(ds, 0, ds.numRows(), pn.data());
+    bool train_identical =
+        forest1.treeCount() == forestN.treeCount() && p1 == pn;
+    ok = ok && train_identical;
+
+    // Batched API vs per-row predictions, label for label.
+    bool batched_matches = true;
+    for (size_t r = 0; r < ds.numRows(); ++r)
+        batched_matches =
+            batched_matches && p1[r] == forest1.predict(ds, r);
+    ok = ok && batched_matches;
+
+    // ---- 2. zero-allocation vote path ---------------------------
+    uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+    uint64_t sink = 0;
+    for (size_t r = 0; r < ds.numRows(); ++r)
+        sink += forest1.predict(ds, r);
+    uint64_t single_allocs =
+        g_allocs.load(std::memory_order_relaxed) - a0;
+    a0 = g_allocs.load(std::memory_order_relaxed);
+    forest1.predictRows(ds, 0, ds.numRows(), p1.data());
+    uint64_t batched_allocs =
+        g_allocs.load(std::memory_order_relaxed) - a0;
+    double allocs_per_pred =
+        static_cast<double>(single_allocs) /
+        static_cast<double>(ds.numRows());
+    double allocs_per_row_batched =
+        static_cast<double>(batched_allocs) /
+        static_cast<double>(ds.numRows());
+    ok = ok && single_allocs == 0 && batched_allocs == 0;
+
+    // ---- 3. PFI throughput, 1 vs N threads ----------------------
+    ml::PfiConfig pc;
+    pc.seed = util::mixCombine(args.opts.seed, 0x9f1ULL);
+    ml::PfiResult pfi_1, pfi_n;
+    double pfi_1t = wallSeconds([&] {
+        ml::PfiConfig c = pc;
+        c.threads = 1;
+        pfi_1 = ml::computePfi(forest1, ds, cols, c);
+    });
+    double pfi_nt = wallSeconds([&] {
+        ml::PfiConfig c = pc;
+        c.threads = nthreads;
+        pfi_n = ml::computePfi(forest1, ds, cols, c);
+    });
+    bool pfi_identical = pfi_1.importance == pfi_n.importance &&
+                         pfi_1.base_error == pfi_n.base_error;
+    ok = ok && pfi_identical;
+
+    // ---- 4. selection wall time, 1 vs N threads -----------------
+    ml::SelectionConfig sc;
+    sc.pfi.seed = util::mixCombine(args.opts.seed, 0x5e1ULL);
+    ml::SelectionResult sel_1, sel_n, sel_full;
+    double sel_1t = wallSeconds([&] {
+        ml::SelectionConfig c = sc;
+        c.pfi.threads = 1;
+        sel_1 = ml::selectNecessaryInputs(ds, c);
+    });
+    double sel_nt = wallSeconds([&] {
+        ml::SelectionConfig c = sc;
+        c.pfi.threads = nthreads;
+        sel_n = ml::selectNecessaryInputs(ds, c);
+    });
+    // Cached PFI (the default) vs full recompute: must be exact.
+    double sel_full_t = wallSeconds([&] {
+        ml::SelectionConfig c = sc;
+        c.pfi.threads = nthreads;
+        c.cache_pfi = false;
+        sel_full = ml::selectNecessaryInputs(ds, c);
+    });
+    bool sel_identical =
+        sameSelection(sel_1, sel_n) && sameSelection(sel_n, sel_full);
+    ok = ok && sel_identical;
+    uint32_t digest = selectionDigest(sel_1);
+
+    // ---- 5. OTA package bytes across thread counts --------------
+    core::SnipConfig scfg;
+    scfg.seed = util::mixCombine(args.opts.seed, 0x07aULL);
+    scfg.threads = 1;
+    core::SnipModel m1 = core::buildSnipModel(pg.profile, *pg.game,
+                                              scfg);
+    scfg.threads = nthreads;
+    core::SnipModel mn = core::buildSnipModel(pg.profile, *pg.game,
+                                              scfg);
+    util::ByteBuffer pkg1, pkgn;
+    core::packModel(m1, pkg1);
+    core::packModel(mn, pkgn);
+    bool model_identical = pkg1.data() == pkgn.data();
+    ok = ok && model_identical;
+    uint32_t model_digest = util::crc32(pkg1.data().data(),
+                                        pkg1.size());
+
+    // ---- JSON ---------------------------------------------------
+    std::string json;
+    char buf[2048];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\n"
+        "  \"bench\": \"micro_train\",\n"
+        "  \"game\": \"ab_evolution\",\n"
+        "  \"rows\": %zu, \"features\": %zu, \"threads\": %u,\n"
+        "  \"train\": {\"trees\": %d, \"wall_s_1t\": %.6f, "
+        "\"wall_s_nt\": %.6f, \"trees_per_sec_1t\": %.2f, "
+        "\"trees_per_sec_nt\": %.2f, \"speedup\": %.3f, "
+        "\"identical\": %s},\n"
+        "  \"pfi\": {\"columns\": %zu, \"repeats\": %d, "
+        "\"wall_s_1t\": %.6f, \"wall_s_nt\": %.6f, "
+        "\"cols_per_sec_1t\": %.2f, \"cols_per_sec_nt\": %.2f, "
+        "\"speedup\": %.3f, \"identical\": %s},\n"
+        "  \"selection\": {\"wall_s_1t\": %.6f, \"wall_s_nt\": %.6f, "
+        "\"speedup\": %.3f, \"wall_s_full_recompute\": %.6f, "
+        "\"cache_speedup\": %.3f, \"identical\": %s, "
+        "\"digest\": \"%08x\"},\n"
+        "  \"predict\": {\"allocs_per_prediction\": %.4f, "
+        "\"allocs_per_row_batched\": %.4f},\n"
+        "  \"model_codec\": {\"bytes\": %zu, "
+        "\"identical_across_threads\": %s, \"digest\": \"%08x\"},\n"
+        "  \"contracts_ok\": %s\n"
+        "}\n",
+        ds.numRows(), ds.numFeatures(), nthreads, args.trees,
+        train_1t, train_nt,
+        args.trees / (train_1t > 0 ? train_1t : 1e-9),
+        args.trees / (train_nt > 0 ? train_nt : 1e-9),
+        train_1t / (train_nt > 0 ? train_nt : 1e-9),
+        train_identical && batched_matches ? "true" : "false",
+        cols.size(), pc.repeats, pfi_1t, pfi_nt,
+        cols.size() / (pfi_1t > 0 ? pfi_1t : 1e-9),
+        cols.size() / (pfi_nt > 0 ? pfi_nt : 1e-9),
+        pfi_1t / (pfi_nt > 0 ? pfi_nt : 1e-9),
+        pfi_identical ? "true" : "false",
+        sel_1t, sel_nt, sel_1t / (sel_nt > 0 ? sel_nt : 1e-9),
+        sel_full_t,
+        sel_full_t / (sel_nt > 0 ? sel_nt : 1e-9),
+        sel_identical ? "true" : "false", digest,
+        allocs_per_pred, allocs_per_row_batched, pkg1.size(),
+        model_identical ? "true" : "false", model_digest,
+        ok ? "true" : "false");
+    json = buf;
+    std::fputs(json.c_str(), stdout);
+    if (FILE *f = std::fopen(args.out.c_str(), "w")) {
+        std::fputs(json.c_str(), f);
+        std::fclose(f);
+        std::printf("wrote %s\n", args.out.c_str());
+    } else {
+        util::warn("could not write %s", args.out.c_str());
+    }
+
+    if (!ok) {
+        std::fprintf(stderr, "micro_train: CONTRACT VIOLATION — see "
+                             "\"identical\"/alloc fields above\n");
+        return 1;
+    }
+    (void)sink;
+    return 0;
+}

@@ -1,11 +1,7 @@
 #include "core/parallel_runner.h"
 
-#include <algorithm>
-#include <atomic>
-#include <cstdlib>
-#include <thread>
-
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace snip {
@@ -14,15 +10,7 @@ namespace core {
 unsigned
 defaultThreadCount()
 {
-    if (const char *env = std::getenv("SNIP_THREADS")) {
-        long n = std::strtol(env, nullptr, 0);
-        if (n >= 1)
-            return static_cast<unsigned>(n);
-        util::warn("ignoring SNIP_THREADS='%s' (need an integer >= 1)",
-                   env);
-    }
-    unsigned hw = std::thread::hardware_concurrency();
-    return hw ? hw : 1;
+    return util::defaultThreadCount();
 }
 
 ParallelRunner::ParallelRunner(unsigned threads)
@@ -34,36 +22,7 @@ void
 ParallelRunner::forEach(size_t n,
                         const std::function<void(size_t)> &fn) const
 {
-    if (n == 0)
-        return;
-    unsigned workers =
-        static_cast<unsigned>(std::min<size_t>(threads_, n));
-    if (workers <= 1) {
-        for (size_t i = 0; i < n; ++i)
-            fn(i);
-        return;
-    }
-
-    // Work-stealing-free dynamic dispatch: a shared atomic cursor.
-    // Which worker runs which index varies run to run, but every
-    // index runs exactly once and writes only its own slot, so the
-    // aggregate result is schedule-independent.
-    std::atomic<size_t> next{0};
-    auto body = [&] {
-        for (;;) {
-            size_t i = next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= n)
-                return;
-            fn(i);
-        }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(workers - 1);
-    for (unsigned w = 1; w < workers; ++w)
-        pool.emplace_back(body);
-    body();  // the calling thread is worker 0
-    for (auto &t : pool)
-        t.join();
+    util::parallelFor(n, fn, threads_);
 }
 
 std::vector<SessionResult>

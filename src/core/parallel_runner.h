@@ -29,7 +29,10 @@ namespace core {
 /**
  * Worker count used when a runner is built with threads == 0:
  * the SNIP_THREADS environment variable when set (>= 1), otherwise
- * std::thread::hardware_concurrency().
+ * std::thread::hardware_concurrency(). (Alias for
+ * util::defaultThreadCount() — the pool engine itself lives in
+ * util/parallel.h so the ML layer's Shrink-phase parallelism can
+ * share it without a core dependency.)
  */
 unsigned defaultThreadCount();
 

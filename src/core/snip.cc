@@ -48,6 +48,7 @@ buildSnipModel(const trace::Profile &profile, const games::Game &game,
         sel.pfi.repeats = cfg.pfi_repeats;
         sel.pfi.seed = util::mixCombine(cfg.seed,
                                         static_cast<uint64_t>(t));
+        sel.pfi.threads = cfg.threads;
         for (events::FieldId fid : forced) {
             if (ds.columnOf(fid) != SIZE_MAX)
                 sel.forced_keep.push_back(fid);

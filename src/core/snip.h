@@ -41,6 +41,12 @@ struct SnipConfig {
     /** PFI permutation repeats. */
     int pfi_repeats = 2;
     uint64_t seed = 0x51139ULL;
+    /**
+     * Worker threads for the Shrink phase (PFI task fan-out inside
+     * selection); 0 = SNIP_THREADS / all cores. Selection output is
+     * bitwise identical for any value.
+     */
+    unsigned threads = 0;
     DeveloperOverrides overrides;
     /**
      * Minimum records of a type required to attempt selection;

@@ -25,8 +25,7 @@ Dataset::Dataset(std::vector<const games::HandlerExecution *> records,
     }
     featureFields_.assign(fields.begin(), fields.end());
 
-    columns_.assign(featureFields_.size(),
-                    std::vector<uint64_t>(rows_, kAbsent));
+    values_.assign(featureFields_.size() * rows_, kAbsent);
     labels_.resize(rows_);
     weights_.resize(rows_);
     for (size_t row = 0; row < rows_; ++row) {
@@ -40,7 +39,7 @@ Dataset::Dataset(std::vector<const games::HandlerExecution *> records,
                 ++col;
             if (col < featureFields_.size() &&
                 featureFields_[col] == fv.id)
-                columns_[col][row] = fv.value;
+                values_[col * rows_ + row] = fv.value;
         }
         labels_[row] = events::hashFields(r->outputs);
         weights_[row] = std::max<uint64_t>(1, r->cpu_instructions);
@@ -64,12 +63,6 @@ Dataset::columnOf(events::FieldId fid) const
     if (it == featureFields_.end() || *it != fid)
         return SIZE_MAX;
     return static_cast<size_t>(it - featureFields_.begin());
-}
-
-uint64_t
-Dataset::value(size_t row, size_t col) const
-{
-    return columns_[col][row];
 }
 
 uint32_t

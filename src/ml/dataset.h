@@ -44,7 +44,20 @@ class Dataset
     size_t columnOf(events::FieldId fid) const;
 
     /** Value of (row, col); kAbsent when the record lacks it. */
-    uint64_t value(size_t row, size_t col) const;
+    uint64_t value(size_t row, size_t col) const
+    {
+        return values_[col * rows_ + row];
+    }
+
+    /**
+     * Contiguous column @p col (rows_ values). The value store is
+     * column-major in one allocation, so the PFI permutation and
+     * tree-split loops over a column are cache-linear.
+     */
+    const uint64_t *columnData(size_t col) const
+    {
+        return values_.data() + col * rows_;
+    }
 
     /** Output-signature label of a row. */
     uint64_t label(size_t row) const { return labels_[row]; }
@@ -74,7 +87,7 @@ class Dataset
     const events::FieldSchema *schema_;
     size_t rows_ = 0;
     std::vector<events::FieldId> featureFields_;  // sorted
-    std::vector<std::vector<uint64_t>> columns_;  // column-major
+    std::vector<uint64_t> values_;  // column-major, cols * rows
     std::vector<uint64_t> labels_;
     std::vector<uint64_t> weights_;
     uint64_t totalWeight_ = 0;

@@ -51,8 +51,39 @@ class DecisionTree : public Predictor
                       size_t override_col = SIZE_MAX,
                       uint64_t override_value = 0) const override;
 
+    void predictRows(const Dataset &ds, size_t row_begin,
+                     size_t row_end, uint64_t *out_labels,
+                     size_t override_col = SIZE_MAX,
+                     const uint64_t *override_values =
+                         nullptr) const override;
+
     /** Node count (tests / complexity reporting). */
     size_t nodeCount() const { return nodes_.size(); }
+
+    /**
+     * Leaf node index reached by @p row — the forest's batched vote
+     * path descends once and reads label/representative by node id
+     * instead of descending again per query.
+     */
+    size_t leafIndex(const Dataset &ds, size_t row,
+                     size_t override_col = SIZE_MAX,
+                     uint64_t override_value = 0) const
+    {
+        return static_cast<size_t>(
+            walk(ds, row, override_col, override_value));
+    }
+
+    /** Majority label stored at node @p node (leaves only). */
+    uint64_t nodeLabel(size_t node) const
+    {
+        return nodes_[node].label;
+    }
+
+    /** Representative training row of node @p node (leaves only). */
+    size_t nodeRepresentative(size_t node) const
+    {
+        return nodes_[node].representative;
+    }
 
   private:
     struct Node {

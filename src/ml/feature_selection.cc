@@ -114,17 +114,29 @@ selectNecessaryInputs(const Dataset &ds, const SelectionConfig &cfg)
     // Importance is normalized per byte so that bulky proxies (4 kB
     // context blocks mirroring a 4 B state variable) sweep out
     // first — a minimal-byte necessary set is SNIP's objective.
-    PfiResult pfi = computePfi(model, ds, cols, cfg.pfi);
-    auto importance_of = [&](size_t col) {
-        for (size_t i = 0; i < cols.size(); ++i)
-            if (cols[i] == col)
-                return pfi.importance[i];
-        return 0.0;
+    //
+    // Importances live in a direct per-column array (no per-compare
+    // list scan), refreshed every kPfiRefreshEvery committed drops.
+    // Only unlocked columns are ever ordered as drop candidates, so
+    // with cache_pfi the refresh recomputes just those and keeps
+    // cached values for locked columns — identical output, because
+    // per-column PFI permutation streams are column-keyed (pfi.h).
+    std::vector<double> imp_by_col(ds.numFeatures(), 0.0);
+    auto refresh_pfi = [&]() {
+        std::vector<size_t> want;
+        want.reserve(cols.size());
+        for (size_t c : cols)
+            if (!cfg.cache_pfi || !locked[c])
+                want.push_back(c);
+        PfiResult pfi = computePfi(model, ds, want, cfg.pfi);
+        for (size_t i = 0; i < want.size(); ++i)
+            imp_by_col[want[i]] = pfi.importance[i];
     };
+    refresh_pfi();
     auto per_byte_cmp = [&](size_t a, size_t b) {
-        double ia = importance_of(a) /
+        double ia = imp_by_col[a] /
                     static_cast<double>(ds.featureBytes(a));
-        double ib = importance_of(b) /
+        double ib = imp_by_col[b] /
                     static_cast<double>(ds.featureBytes(b));
         if (ia != ib)
             return ia < ib;
@@ -159,7 +171,7 @@ selectNecessaryInputs(const Dataset &ds, const SelectionConfig &cfg)
                 committed = true;
                 if (++commits_since_refresh >= kPfiRefreshEvery) {
                     model.trainOnRows(ds, cols, train_rows);
-                    pfi = computePfi(model, ds, cols, cfg.pfi);
+                    refresh_pfi();
                     commits_since_refresh = 0;
                 }
                 break;
@@ -183,7 +195,7 @@ selectNecessaryInputs(const Dataset &ds, const SelectionConfig &cfg)
     // the Fig. 9 curve shows the error ramp; does not affect the
     // selected set.
     model.trainOnRows(ds, cols, train_rows);
-    pfi = computePfi(model, ds, cols, cfg.pfi);
+    PfiResult pfi = computePfi(model, ds, cols, cfg.pfi);
     while (cols.size() > 1) {
         size_t pick = 0;
         auto per_byte = [&](size_t i) {

@@ -76,6 +76,17 @@ struct SelectionConfig {
     double batch_drop_importance = 1e-9;
     PfiConfig pfi;
     /**
+     * Cache importances between the periodic PFI refreshes: locked
+     * (known-necessary / forced-keep) columns are never ordered as
+     * drop candidates, so refreshes recompute only the still-
+     * droppable columns and keep cached values for the rest. Exact,
+     * not approximate — per-column PFI streams are keyed by column
+     * id (see pfi.h), so a subset compute returns the same
+     * importances a full-matrix recompute would. `false` restores
+     * the full-recompute behaviour (A/B hook for tests/benches).
+     */
+    bool cache_pfi = true;
+    /**
      * Fields the developer marked as must-keep (Option 1 overrides,
      * §V-B); never dropped regardless of importance.
      */

@@ -5,6 +5,14 @@
  * error grows when that feature's column is randomly permuted
  * across rows, breaking its relationship with the label while
  * preserving its marginal distribution.
+ *
+ * Evaluation is task-parallel (one task per feature x repeat). Each
+ * task's permutation stream is seeded from (cfg.seed, column id,
+ * repeat) — not from the task's position in the column list — so a
+ * column's importance is a pure function of the seed and the column:
+ * identical for any thread count AND for any subset of columns it is
+ * computed alongside (what lets the feature selector cache
+ * importances of untouched columns exactly).
  */
 
 #ifndef SNIP_ML_PFI_H
@@ -23,6 +31,12 @@ struct PfiConfig {
     /** Permutation repeats per feature (importances averaged). */
     int repeats = 2;
     uint64_t seed = 0x9f1bea7ULL;
+    /**
+     * Worker threads for the feature x repeat task fan-out
+     * (0 = SNIP_THREADS / all cores). Results are identical for any
+     * value.
+     */
+    unsigned threads = 0;
 };
 
 /** Result of one PFI run. */

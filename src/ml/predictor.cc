@@ -1,0 +1,48 @@
+#include "ml/predictor.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace snip {
+namespace ml {
+
+void
+Predictor::predictRows(const Dataset &ds, size_t row_begin,
+                       size_t row_end, uint64_t *out_labels,
+                       size_t override_col,
+                       const uint64_t *override_values) const
+{
+    if (override_col != SIZE_MAX && override_values == nullptr)
+        util::panic("Predictor::predictRows: override_col without "
+                    "override_values");
+    for (size_t r = row_begin; r < row_end; ++r) {
+        out_labels[r - row_begin] =
+            predict(ds, r, override_col,
+                    override_col != SIZE_MAX ? override_values[r] : 0);
+    }
+}
+
+double
+weightedErrorRate(const Predictor &p, const Dataset &ds)
+{
+    // Batched so forests pay the per-range cost once, in blocks
+    // small enough to stay cache-resident.
+    constexpr size_t kBlock = 512;
+    uint64_t labels[kBlock];
+    uint64_t wrong = 0;
+    size_t n = ds.numRows();
+    for (size_t begin = 0; begin < n; begin += kBlock) {
+        size_t end = std::min(n, begin + kBlock);
+        p.predictRows(ds, begin, end, labels);
+        for (size_t r = begin; r < end; ++r) {
+            if (labels[r - begin] != ds.label(r))
+                wrong += ds.weight(r);
+        }
+    }
+    return static_cast<double>(wrong) /
+           static_cast<double>(ds.totalWeight());
+}
+
+}  // namespace ml
+}  // namespace snip

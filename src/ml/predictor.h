@@ -51,6 +51,23 @@ class Predictor
     virtual size_t predictRow(const Dataset &ds, size_t row,
                               size_t override_col = SIZE_MAX,
                               uint64_t override_value = 0) const = 0;
+
+    /**
+     * Batched prediction over the row range [row_begin, row_end):
+     * out_labels[r - row_begin] receives the prediction for row r.
+     * When @p override_col != SIZE_MAX, @p override_values must be
+     * non-null and override_values[r] replaces the value of that
+     * column for row r — how PFI feeds a whole permuted column in
+     * one call. Label-for-label identical to calling predict() per
+     * row; implementations override it to amortize per-call work
+     * (the forest walks each tree once over the range instead of
+     * re-descending every tree per row).
+     */
+    virtual void predictRows(const Dataset &ds, size_t row_begin,
+                             size_t row_end, uint64_t *out_labels,
+                             size_t override_col = SIZE_MAX,
+                             const uint64_t *override_values =
+                                 nullptr) const;
 };
 
 /**

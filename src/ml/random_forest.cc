@@ -1,12 +1,37 @@
 #include "ml/random_forest.h"
 
+#include <algorithm>
 #include <cmath>
-#include <map>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace snip {
 namespace ml {
+
+namespace {
+
+/** Stream tags decorrelating the per-tree seed derivations. */
+constexpr uint64_t kTreeStream = 0x7ee5eedULL;
+constexpr uint64_t kBootStream = 0xb0075eedULL;
+
+/**
+ * Per-caller vote scratch. thread_local (not a mutable member) so
+ * that concurrent PFI tasks predicting on one shared const forest
+ * never share a buffer; reused across calls, so the vote path does
+ * zero heap allocations once warmed up.
+ */
+struct VoteScratch {
+    std::vector<uint32_t> votes;      // block_rows x label count
+    std::vector<uint32_t> tree_leaf;  // per-tree leaf (predictRow)
+};
+
+thread_local VoteScratch t_scratch;
+
+/** Rows per batched voting block (bounds the vote matrix). */
+constexpr size_t kVoteBlock = 64;
+
+}  // namespace
 
 RandomForest::RandomForest(ForestConfig cfg) : cfg_(cfg) {}
 
@@ -14,43 +39,97 @@ void
 RandomForest::train(const Dataset &ds,
                     const std::vector<size_t> &feature_cols)
 {
+    size_t num_trees = static_cast<size_t>(cfg_.num_trees);
     trees_.clear();
+    trees_.resize(num_trees);
+
+    // Draw every tree's seed serially up-front; each tree task then
+    // forks its own config and bootstrap streams from that one seed,
+    // so tree t's content is a pure function of (forest seed, t) and
+    // the worker count cannot leak into the result.
     util::Rng rng(cfg_.seed);
+    std::vector<uint64_t> seeds(num_trees);
+    for (size_t t = 0; t < num_trees; ++t)
+        seeds[t] = rng.next();
+
     size_t n = ds.numRows();
-    for (int t = 0; t < cfg_.num_trees; ++t) {
+    util::parallelFor(num_trees, [&](size_t t) {
         TreeConfig tc = cfg_.tree;
-        tc.seed = rng.next();
+        tc.seed = util::mixCombine(seeds[t], kTreeStream);
         if (tc.feature_subsample == 0) {
             tc.feature_subsample = static_cast<size_t>(std::ceil(
                 std::sqrt(static_cast<double>(feature_cols.size()))));
         }
         auto tree = std::make_unique<DecisionTree>(tc);
+        util::Rng boot_rng(util::mixCombine(seeds[t], kBootStream));
         std::vector<size_t> boot(n);
         for (size_t i = 0; i < n; ++i)
-            boot[i] = static_cast<size_t>(rng.uniformInt(0, n - 1));
+            boot[i] = static_cast<size_t>(
+                boot_rng.uniformInt(0, n - 1));
         tree->trainOnRows(ds, feature_cols, boot);
-        trees_.push_back(std::move(tree));
+        trees_[t] = std::move(tree);
+    }, cfg_.threads);
+
+    // Dense label dictionary: sorted distinct leaf labels across the
+    // forest, plus a per-tree node -> label-index table, so voting
+    // is flat array increments instead of map inserts.
+    labels_.clear();
+    for (const auto &t : trees_) {
+        for (size_t node = 0; node < t->nodeCount(); ++node) {
+            uint64_t lbl = t->nodeLabel(node);
+            if (lbl != kNoLabel)
+                labels_.push_back(lbl);
+        }
+    }
+    std::sort(labels_.begin(), labels_.end());
+    labels_.erase(std::unique(labels_.begin(), labels_.end()),
+                  labels_.end());
+
+    leaf_label_idx_.assign(num_trees, {});
+    for (size_t t = 0; t < num_trees; ++t) {
+        const DecisionTree &tree = *trees_[t];
+        leaf_label_idx_[t].assign(tree.nodeCount(), 0);
+        for (size_t node = 0; node < tree.nodeCount(); ++node) {
+            uint64_t lbl = tree.nodeLabel(node);
+            if (lbl == kNoLabel)
+                continue;
+            auto it = std::lower_bound(labels_.begin(),
+                                       labels_.end(), lbl);
+            leaf_label_idx_[t][node] =
+                static_cast<uint32_t>(it - labels_.begin());
+        }
     }
 }
 
+size_t
+RandomForest::majorityIndex(const uint32_t *votes) const
+{
+    // labels_ is sorted ascending and the scan takes the first
+    // strict maximum, so ties break toward the smallest label —
+    // the same rule the old std::map-based tally applied.
+    size_t best = 0;
+    for (size_t i = 1; i < labels_.size(); ++i) {
+        if (votes[i] > votes[best])
+            best = i;
+    }
+    return best;
+}
+
 uint64_t
-RandomForest::predict(const Dataset &ds, size_t row, size_t override_col,
+RandomForest::predict(const Dataset &ds, size_t row,
+                      size_t override_col,
                       uint64_t override_value) const
 {
     if (trees_.empty())
         util::panic("RandomForest::predict before train()");
-    std::map<uint64_t, int> votes;
-    for (const auto &t : trees_)
-        ++votes[t->predict(ds, row, override_col, override_value)];
-    uint64_t best_label = kNoLabel;
-    int best = 0;
-    for (const auto &kv : votes) {
-        if (kv.second > best) {
-            best = kv.second;
-            best_label = kv.first;
-        }
+    VoteScratch &s = t_scratch;
+    s.votes.assign(labels_.size(), 0);
+    for (size_t t = 0; t < trees_.size(); ++t) {
+        size_t leaf = trees_[t]->leafIndex(ds, row, override_col,
+                                           override_value);
+        ++s.votes[leaf_label_idx_[t][leaf]];
     }
-    return best_label;
+    return labels_[majorityIndex(s.votes.data())];
 }
 
 size_t
@@ -58,12 +137,67 @@ RandomForest::predictRow(const Dataset &ds, size_t row,
                          size_t override_col,
                          uint64_t override_value) const
 {
-    uint64_t label = predict(ds, row, override_col, override_value);
-    for (const auto &t : trees_) {
-        if (t->predict(ds, row, override_col, override_value) == label)
-            return t->predictRow(ds, row, override_col, override_value);
+    if (trees_.empty())
+        util::panic("RandomForest::predictRow before train()");
+    // One descent per tree: remember each tree's leaf while voting,
+    // then reuse it — the old code re-descended every tree a second
+    // time to find a representative for the winning label.
+    VoteScratch &s = t_scratch;
+    s.votes.assign(labels_.size(), 0);
+    s.tree_leaf.resize(trees_.size());
+    for (size_t t = 0; t < trees_.size(); ++t) {
+        size_t leaf = trees_[t]->leafIndex(ds, row, override_col,
+                                           override_value);
+        s.tree_leaf[t] = static_cast<uint32_t>(leaf);
+        ++s.votes[leaf_label_idx_[t][leaf]];
+    }
+    uint32_t best = static_cast<uint32_t>(
+        majorityIndex(s.votes.data()));
+    for (size_t t = 0; t < trees_.size(); ++t) {
+        size_t leaf = s.tree_leaf[t];
+        if (leaf_label_idx_[t][leaf] == best)
+            return trees_[t]->nodeRepresentative(leaf);
     }
     return SIZE_MAX;
+}
+
+void
+RandomForest::predictRows(const Dataset &ds, size_t row_begin,
+                          size_t row_end, uint64_t *out_labels,
+                          size_t override_col,
+                          const uint64_t *override_values) const
+{
+    if (trees_.empty())
+        util::panic("RandomForest::predictRows before train()");
+    if (override_col != SIZE_MAX && override_values == nullptr)
+        util::panic("RandomForest::predictRows: override_col "
+                    "without override_values");
+    VoteScratch &s = t_scratch;
+    size_t num_labels = labels_.size();
+    for (size_t b0 = row_begin; b0 < row_end; b0 += kVoteBlock) {
+        size_t b1 = std::min(row_end, b0 + kVoteBlock);
+        size_t block = b1 - b0;
+        s.votes.assign(block * num_labels, 0);
+        // Tree-outer, row-inner: each tree's node array stays hot
+        // while it descends the whole block, instead of re-touching
+        // every tree for every row.
+        for (size_t t = 0; t < trees_.size(); ++t) {
+            const DecisionTree &tree = *trees_[t];
+            const uint32_t *idx = leaf_label_idx_[t].data();
+            for (size_t r = b0; r < b1; ++r) {
+                uint64_t ov = override_col != SIZE_MAX
+                                  ? override_values[r]
+                                  : 0;
+                size_t leaf =
+                    tree.leafIndex(ds, r, override_col, ov);
+                ++s.votes[(r - b0) * num_labels + idx[leaf]];
+            }
+        }
+        for (size_t r = b0; r < b1; ++r) {
+            out_labels[r - row_begin] = labels_[majorityIndex(
+                s.votes.data() + (r - b0) * num_labels)];
+        }
+    }
 }
 
 }  // namespace ml

@@ -3,6 +3,12 @@
  * Bagged random forest (Breiman 2001, the paper's citation [6] for
  * PFI) over decision trees: bootstrap row sampling plus per-split
  * feature subsampling, majority vote.
+ *
+ * Training is tree-parallel (util::parallelFor): every tree's seed
+ * and bootstrap stream are derived up-front from the forest seed, so
+ * 1-thread and N-thread runs build bitwise-identical forests. Voting
+ * uses a dense label dictionary built at train time and flat
+ * per-caller vote buffers — no per-prediction heap allocation.
  */
 
 #ifndef SNIP_ML_RANDOM_FOREST_H
@@ -20,6 +26,11 @@ struct ForestConfig {
     int num_trees = 16;
     TreeConfig tree;
     uint64_t seed = 0xf02e57ULL;
+    /**
+     * Worker threads for tree training (0 = SNIP_THREADS / all
+     * cores). Results are identical for any value.
+     */
+    unsigned threads = 0;
 };
 
 /** Majority-vote forest. */
@@ -39,12 +50,28 @@ class RandomForest : public Predictor
                       size_t override_col = SIZE_MAX,
                       uint64_t override_value = 0) const override;
 
+    void predictRows(const Dataset &ds, size_t row_begin,
+                     size_t row_end, uint64_t *out_labels,
+                     size_t override_col = SIZE_MAX,
+                     const uint64_t *override_values =
+                         nullptr) const override;
+
     /** Number of trained trees. */
     size_t treeCount() const { return trees_.size(); }
 
+    /** Distinct leaf labels across the forest (vote-buffer width). */
+    size_t labelCount() const { return labels_.size(); }
+
   private:
+    /** Majority label index from a tally, ties to smallest label. */
+    size_t majorityIndex(const uint32_t *votes) const;
+
     ForestConfig cfg_;
     std::vector<std::unique_ptr<DecisionTree>> trees_;
+    /** Sorted distinct leaf labels; votes are tallied by index. */
+    std::vector<uint64_t> labels_;
+    /** Per tree: node index -> dense label index (leaves only). */
+    std::vector<std::vector<uint32_t>> leaf_label_idx_;
 };
 
 }  // namespace ml

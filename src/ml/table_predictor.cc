@@ -7,18 +7,6 @@
 namespace snip {
 namespace ml {
 
-double
-weightedErrorRate(const Predictor &p, const Dataset &ds)
-{
-    uint64_t wrong = 0;
-    for (size_t row = 0; row < ds.numRows(); ++row) {
-        if (p.predict(ds, row) != ds.label(row))
-            wrong += ds.weight(row);
-    }
-    return static_cast<double>(wrong) /
-           static_cast<double>(ds.totalWeight());
-}
-
 uint64_t
 TablePredictor::keyOf(const Dataset &ds, size_t row, size_t override_col,
                       uint64_t override_value) const
@@ -113,6 +101,24 @@ TablePredictor::predict(const Dataset &ds, size_t row,
     auto it = table_.find(keyOf(ds, row, override_col, override_value));
     return it == table_.end() ? fallbackLabel_
                               : it->second.majority_label;
+}
+
+void
+TablePredictor::predictRows(const Dataset &ds, size_t row_begin,
+                            size_t row_end, uint64_t *out_labels,
+                            size_t override_col,
+                            const uint64_t *override_values) const
+{
+    // Hash-and-probe per row with no virtual hop per row; the PFI
+    // inner loop spends its time here.
+    for (size_t r = row_begin; r < row_end; ++r) {
+        uint64_t ov =
+            override_col != SIZE_MAX ? override_values[r] : 0;
+        auto it = table_.find(keyOf(ds, r, override_col, ov));
+        out_labels[r - row_begin] = it == table_.end()
+                                        ? fallbackLabel_
+                                        : it->second.majority_label;
+    }
 }
 
 size_t

@@ -37,6 +37,12 @@ class TablePredictor : public Predictor
                       size_t override_col = SIZE_MAX,
                       uint64_t override_value = 0) const override;
 
+    void predictRows(const Dataset &ds, size_t row_begin,
+                     size_t row_end, uint64_t *out_labels,
+                     size_t override_col = SIZE_MAX,
+                     const uint64_t *override_values =
+                         nullptr) const override;
+
     /**
      * Strict lookup: true (and the majority label) only when the
      * row's key exists in the trained table — a deployment "hit".

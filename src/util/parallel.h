@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Generic deterministic data-parallel loop, usable from any layer
+ * (it lives in util so that snip_ml's Shrink-phase training/PFI and
+ * snip_core's session harness share one engine without a dependency
+ * cycle — core::ParallelRunner delegates here).
+ *
+ * The contract is the same one DESIGN.md's threading model states
+ * for ParallelRunner::forEach: fn(i) must only write state owned by
+ * index i (or otherwise disjoint per index). Indices are pulled from
+ * an atomic cursor, so *which worker* runs an index varies run to
+ * run, but under the write-disjointness contract the aggregate
+ * result is schedule-independent and identical to a serial loop.
+ */
+
+#ifndef SNIP_UTIL_PARALLEL_H
+#define SNIP_UTIL_PARALLEL_H
+
+#include <cstddef>
+#include <functional>
+
+namespace snip {
+namespace util {
+
+/**
+ * Worker count used when a parallel loop is given threads == 0: the
+ * SNIP_THREADS environment variable when set (>= 1), otherwise
+ * std::thread::hardware_concurrency(). SNIP_THREADS therefore caps
+ * *all* library parallelism — session fan-out and Shrink-phase
+ * training/PFI alike.
+ */
+unsigned defaultThreadCount();
+
+/**
+ * Run fn(i) for every i in [0, n) across a transient pool of
+ * @p threads workers (0 = defaultThreadCount()). The calling thread
+ * is worker 0; with one worker (or n <= 1) this degenerates to a
+ * plain serial loop with no thread or atomic traffic at all.
+ */
+void parallelFor(size_t n, const std::function<void(size_t)> &fn,
+                 unsigned threads = 0);
+
+}  // namespace util
+}  // namespace snip
+
+#endif  // SNIP_UTIL_PARALLEL_H

@@ -202,6 +202,38 @@ TEST(TablePredictorTest, PredictRowReturnsRepresentative)
     EXPECT_EQ(ds.label(repr), ds.label(7));
 }
 
+TEST(TablePredictorTest, PredictRowsMatchesPerRowPredict)
+{
+    Synthetic syn(300);
+    Dataset ds(syn.ptrs(), syn.schema);
+    std::vector<size_t> cols = {ds.columnOf(syn.fa),
+                                ds.columnOf(syn.fb)};
+    TablePredictor tp;
+    tp.train(ds, cols);
+
+    std::vector<uint64_t> batched(ds.numRows());
+    tp.predictRows(ds, 0, ds.numRows(), batched.data());
+    for (size_t r = 0; r < ds.numRows(); ++r)
+        EXPECT_EQ(batched[r], tp.predict(ds, r)) << "row " << r;
+
+    // Sub-range placement: out[r - begin] receives row r.
+    std::vector<uint64_t> window(20);
+    tp.predictRows(ds, 50, 70, window.data());
+    for (size_t r = 50; r < 70; ++r)
+        EXPECT_EQ(window[r - 50], tp.predict(ds, r));
+
+    // Override path: per-row override values, indexed by absolute
+    // row (the PFI permuted-column calling convention).
+    size_t col_a = ds.columnOf(syn.fa);
+    std::vector<uint64_t> shifted(ds.numRows());
+    for (size_t r = 0; r < ds.numRows(); ++r)
+        shifted[r] = ds.value((r + 1) % ds.numRows(), col_a);
+    tp.predictRows(ds, 0, ds.numRows(), batched.data(), col_a,
+                   shifted.data());
+    for (size_t r = 0; r < ds.numRows(); ++r)
+        EXPECT_EQ(batched[r], tp.predict(ds, r, col_a, shifted[r]));
+}
+
 // ------------------------------------------------------ DecisionTree
 
 TEST(DecisionTreeTest, LearnsSeparableFunction)
@@ -260,6 +292,92 @@ TEST(RandomForestTest, LearnsSeparableFunction)
     EXPECT_LT(weightedErrorRate(forest, ds), 0.1);
 }
 
+TEST(RandomForestTest, PredictRowsMatchesPerRowPredict)
+{
+    Synthetic syn(400);
+    Dataset ds(syn.ptrs(), syn.schema);
+    std::vector<size_t> cols = {0, 1, 2, 3};
+    ForestConfig cfg;
+    cfg.num_trees = 9;
+    RandomForest forest(cfg);
+    forest.train(ds, cols);
+
+    std::vector<uint64_t> batched(ds.numRows());
+    forest.predictRows(ds, 0, ds.numRows(), batched.data());
+    for (size_t r = 0; r < ds.numRows(); ++r)
+        EXPECT_EQ(batched[r], forest.predict(ds, r)) << "row " << r;
+
+    // A range that is not block-aligned (exercises the tail of the
+    // kVoteBlock loop) placed at out[r - begin].
+    std::vector<uint64_t> window(77);
+    forest.predictRows(ds, 13, 90, window.data());
+    for (size_t r = 13; r < 90; ++r)
+        EXPECT_EQ(window[r - 13], forest.predict(ds, r));
+
+    // Override path with per-row values (absolute-row indexing).
+    size_t col_a = ds.columnOf(syn.fa);
+    std::vector<uint64_t> shifted(ds.numRows());
+    for (size_t r = 0; r < ds.numRows(); ++r)
+        shifted[r] = ds.value((r + 7) % ds.numRows(), col_a);
+    forest.predictRows(ds, 0, ds.numRows(), batched.data(), col_a,
+                       shifted.data());
+    for (size_t r = 0; r < ds.numRows(); ++r) {
+        EXPECT_EQ(batched[r],
+                  forest.predict(ds, r, col_a, shifted[r]))
+            << "row " << r;
+    }
+}
+
+TEST(RandomForestTest, TrainDeterministicAcrossThreadCounts)
+{
+    Synthetic syn(500);
+    Dataset ds(syn.ptrs(), syn.schema);
+    std::vector<size_t> cols = {0, 1, 2, 3};
+
+    ForestConfig c1;
+    c1.num_trees = 10;
+    c1.threads = 1;
+    RandomForest f1(c1);
+    f1.train(ds, cols);
+
+    ForestConfig c8 = c1;
+    c8.threads = 8;
+    RandomForest f8(c8);
+    f8.train(ds, cols);
+
+    ASSERT_EQ(f1.treeCount(), f8.treeCount());
+    EXPECT_EQ(f1.labelCount(), f8.labelCount());
+    for (size_t r = 0; r < ds.numRows(); ++r) {
+        EXPECT_EQ(f1.predict(ds, r), f8.predict(ds, r))
+            << "row " << r;
+        EXPECT_EQ(f1.predictRow(ds, r), f8.predictRow(ds, r))
+            << "row " << r;
+    }
+}
+
+/**
+ * predictRow must return a representative of the *majority-vote*
+ * label, not re-derive a possibly different answer (the old
+ * implementation re-descended every tree after predict() had
+ * already tallied the votes).
+ */
+TEST(RandomForestTest, PredictRowRepresentativeCarriesVotedLabel)
+{
+    Synthetic syn(400);
+    Dataset ds(syn.ptrs(), syn.schema);
+    std::vector<size_t> cols = {0, 1, 2, 3};
+    ForestConfig cfg;
+    cfg.num_trees = 7;
+    RandomForest forest(cfg);
+    forest.train(ds, cols);
+    for (size_t r = 0; r < ds.numRows(); ++r) {
+        size_t repr = forest.predictRow(ds, r);
+        ASSERT_NE(repr, SIZE_MAX) << "row " << r;
+        EXPECT_EQ(ds.label(repr), forest.predict(ds, r))
+            << "row " << r;
+    }
+}
+
 // ---------------------------------------------------------------- PFI
 
 TEST(PfiTest, NecessaryFeaturesRankAboveNoise)
@@ -294,6 +412,48 @@ TEST(PfiTest, DeterministicForSeed)
     PfiResult a = computePfi(tp, ds, cols, cfg);
     PfiResult b = computePfi(tp, ds, cols, cfg);
     EXPECT_EQ(a.importance, b.importance);
+}
+
+TEST(PfiTest, DeterministicAcrossThreadCounts)
+{
+    Synthetic syn(400);
+    Dataset ds(syn.ptrs(), syn.schema);
+    std::vector<size_t> cols = {0, 1, 2, 3};
+    ForestConfig fcfg;
+    fcfg.num_trees = 8;
+    RandomForest forest(fcfg);
+    forest.train(ds, cols);
+
+    PfiConfig c1;
+    c1.seed = 42;
+    c1.threads = 1;
+    PfiConfig c8 = c1;
+    c8.threads = 8;
+    PfiResult a = computePfi(forest, ds, cols, c1);
+    PfiResult b = computePfi(forest, ds, cols, c8);
+    EXPECT_EQ(a.base_error, b.base_error);
+    EXPECT_EQ(a.importance, b.importance);  // bitwise, not approx
+}
+
+/**
+ * Per-column permutation streams are keyed by column id, so the
+ * importance of a column does not depend on which other columns are
+ * computed alongside it — the property that makes selection-side
+ * PFI caching exact.
+ */
+TEST(PfiTest, ColumnImportanceIndependentOfSubset)
+{
+    Synthetic syn(300);
+    Dataset ds(syn.ptrs(), syn.schema);
+    std::vector<size_t> cols = {0, 1, 2};
+    TablePredictor tp;
+    tp.train(ds, cols);
+    PfiConfig cfg;
+    cfg.seed = 77;
+    PfiResult full = computePfi(tp, ds, cols, cfg);
+    PfiResult solo = computePfi(tp, ds, {1}, cfg);
+    ASSERT_EQ(solo.importance.size(), 1u);
+    EXPECT_EQ(solo.importance[0], full.importance[1]);  // bitwise
 }
 
 // ------------------------------------------------- FeatureSelection
@@ -364,6 +524,42 @@ TEST(SelectionTest, TinyProfileStillTerminates)
     Dataset ds(syn.ptrs(), syn.schema);
     SelectionResult r = selectNecessaryInputs(ds);
     EXPECT_FALSE(r.selected.empty());
+}
+
+/**
+ * The cached-PFI fast path must be invisible in the output: because
+ * per-column PFI streams are keyed by column id, recomputing only
+ * the still-droppable columns at each refresh yields the same
+ * SelectionResult as recomputing the full matrix every time.
+ */
+TEST(SelectionTest, CachedPfiMatchesFullRecompute)
+{
+    Synthetic syn(900);
+    Dataset ds(syn.ptrs(), syn.schema);
+    SelectionConfig cached;
+    cached.max_error = 0.002;
+    cached.max_conditional_error = 0.012;
+    cached.cache_pfi = true;
+    SelectionConfig full = cached;
+    full.cache_pfi = false;
+
+    SelectionResult a = selectNecessaryInputs(ds, cached);
+    SelectionResult b = selectNecessaryInputs(ds, full);
+
+    EXPECT_EQ(a.selected, b.selected);
+    EXPECT_EQ(a.selected_bytes, b.selected_bytes);
+    EXPECT_EQ(a.selected_error, b.selected_error);
+    EXPECT_EQ(a.selected_hit_rate, b.selected_hit_rate);
+    EXPECT_EQ(a.full_error, b.full_error);
+    EXPECT_EQ(a.full_bytes, b.full_bytes);
+    ASSERT_EQ(a.curve.size(), b.curve.size());
+    for (size_t i = 0; i < a.curve.size(); ++i) {
+        EXPECT_EQ(a.curve[i].dropped, b.curve[i].dropped);
+        EXPECT_EQ(a.curve[i].remaining_bytes,
+                  b.curve[i].remaining_bytes);
+        EXPECT_EQ(a.curve[i].error, b.curve[i].error);
+        EXPECT_EQ(a.curve[i].hit_rate, b.curve[i].hit_rate);
+    }
 }
 
 // Parameterized: selection quality vs dataset size.

@@ -5,8 +5,9 @@
  * lookups from many threads, const-Game reads, and bitwise-identical
  * session results regardless of worker count.
  *
- * ConcurrentLookupsOnSharedConstTable is the TSan smoke target
- * (tools/ci.sh runs this binary under -fsanitize=thread).
+ * ConcurrentLookupsOnSharedConstTable and the ShrinkParallelTest
+ * suite are the TSan smoke targets (tools/ci.sh runs this binary
+ * under -fsanitize=thread).
  */
 
 #include <gtest/gtest.h>
@@ -17,11 +18,15 @@
 #include <vector>
 
 #include "core/memo_table.h"
+#include "core/model_codec.h"
 #include "core/parallel_runner.h"
 #include "core/scheme.h"
 #include "core/simulation.h"
 #include "core/snip.h"
 #include "games/registry.h"
+#include "ml/dataset.h"
+#include "ml/pfi.h"
+#include "ml/random_forest.h"
 #include "trace/recorder.h"
 #include "util/rng.h"
 
@@ -233,6 +238,118 @@ TEST(ParallelRunnerTest, ConcurrentLookupsOnSharedConstTable)
             << "thread " << t;
     }
     EXPECT_GT(ref_hits, 0u);
+}
+
+// -------------------------------------------- Shrink-phase parallelism
+
+/** Profile colorphun the way the offline pipeline does. */
+trace::Profile
+profileColorphun(double duration_s)
+{
+    auto game = games::makeGame("colorphun");
+    BaselineScheme baseline;
+    SimulationConfig cfg;
+    cfg.duration_s = duration_s;
+    cfg.record_events = true;
+    SessionResult res = runSession(*game, baseline, cfg);
+    auto replica = games::makeGame("colorphun");
+    return trace::Replayer::replay(res.trace, *replica);
+}
+
+/**
+ * End-to-end thread invariance of the Shrink phase: buildSnipModel
+ * at 1 worker and at 8 workers must produce identical selections
+ * and byte-identical packed models (the OTA payload).
+ */
+TEST(ShrinkParallelTest, ModelBytesInvariantAcrossThreadCounts)
+{
+    auto game = games::makeGame("colorphun");
+    trace::Profile profile = profileColorphun(30.0);
+
+    SnipConfig c1;
+    c1.threads = 1;
+    SnipConfig c8 = c1;
+    c8.threads = 8;
+    SnipModel m1 = buildSnipModel(profile, *game, c1);
+    SnipModel m8 = buildSnipModel(profile, *game, c8);
+
+    ASSERT_EQ(m1.types.size(), m8.types.size());
+    ASSERT_FALSE(m1.types.empty());
+    for (size_t i = 0; i < m1.types.size(); ++i) {
+        const auto &a = m1.types[i].selection;
+        const auto &b = m8.types[i].selection;
+        EXPECT_EQ(a.selected, b.selected);
+        EXPECT_EQ(a.selected_bytes, b.selected_bytes);
+        EXPECT_EQ(a.selected_error, b.selected_error);
+        EXPECT_EQ(a.selected_hit_rate, b.selected_hit_rate);
+        EXPECT_EQ(a.curve.size(), b.curve.size());
+    }
+
+    util::ByteBuffer p1, p8;
+    packModel(m1, p1);
+    packModel(m8, p8);
+    ASSERT_EQ(p1.size(), p8.size());
+    EXPECT_EQ(p1.data(), p8.data());  // byte-identical OTA payload
+}
+
+/**
+ * TSan smoke for the training-side shared-read contract: many
+ * threads running batched prediction and PFI against ONE const
+ * Dataset and ONE const RandomForest (scratch is thread_local) must
+ * be race-free and each see what a serial caller sees.
+ */
+TEST(ShrinkParallelTest, ConcurrentPfiOnSharedConstForest)
+{
+    auto game = games::makeGame("colorphun");
+    trace::Profile profile = profileColorphun(30.0);
+
+    // Dataset of the busiest event type.
+    events::EventType busiest = events::EventType::Touch;
+    size_t best = 0;
+    for (events::EventType t : profile.typesPresent()) {
+        size_t n = profile.ofType(t).size();
+        if (n > best) {
+            best = n;
+            busiest = t;
+        }
+    }
+    ASSERT_GE(best, 64u);
+    const ml::Dataset ds(profile.ofType(busiest), game->schema());
+    std::vector<size_t> cols(ds.numFeatures());
+    for (size_t i = 0; i < cols.size(); ++i)
+        cols[i] = i;
+
+    ml::ForestConfig fcfg;
+    fcfg.num_trees = 8;
+    ml::RandomForest forest(fcfg);
+    forest.train(ds, cols);
+    const ml::RandomForest &cforest = forest;  // shared, const
+
+    // Serial reference pass.
+    std::vector<uint64_t> ref(ds.numRows());
+    cforest.predictRows(ds, 0, ds.numRows(), ref.data());
+    ml::PfiConfig pcfg;
+    pcfg.threads = 1;
+    ml::PfiResult ref_pfi = ml::computePfi(cforest, ds, cols, pcfg);
+
+    constexpr unsigned kThreads = 8;
+    std::vector<int> ok(kThreads, 0);
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&, t] {
+            std::vector<uint64_t> mine(ds.numRows());
+            cforest.predictRows(ds, 0, ds.numRows(), mine.data());
+            ml::PfiResult pfi =
+                ml::computePfi(cforest, ds, cols, pcfg);
+            ok[t] = (mine == ref &&
+                     pfi.importance == ref_pfi.importance &&
+                     pfi.base_error == ref_pfi.base_error);
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+    for (unsigned t = 0; t < kThreads; ++t)
+        EXPECT_EQ(ok[t], 1) << "thread " << t;
 }
 
 }  // namespace

@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# CI driver: build + test the default config, build + test the
-# asan/ubsan config, run the TSan smoke of the shared-const
-# concurrent-lookup contract the parallel session runner relies on,
-# then fuzz the OTA model codec with corrupt packages under asan
-# (truncations and random bit flips must be rejected cleanly — no
-# crashes, no sanitizer reports).
+# CI driver: build + test the default config, run the micro_train
+# Shrink-phase smoke (twice — the selection/model digests must match
+# across runs, and the binary itself exits non-zero on any broken
+# determinism/zero-alloc contract), build + test the asan/ubsan
+# config, run the TSan smokes of the shared-const concurrency
+# contracts (parallel session runner lookups + parallel training/PFI
+# on a shared const forest, including micro_train itself), then fuzz
+# the OTA model codec with corrupt packages under asan (truncations
+# and random bit flips must be rejected cleanly — no crashes, no
+# sanitizer reports).
 #
 # Usage: tools/ci.sh [jobs]   (jobs defaults to nproc)
 set -euo pipefail
@@ -17,17 +21,33 @@ cmake --preset default >/dev/null
 cmake --build --preset default -j "$JOBS"
 ctest --preset default -j "$JOBS"
 
+echo "==> micro_train smoke (Shrink-phase contracts, two runs)"
+./build/bench/micro_train --quick --out build/micro_train_a.json \
+    >/dev/null
+./build/bench/micro_train --quick --out build/micro_train_b.json \
+    >/dev/null
+DIGESTS_A=$(grep -o '"digest": "[^"]*"' build/micro_train_a.json)
+DIGESTS_B=$(grep -o '"digest": "[^"]*"' build/micro_train_b.json)
+if [ -z "$DIGESTS_A" ] || [ "$DIGESTS_A" != "$DIGESTS_B" ]; then
+    echo "micro_train: selection/model digests differ across runs" >&2
+    exit 1
+fi
+
 echo "==> asan/ubsan build + ctest"
 cmake --preset asan-ubsan >/dev/null
 cmake --build --preset asan-ubsan -j "$JOBS"
 ctest --preset asan-ubsan -j "$JOBS"
 
-echo "==> tsan smoke (concurrent const-table lookups)"
+echo "==> tsan smoke (concurrent lookups + parallel Shrink phase)"
 cmake --preset tsan >/dev/null
-cmake --build --preset tsan -j "$JOBS" --target parallel_test
+cmake --build --preset tsan -j "$JOBS" --target parallel_test \
+    --target micro_train
 TSAN_OPTIONS="halt_on_error=1" \
     ./build-tsan/tests/parallel_test \
-    --gtest_filter='ParallelRunnerTest.ConcurrentLookupsOnSharedConstTable:ParallelRunnerTest.RunSessionsMatchesSerialBitwise'
+    --gtest_filter='ParallelRunnerTest.ConcurrentLookupsOnSharedConstTable:ParallelRunnerTest.RunSessionsMatchesSerialBitwise:ShrinkParallelTest.*'
+TSAN_OPTIONS="halt_on_error=1" \
+    ./build-tsan/bench/micro_train --quick --profile-s 10 --trees 8 \
+    --threads 4 --out build-tsan/micro_train_tsan.json >/dev/null
 
 echo "==> corruption fuzz smoke (OTA model codec, asan)"
 SNIP_FUZZ_ITERS=512 \
