@@ -26,9 +26,13 @@ parseOptions(int argc, char **argv)
                 std::strtoul(argv[++i], nullptr, 0));
             if (opts.threads == 0)
                 util::fatal("--threads must be >= 1");
+        } else if (std::strcmp(argv[i], "--obs-json") == 0 &&
+                   i + 1 < argc) {
+            opts.obs_json = argv[++i];
         } else {
             util::fatal("unknown argument '%s' (expected --quick, "
-                        "--csv <path>, --seed <n>, --threads <n>)",
+                        "--csv <path>, --seed <n>, --threads <n>, "
+                        "--obs-json <path>)",
                         argv[i]);
         }
     }
@@ -67,7 +71,8 @@ profileAllGames(const BenchOptions &opts, double profile_s)
 }
 
 core::SnipModel
-buildModel(const ProfiledGame &pg, const BenchOptions &opts)
+buildModel(const ProfiledGame &pg, const BenchOptions &opts,
+           obs::Registry *obs)
 {
     core::SnipConfig cfg;
     cfg.seed = util::mixCombine(opts.seed, 0x5e1ec7ULL);
@@ -75,7 +80,19 @@ buildModel(const ProfiledGame &pg, const BenchOptions &opts)
     // --threads governs training-side (Shrink) parallelism too;
     // selection output does not depend on it.
     cfg.threads = opts.threads;
+    cfg.obs = obs;
     return core::buildSnipModel(pg.profile, *pg.game, cfg);
+}
+
+void
+writeObsJson(const obs::Registry &reg, const BenchOptions &opts)
+{
+    if (opts.obs_json.empty())
+        return;
+    util::Status st = obs::writeJsonFile(reg, opts.obs_json);
+    if (!st.ok())
+        util::fatal("--obs-json: %s", st.message().c_str());
+    std::printf("obs metrics -> %s\n", opts.obs_json.c_str());
 }
 
 core::SimulationConfig

@@ -11,6 +11,11 @@
  *   --threads <n>    session-level worker threads (default: all
  *                    cores, or SNIP_THREADS); results are bitwise
  *                    independent of the thread count
+ *   --obs-json <path> export the bench's snip::obs metrics registry
+ *                    (lookup hit/miss, erroneous-shortcircuit
+ *                    classes, per-Shrink-phase wall times, ...) as
+ *                    JSON; benches that don't populate a registry
+ *                    ignore it
  */
 
 #ifndef SNIP_BENCH_BENCH_COMMON_H
@@ -24,6 +29,7 @@
 #include "core/simulation.h"
 #include "core/snip.h"
 #include "games/registry.h"
+#include "obs/sink.h"
 #include "trace/recorder.h"
 
 namespace snip {
@@ -36,6 +42,8 @@ struct BenchOptions {
     uint64_t seed = 77;
     /** Worker threads for independent sessions (0 = default). */
     unsigned threads = 0;
+    /** Export the bench's obs registry as JSON here (empty = off). */
+    std::string obs_json;
 
     /** Profiling session length (s). */
     double profileSeconds() const { return quick ? 90.0 : 300.0; }
@@ -79,9 +87,17 @@ std::vector<ProfiledGame> profileAllGames(const BenchOptions &opts,
 /**
  * Build the deployable SNIP model for a profiled game using the
  * game's recommended developer overrides (paper §V-B Option 1).
+ * @p obs, when set, receives the Shrink-phase spans and counters.
  */
 core::SnipModel buildModel(const ProfiledGame &pg,
-                           const BenchOptions &opts);
+                           const BenchOptions &opts,
+                           obs::Registry *obs = nullptr);
+
+/**
+ * Write @p reg to opts.obs_json when the flag was given (no-op
+ * otherwise); fatal() on I/O failure.
+ */
+void writeObsJson(const obs::Registry &reg, const BenchOptions &opts);
 
 /** Evaluation-session config with the bench defaults. */
 core::SimulationConfig evalConfig(const BenchOptions &opts);

@@ -14,6 +14,8 @@
 #include <iostream>
 
 #include "bench/bench_common.h"
+#include "core/scheme.h"
+#include "obs/metrics.h"
 #include "soc/battery.h"
 #include "util/bytes.h"
 #include "util/csv_writer.h"
@@ -72,18 +74,35 @@ main(int argc, char **argv)
     struct SchemeRun {
         core::SessionResult res;
         uint64_t table_bytes = 0;
+        /** Per-run metrics (SNIP runs under --obs-json only); the
+         *  run's task is the sole writer until the join. */
+        obs::Registry reg;
     };
     const auto &names = games::allGameNames();
     std::vector<SchemeRun> evals(names.size() * kNumKinds);
     runner.forEach(evals.size(), [&](size_t i) {
         const bench::ProfiledGame &pg = pgs[i / kNumKinds];
         core::SchemeKind kind = kinds[i % kNumKinds];
+        obs::Registry *reg = !opts.obs_json.empty() &&
+                                     kind == core::SchemeKind::Snip
+                                 ? &evals[i].reg
+                                 : nullptr;
         core::SimulationConfig ecfg = bench::evalConfig(opts);
-        core::SnipModel model = bench::buildModel(pg, opts);
+        ecfg.obs = reg;
+        core::SnipModel model = bench::buildModel(pg, opts, reg);
         auto game = games::makeGame(pg.game->name());
-        auto scheme = core::makeScheme(kind, &model);
+        std::unique_ptr<core::Scheme> scheme;
+        if (reg) {
+            core::SnipRuntimeConfig rcfg;
+            rcfg.obs = reg;
+            scheme = std::make_unique<core::SnipScheme>(model, rcfg);
+        } else {
+            scheme = core::makeScheme(kind, &model);
+        }
         evals[i].res = core::runSession(*game, *scheme, ecfg);
         evals[i].table_bytes = model.table->totalBytes();
+        if (reg)
+            model.table->recordStats(*reg);
     });
 
     for (size_t g = 0; g < names.size(); ++g) {
@@ -189,5 +208,34 @@ main(int argc, char **argv)
               << " [paper 52%], extra battery "
               << util::TablePrinter::num(extra_h_sum / n_games, 1)
               << " h [paper ~1.6 h]\n";
+
+    if (!opts.obs_json.empty()) {
+        obs::Registry merged;
+        for (const SchemeRun &run : evals)
+            merged.merge(run.reg);
+        // Gauges are last-writer-wins under merge, so the per-game
+        // rate gauges must be recomputed from the merged counters
+        // to describe the whole bench.
+        auto ratio = [&](const char *num, const char *den) {
+            double d = static_cast<double>(merged.counterValue(den));
+            return d > 0 ? static_cast<double>(
+                               merged.counterValue(num)) / d
+                         : 0.0;
+        };
+        double hits = static_cast<double>(
+            merged.counterValue("lookup.hits"));
+        double looks =
+            hits + static_cast<double>(
+                       merged.counterValue("lookup.misses"));
+        merged.gauge("session.hit_rate")
+            .set(looks > 0 ? hits / looks : 0.0);
+        merged.gauge("session.error_field_rate")
+            .set(ratio("session.output_fields_wrong",
+                       "session.output_fields"));
+        merged.gauge("session.coverage_instr")
+            .set(ratio("session.instr_skipped",
+                       "session.instr_total"));
+        bench::writeObsJson(merged, opts);
+    }
     return 0;
 }

@@ -48,9 +48,14 @@ main(int argc, char **argv)
     core::LearningConfig gated_cfg = cfg;
     gated_cfg.confidence_gate = true;
 
-    const core::LearningConfig *cfgs[] = {&cfg, &gated_cfg};
+    core::LearningConfig *cfgs[] = {&cfg, &gated_cfg};
+    // One registry per trajectory task (a Registry is
+    // single-writer), merged after the join for --obs-json.
+    obs::Registry regs[2];
     std::vector<core::EpochResult> trajectories[2];
     opts.runner().forEach(2, [&](size_t i) {
+        if (!opts.obs_json.empty())
+            cfgs[i]->obs = &regs[i];
         auto game = games::makeGame("ab_evolution");
         auto replica = games::makeGame("ab_evolution");
         core::ContinuousLearner learner(*game, *replica, *cfgs[i]);
@@ -132,5 +137,12 @@ main(int argc, char **argv)
               << util::TablePrinter::pct(worst_gated, 2)
               << " gated (first deployed epoch "
               << gate_deployed_at << ")\n";
+
+    if (!opts.obs_json.empty()) {
+        obs::Registry merged;
+        merged.merge(regs[0]);
+        merged.merge(regs[1]);
+        bench::writeObsJson(merged, opts);
+    }
     return 0;
 }

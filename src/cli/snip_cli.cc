@@ -28,8 +28,15 @@
  *   snip verify --in model.bin
  *       Integrity-check a package; exit 0 when deployable, 1 when
  *       rejected (never aborts on corrupt input).
+ *   snip stats --game G [--seconds S] [--audit N] [--json F]
+ *       Profile + deploy + evaluate with the snip::obs metrics
+ *       registry enabled: lookup hit/miss/byte counters, decide
+ *       outcomes, erroneous-shortcircuit classes, per-Shrink-phase
+ *       wall times, and table gauges, printed as tables (and
+ *       optionally exported as JSON).
  *
- * Every command is deterministic under --seed.
+ * Every command is deterministic under --seed (obs span timers
+ * measure host wall time and are the one exception).
  */
 
 #include <cstdio>
@@ -44,6 +51,7 @@
 #include "core/simulation.h"
 #include "core/snip.h"
 #include "games/registry.h"
+#include "obs/sink.h"
 #include "trace/field_stats.h"
 #include "trace/recorder.h"
 #include "trace/trace_log.h"
@@ -469,6 +477,63 @@ cmdVerify(const Args &args)
     return 0;
 }
 
+int
+cmdStats(const Args &args)
+{
+    auto game = games::makeGame(args.get("game", "ab_evolution"));
+    obs::Registry reg;
+
+    // Profile (un-instrumented, so the runtime metrics below
+    // reflect only the deployed session) and Shrink with the
+    // per-phase spans enabled.
+    core::BaselineScheme baseline;
+    core::SimulationConfig pcfg;
+    pcfg.duration_s = args.getD("profile-seconds", 120.0);
+    pcfg.seed = args.getU("seed", 77);
+    pcfg.record_events = true;
+    core::SessionResult prof =
+        core::runSession(*game, baseline, pcfg);
+    auto replica = games::makeGame(game->name());
+    trace::Profile profile =
+        trace::Replayer::replay(prof.trace, *replica);
+
+    core::SnipConfig scfg;
+    scfg.seed = pcfg.seed;
+    scfg.overrides.force_keep = game->params().recommended_overrides;
+    scfg.obs = &reg;
+    core::SnipModel model =
+        core::buildSnipModel(profile, *game, scfg);
+
+    // Deploy + evaluate with the runtime counters on.
+    core::SimulationConfig ecfg;
+    ecfg.duration_s = args.getD("seconds", 60.0);
+    ecfg.seed = util::mixCombine(pcfg.seed, 0xe7a1);
+    ecfg.obs = &reg;
+    core::SnipRuntimeConfig rcfg;
+    rcfg.audit_every = static_cast<uint32_t>(args.getU("audit", 0));
+    rcfg.obs = &reg;
+    core::SnipScheme scheme(model, rcfg);
+    core::runSession(*game, scheme, ecfg);
+    // Refresh the table gauges: online fill grew it during the
+    // session.
+    model.table->recordStats(reg);
+
+    std::printf("obs metrics: %s, %.0f s profile + %.0f s deployed "
+                "session\n\n", game->displayName().c_str(),
+                pcfg.duration_s, ecfg.duration_s);
+    obs::TableSink sink(std::cout);
+    sink.write(reg);
+
+    std::string json = args.get("json");
+    if (!json.empty()) {
+        util::Status st = obs::writeJsonFile(reg, json);
+        if (!st.ok())
+            util::fatal("stats: %s", st.message().c_str());
+        std::printf("metrics -> %s\n", json.c_str());
+    }
+    return 0;
+}
+
 void
 usage()
 {
@@ -485,6 +550,7 @@ usage()
         "  pack --game G --out F                 build + serialize OTA model\n"
         "  inspect --in F [--verbose]            show a packed model\n"
         "  verify --in F                         integrity-check a model\n"
+        "  stats --game G [--audit N] [--json F] obs metrics of a deploy\n"
         "common: --seed N\n");
 }
 
@@ -512,6 +578,8 @@ main(int argc, char **argv)
         return cmdInspect(args);
     if (args.command == "verify")
         return cmdVerify(args);
+    if (args.command == "stats")
+        return cmdStats(args);
     usage();
     return args.command.empty() ? 0 : 1;
 }

@@ -1,6 +1,7 @@
 #include "core/continuous_learning.h"
 
 #include "core/model_codec.h"
+#include "obs/span.h"
 #include "trace/recorder.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -39,6 +40,8 @@ ContinuousLearner::run()
     SimulationConfig scfg = cfg_.sim;
     scfg.duration_s = cfg_.session_s;
     scfg.record_events = true;
+    scfg.obs = cfg_.obs;
+    obs::Span learn_span(cfg_.obs, "learn");
 
     // Seed profile: one baseline session, replayed offline, then
     // truncated to the artificially insufficient size.
@@ -52,11 +55,14 @@ ContinuousLearner::run()
     std::vector<EpochResult> results;
     SnipModel model;
     uint64_t payload_bytes = 0;
+    uint64_t rejected_packages = 0;
     for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+        obs::Span epoch_span(cfg_.obs, "epoch");
         if (epoch % cfg_.relearn_every == 0) {
             SnipConfig sc = cfg_.snip;
             sc.seed = util::mixCombine(cfg_.snip.seed,
                                        static_cast<uint64_t>(epoch));
+            sc.obs = cfg_.obs;
             SnipModel built = buildSnipModel(profile, game_, sc);
 
             // Deploy through the OTA transport: the table the phone
@@ -66,6 +72,8 @@ ContinuousLearner::run()
             // running at baseline until the next epoch's push.
             util::ByteBuffer pkg;
             packModel(built, pkg);
+            if (cfg_.ota_tamper)
+                cfg_.ota_tamper(pkg);
             payload_bytes = pkg.size();
             util::Result<SnipModel> shipped = unpackModel(pkg);
             if (shipped.ok()) {
@@ -75,14 +83,22 @@ ContinuousLearner::run()
                            "package at epoch %d: %s", epoch,
                            shipped.status().message().c_str());
                 model = SnipModel{};
+                // The rejected package never reached the device:
+                // the epoch deploys nothing, so it must not report
+                // the dead package's size.
+                payload_bytes = 0;
+                ++rejected_packages;
             }
         }
 
         bool deployed = model.table != nullptr;
-        if (cfg_.confidence_gate &&
+        bool gate_withheld = false;
+        if (cfg_.confidence_gate && deployed &&
             (profile.records.size() < cfg_.gate_min_records ||
-             testedModelError(model) > cfg_.gate_threshold))
+             testedModelError(model) > cfg_.gate_threshold)) {
             deployed = false;
+            gate_withheld = true;
+        }
 
         scfg.seed = util::mixCombine(cfg_.sim.seed,
                                      0x1000ULL + epoch);
@@ -92,6 +108,8 @@ ContinuousLearner::run()
         er.table_bytes = model.table ? model.table->totalBytes() : 0;
         er.payload_bytes = payload_bytes;
         er.deployed = deployed;
+        er.gate_withheld = gate_withheld;
+        er.rejected_packages = rejected_packages;
 
         SessionResult res = [&] {
             if (deployed) {
@@ -105,6 +123,25 @@ ContinuousLearner::run()
         er.coverage = res.stats.coverageInstr();
         er.energy_j = res.report.total();
         results.push_back(er);
+
+        if (cfg_.obs) {
+            obs::Registry &r = *cfg_.obs;
+            r.counter("learn.epochs").add(1);
+            if (deployed)
+                r.counter("learn.deployed_epochs").add(1);
+            if (gate_withheld)
+                r.counter("learn.gate_withheld").add(1);
+            r.histogram("learn.payload_bytes")
+                .add(static_cast<double>(payload_bytes));
+            r.gauge("learn.rejected_packages")
+                .set(static_cast<double>(rejected_packages));
+            r.gauge("learn.table_bytes")
+                .set(static_cast<double>(er.table_bytes));
+            r.gauge("learn.profile_records")
+                .set(static_cast<double>(er.profile_records));
+            r.gauge("learn.error_field_rate")
+                .set(er.error_field_rate);
+        }
 
         // "Send events to cloud": replay this session and grow the
         // profile, dropping the oldest records beyond the cap.

@@ -15,9 +15,11 @@
 #ifndef SNIP_CORE_CONTINUOUS_LEARNING_H
 #define SNIP_CORE_CONTINUOUS_LEARNING_H
 
+#include <functional>
 #include <vector>
 
 #include "core/simulation.h"
+#include "util/bytes.h"
 
 namespace snip {
 namespace core {
@@ -45,6 +47,25 @@ struct LearningConfig {
 
     SnipConfig snip;
     SimulationConfig sim;
+
+    /**
+     * Optional lossy-OTA-transport hook, applied to each epoch's
+     * serialized package before the device unpacks it. Lets tests
+     * and demos inject corruption (truncation, bit flips) to
+     * exercise the rejection fallback; null means the transport is
+     * lossless.
+     */
+    std::function<void(util::ByteBuffer &)> ota_tamper;
+
+    /**
+     * Optional metrics sink (nullptr = observability off): per-
+     * epoch `learn.*` counters/gauges (deployed / gate-withheld /
+     * rejected-package counts, payload-byte histogram), the
+     * `span.learn.epoch` timer, and — shared into the nested
+     * Shrink runs and sessions — their `span.shrink.*` and
+     * `session.*` metrics. Never alters learning.
+     */
+    obs::Registry *obs = nullptr;
 };
 
 /** Per-epoch outcome. */
@@ -60,11 +81,17 @@ struct EpochResult {
     size_t profile_records = 0;
     /** Deployed table size (bytes). */
     uint64_t table_bytes = 0;
-    /** Serialized OTA package size of the deployed model (bytes) —
-     *  the paper's headline ~kB-scale over-the-air payload. */
+    /** Serialized OTA package size of the model the device actually
+     *  deployed this epoch — the paper's headline ~kB-scale
+     *  over-the-air payload. 0 when nothing is deployed (e.g. the
+     *  epoch's package was rejected and no prior model survives). */
     uint64_t payload_bytes = 0;
     /** Whether short-circuiting was enabled (confidence gate). */
     bool deployed = true;
+    /** The confidence gate withheld an otherwise-deployable model. */
+    bool gate_withheld = false;
+    /** OTA packages rejected so far (cumulative across epochs). */
+    uint64_t rejected_packages = 0;
 };
 
 /**

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -265,6 +266,26 @@ MemoTable::totalBytes() const
     for (const auto &tt : types_)
         n += tt.bytes;
     return n;
+}
+
+void
+MemoTable::recordStats(obs::Registry &reg) const
+{
+    uint64_t selected_bytes = 0;
+    uint64_t configured = 0;
+    for (const auto &tt : types_) {
+        if (tt.selected.empty())
+            continue;
+        ++configured;
+        selected_bytes += tt.selected_bytes;
+    }
+    reg.gauge("table.entries")
+        .set(static_cast<double>(entryCount()));
+    reg.gauge("table.bytes").set(static_cast<double>(totalBytes()));
+    reg.gauge("table.selected_bytes")
+        .set(static_cast<double>(selected_bytes));
+    reg.gauge("table.types_configured")
+        .set(static_cast<double>(configured));
 }
 
 void

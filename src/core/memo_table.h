@@ -27,6 +27,11 @@
 #include "games/handler.h"
 
 namespace snip {
+
+namespace obs {
+class Registry;
+}  // namespace obs
+
 namespace core {
 
 /** One memoized entry: necessary-input values -> outputs. */
@@ -156,6 +161,13 @@ class MemoTable
      * matching insert()'s append-only semantics.
      */
     void mergeFrom(const MemoTable &other);
+
+    /**
+     * Export table shape as `table.*` gauges (entries, payload
+     * bytes, selected bytes, configured types). Read-only; see
+     * DESIGN.md for the metric namespace.
+     */
+    void recordStats(obs::Registry &reg) const;
 
     /** Number of entries across all types. */
     size_t entryCount() const;

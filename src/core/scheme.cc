@@ -67,6 +67,14 @@ SnipScheme::SnipScheme(SnipModel &model, SnipRuntimeConfig cfg,
 {
     if (!model_.table)
         util::fatal("SnipScheme: model has no table");
+    if (cfg_.obs) {
+        obsAudits_ = &cfg_.obs->counter("decide.audits");
+        obsAuditFailures_ =
+            &cfg_.obs->counter("decide.audit_failures");
+        obsTableClears_ = &cfg_.obs->counter("decide.table_clears");
+        obsOnlineInserts_ =
+            &cfg_.obs->counter("decide.online_inserts");
+    }
 }
 
 Decision
@@ -77,6 +85,8 @@ SnipScheme::decide(const games::Game &game, const events::EventObject &ev,
     d.charge_lookup = chargeOverheads_;
     auditPending_ = false;
     MemoLookup res = model_.table->lookup(ev, game, scratch_);
+    d.lookup_ran = true;
+    d.lookup_hit = res.hit;
     d.lookup_bytes = res.bytes_scanned;
     d.lookup_candidates = res.candidates;
     if (res.hit) {
@@ -87,6 +97,7 @@ SnipScheme::decide(const games::Game &game, const events::EventObject &ev,
         if (cfg_.audit_every > 0 &&
             ++hitCounter_ % cfg_.audit_every == 0) {
             auditPending_ = true;
+            d.audited = true;
             auditOutputs_ = res.entry->outputs;
             return d;  // processed fully; observe() compares
         }
@@ -103,9 +114,13 @@ SnipScheme::observe(const games::HandlerExecution &truth)
         auditPending_ = false;
         ++auditsRun_;
         ++windowAudits_;
+        if (obsAudits_)
+            obsAudits_->add(1);
         if (auditOutputs_ != truth.outputs) {
             ++auditsFailed_;
             ++windowFailures_;
+            if (obsAuditFailures_)
+                obsAuditFailures_->add(1);
         }
         if (windowAudits_ >= cfg_.audit_window) {
             double rate = static_cast<double>(windowFailures_) /
@@ -113,6 +128,8 @@ SnipScheme::observe(const games::HandlerExecution &truth)
             if (rate > cfg_.audit_clear_threshold) {
                 model_.table->clear();
                 ++tableClears_;
+                if (obsTableClears_)
+                    obsTableClears_->add(1);
                 util::warn("snip watchdog: audited error rate %.1f%% "
                            "exceeded %.1f%%; table cleared",
                            rate * 100.0,
@@ -122,8 +139,11 @@ SnipScheme::observe(const games::HandlerExecution &truth)
             windowFailures_ = 0;
         }
     }
-    if (cfg_.online_fill)
+    if (cfg_.online_fill) {
         model_.table->insert(truth);
+        if (obsOnlineInserts_)
+            obsOnlineInserts_->add(1);
+    }
 }
 
 std::unique_ptr<Scheme>

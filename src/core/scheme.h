@@ -51,6 +51,15 @@ struct Decision {
     uint32_t lookup_candidates = 0;
     /** Charge the lookup cost (false for No-Overheads). */
     bool charge_lookup = true;
+    /** A table lookup ran (SNIP schemes; baselines never look up). */
+    bool lookup_ran = false;
+    /** The lookup matched an entry. */
+    bool lookup_hit = false;
+    /**
+     * The hit was diverted to a watchdog audit: processed fully so
+     * observe() can compare the table's outputs to ground truth.
+     */
+    bool audited = false;
 };
 
 /** Decision policy interface. */
@@ -149,6 +158,15 @@ struct SnipRuntimeConfig {
     uint32_t audit_window = 64;
     /** Clear the table when audited error exceeds this rate. */
     double audit_clear_threshold = 0.05;
+    /**
+     * Optional metrics sink (nullptr = observability off) for the
+     * scheme's own events: watchdog audits/failures/clears and
+     * online-fill inserts. Counters are resolved once at
+     * construction, so the per-event cost when disabled is one null
+     * check. Per-lookup outcomes are recorded by runSession from the
+     * Decision, not here.
+     */
+    obs::Registry *obs = nullptr;
 };
 
 /** SNIP: end-to-end short-circuiting via the deployed table. */
@@ -196,6 +214,12 @@ class SnipScheme : public Scheme
     uint32_t windowFailures_ = 0;
     bool auditPending_ = false;
     std::vector<events::FieldValue> auditOutputs_;
+
+    /** Pre-resolved counters (null when cfg_.obs is null). */
+    obs::Counter *obsAudits_ = nullptr;
+    obs::Counter *obsAuditFailures_ = nullptr;
+    obs::Counter *obsTableClears_ = nullptr;
+    obs::Counter *obsOnlineInserts_ = nullptr;
 
     /** Reusable gather buffers: zero-allocation lookups. */
     LookupScratch scratch_;

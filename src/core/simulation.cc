@@ -62,6 +62,47 @@ runSession(games::Game &game, Scheme &scheme, const SimulationConfig &cfg)
                                    util::fnv1a(game.name())));
     SessionStats stats;
 
+    // Pre-resolved obs handles: name lookup happens once here, so
+    // each record point on the event path costs one null-check
+    // branch when observability is off and a pointer bump when on.
+    struct {
+        obs::Counter *events = nullptr;
+        obs::Counter *frames = nullptr;
+        obs::Counter *useless = nullptr;
+        obs::Counter *lookups = nullptr;
+        obs::Counter *hits = nullptr;
+        obs::Counter *misses = nullptr;
+        obs::Counter *bytes = nullptr;
+        obs::Counter *candidates = nullptr;
+        obs::Counter *shortcircuit = nullptr;
+        obs::Counter *full = nullptr;
+        obs::Counter *audited = nullptr;
+        obs::Counter *err_sc = nullptr;
+        obs::Counter *err_temp = nullptr;
+        obs::Counter *err_hist = nullptr;
+        obs::Counter *err_ext = nullptr;
+        util::Log2Histogram *bytes_hist = nullptr;
+    } oc;
+    if (cfg.obs) {
+        obs::Registry &r = *cfg.obs;
+        oc.events = &r.counter("session.events");
+        oc.frames = &r.counter("session.frames");
+        oc.useless = &r.counter("session.useless_events");
+        oc.lookups = &r.counter("lookup.lookups");
+        oc.hits = &r.counter("lookup.hits");
+        oc.misses = &r.counter("lookup.misses");
+        oc.bytes = &r.counter("lookup.bytes");
+        oc.candidates = &r.counter("lookup.candidates");
+        oc.shortcircuit = &r.counter("decide.shortcircuit");
+        oc.full = &r.counter("decide.full");
+        oc.audited = &r.counter("decide.audited");
+        oc.err_sc = &r.counter("decide.err.shortcircuits");
+        oc.err_temp = &r.counter("decide.err.temp_only");
+        oc.err_hist = &r.counter("decide.err.history");
+        oc.err_ext = &r.counter("decide.err.extern");
+        oc.bytes_hist = &r.histogram("lookup.bytes_hist");
+    }
+
     // Per-mix-entry next arrival times (jittered periodic arrivals).
     const auto &mix = game.params().mix;
     std::vector<double> next_at(mix.size());
@@ -96,6 +137,26 @@ runSession(games::Game &game, Scheme &scheme, const SimulationConfig &cfg)
         if (truth.useless)
             ++stats.useless_events;
 
+        if (oc.events) {
+            oc.events->add(1);
+            if (truth.useless)
+                oc.useless->add(1);
+            if (d.lookup_ran) {
+                oc.lookups->add(1);
+                (d.lookup_hit ? oc.hits : oc.misses)->add(1);
+                oc.bytes->add(d.lookup_bytes);
+                oc.candidates->add(d.lookup_candidates);
+                oc.bytes_hist->add(
+                    static_cast<double>(d.lookup_bytes));
+            }
+            if (d.audited)
+                oc.audited->add(1);
+            else if (d.shortcircuit)
+                oc.shortcircuit->add(1);
+            else
+                oc.full->add(1);
+        }
+
         if (d.lookup_bytes > 0 && d.charge_lookup) {
             uint64_t instr = cfg.lookup_instr_base +
                              static_cast<uint64_t>(
@@ -128,6 +189,15 @@ runSession(games::Game &game, Scheme &scheme, const SimulationConfig &cfg)
                     ++stats.err_history;
                 else
                     ++stats.err_temp_only;
+                if (oc.err_sc) {
+                    oc.err_sc->add(1);
+                    if (diff.wrong_extern)
+                        oc.err_ext->add(1);
+                    else if (diff.wrong_history)
+                        oc.err_hist->add(1);
+                    else
+                        oc.err_temp->add(1);
+                }
             }
             return;
         }
@@ -205,9 +275,37 @@ runSession(games::Game &game, Scheme &scheme, const SimulationConfig &cfg)
 
         soc.advance(frame_end - now);
         now = frame_end;
+        if (oc.frames)
+            oc.frames->add(1);
     }
 
     SessionResult result{soc.report(), stats, recorder.trace()};
+
+    if (cfg.obs) {
+        // End-of-session totals and derived rates. When registries
+        // of several sessions are merged, counters stay additive;
+        // the rate gauges are last-writer and should be recomputed
+        // from the merged counters (see DESIGN.md).
+        obs::Registry &r = *cfg.obs;
+        r.counter("session.instr_total").add(stats.instr_total);
+        r.counter("session.instr_skipped").add(stats.instr_skipped);
+        r.counter("session.output_fields")
+            .add(stats.output_fields_total);
+        r.counter("session.output_fields_wrong")
+            .add(stats.output_fields_wrong);
+        r.gauge("session.duration_s").set(cfg.duration_s);
+        r.gauge("session.energy_j").set(result.report.total());
+        r.gauge("session.lookup_energy_j")
+            .set(stats.lookup_energy_j);
+        uint64_t looked = oc.hits->value() + oc.misses->value();
+        r.gauge("session.hit_rate")
+            .set(looked ? static_cast<double>(oc.hits->value()) /
+                              static_cast<double>(looked)
+                        : 0.0);
+        r.gauge("session.error_field_rate")
+            .set(stats.errorFieldRate());
+        r.gauge("session.coverage_instr").set(stats.coverageInstr());
+    }
     return result;
 }
 

@@ -39,6 +39,19 @@ struct SimulationConfig {
      */
     double lookup_instr_per_byte = 500.0;
     uint64_t lookup_instr_base = 4000;
+
+    /**
+     * Optional metrics sink (nullptr = observability off): lookup
+     * hit/miss/byte counters, decide outcomes, erroneous-
+     * shortcircuit classes, per-frame/event counts, and end-of-
+     * session energy/rate gauges (`lookup.*`, `decide.*`,
+     * `session.*` — see DESIGN.md). Counters are resolved once at
+     * session start, so the disabled hot path costs one branch per
+     * record point and allocates nothing. A Registry is single-
+     * writer: concurrent sessions (core::ParallelRunner) must use
+     * one Registry each and merge after the join.
+     */
+    obs::Registry *obs = nullptr;
 };
 
 /** Counters collected over one session. */

@@ -1,6 +1,7 @@
 #include "core/snip.h"
 
 #include "ml/dataset.h"
+#include "obs/span.h"
 #include "util/logging.h"
 
 namespace snip {
@@ -22,6 +23,7 @@ buildSnipModel(const trace::Profile &profile, const games::Game &game,
     SnipModel model;
     model.game = profile.game;
     model.table = std::make_unique<MemoTable>(game.schema());
+    obs::Span shrink_span(cfg.obs, "shrink");
 
     std::vector<events::FieldId> forced;
     for (const auto &name : cfg.overrides.force_keep) {
@@ -38,6 +40,8 @@ buildSnipModel(const trace::Profile &profile, const games::Game &game,
             util::warn("snip: %s has only %zu records of %s; leaving "
                        "type undeployed", profile.game.c_str(),
                        records.size(), events::eventTypeName(t));
+            if (cfg.obs)
+                cfg.obs->counter("shrink.types_skipped").add(1);
             continue;
         }
         ml::Dataset ds(std::move(records), game.schema());
@@ -49,6 +53,7 @@ buildSnipModel(const trace::Profile &profile, const games::Game &game,
         sel.pfi.seed = util::mixCombine(cfg.seed,
                                         static_cast<uint64_t>(t));
         sel.pfi.threads = cfg.threads;
+        sel.obs = cfg.obs;
         for (events::FieldId fid : forced) {
             if (ds.columnOf(fid) != SIZE_MAX)
                 sel.forced_keep.push_back(fid);
@@ -60,11 +65,15 @@ buildSnipModel(const trace::Profile &profile, const games::Game &game,
         tm.selection = ml::selectNecessaryInputs(ds, sel);
         model.table->setSelected(t, tm.selection.selected);
         model.types.push_back(std::move(tm));
+        if (cfg.obs)
+            cfg.obs->counter("shrink.types_deployed").add(1);
     }
 
     // Pre-fill the table from the profile (the OTA payload).
     for (const auto &rec : profile.records)
         model.table->insert(rec);
+    if (cfg.obs)
+        model.table->recordStats(*cfg.obs);
     return model;
 }
 

@@ -53,6 +53,13 @@ struct SnipConfig {
      * sparser types are left undeployed (processed as baseline).
      */
     size_t min_records_per_type = 32;
+    /**
+     * Optional metrics sink (nullptr = observability off): the
+     * Shrink-phase spans (`span.shrink` and nested select / train /
+     * holdout / pfi), per-type counters, and final table gauges.
+     * Never alters the built model.
+     */
+    obs::Registry *obs = nullptr;
 };
 
 /** Per-event-type selection outcome. */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/span.h"
 #include "util/logging.h"
 
 namespace snip {
@@ -64,6 +65,13 @@ SelectionResult
 selectNecessaryInputs(const Dataset &ds, const SelectionConfig &cfg)
 {
     SelectionResult out;
+    obs::Span sel_span(cfg.obs, "select");
+
+    // The nested PFI runs inherit the selector's registry unless the
+    // caller wired one explicitly.
+    PfiConfig pfi_cfg = cfg.pfi;
+    if (!pfi_cfg.obs)
+        pfi_cfg.obs = cfg.obs;
 
     std::vector<size_t> cols(ds.numFeatures());
     for (size_t i = 0; i < cols.size(); ++i)
@@ -92,8 +100,18 @@ selectNecessaryInputs(const Dataset &ds, const SelectionConfig &cfg)
     }
 
     TablePredictor model;
-    model.trainOnRows(ds, cols, train_rows);
-    HoldoutEval cur = evaluateHoldout(model, ds, holdout_rows);
+    // Span-wrapped phase helpers; with a null registry the spans are
+    // inert and these are plain calls.
+    auto train_model = [&](const std::vector<size_t> &use_cols) {
+        obs::Span s(cfg.obs, "train");
+        model.trainOnRows(ds, use_cols, train_rows);
+    };
+    auto eval_holdout = [&]() {
+        obs::Span s(cfg.obs, "holdout");
+        return evaluateHoldout(model, ds, holdout_rows);
+    };
+    train_model(cols);
+    HoldoutEval cur = eval_holdout();
     out.full_error = cur.wrong_hit;
     out.full_bytes = ds.bytesOfColumns(cols);
 
@@ -128,9 +146,11 @@ selectNecessaryInputs(const Dataset &ds, const SelectionConfig &cfg)
         for (size_t c : cols)
             if (!cfg.cache_pfi || !locked[c])
                 want.push_back(c);
-        PfiResult pfi = computePfi(model, ds, want, cfg.pfi);
+        PfiResult pfi = computePfi(model, ds, want, pfi_cfg);
         for (size_t i = 0; i < want.size(); ++i)
             imp_by_col[want[i]] = pfi.importance[i];
+        if (cfg.obs)
+            cfg.obs->counter("shrink.select.pfi_refreshes").add(1);
     };
     refresh_pfi();
     auto per_byte_cmp = [&](size_t a, size_t b) {
@@ -161,22 +181,28 @@ selectNecessaryInputs(const Dataset &ds, const SelectionConfig &cfg)
             for (size_t c : cols)
                 if (c != col)
                     trial.push_back(c);
-            model.trainOnRows(ds, trial, train_rows);
-            HoldoutEval ev = evaluateHoldout(model, ds, holdout_rows);
+            train_model(trial);
+            HoldoutEval ev = eval_holdout();
             if (ev.wrong_hit <= cfg.max_error &&
                 ev.conditionalError() <= cfg.max_conditional_error) {
                 cols = std::move(trial);
                 cur = ev;
                 record_step(col, ev);
                 committed = true;
+                if (cfg.obs) {
+                    cfg.obs->counter("shrink.select.drops_committed")
+                        .add(1);
+                }
                 if (++commits_since_refresh >= kPfiRefreshEvery) {
-                    model.trainOnRows(ds, cols, train_rows);
+                    train_model(cols);
                     refresh_pfi();
                     commits_since_refresh = 0;
                 }
                 break;
             }
             locked[col] = 1;  // necessary: keep it from now on
+            if (cfg.obs)
+                cfg.obs->counter("shrink.select.drops_restored").add(1);
         }
         if (!committed)
             break;
@@ -194,8 +220,8 @@ selectNecessaryInputs(const Dataset &ds, const SelectionConfig &cfg)
     // least-important remaining feature regardless of the budget so
     // the Fig. 9 curve shows the error ramp; does not affect the
     // selected set.
-    model.trainOnRows(ds, cols, train_rows);
-    PfiResult pfi = computePfi(model, ds, cols, cfg.pfi);
+    train_model(cols);
+    PfiResult pfi = computePfi(model, ds, cols, pfi_cfg);
     while (cols.size() > 1) {
         size_t pick = 0;
         auto per_byte = [&](size_t i) {
@@ -212,8 +238,8 @@ selectNecessaryInputs(const Dataset &ds, const SelectionConfig &cfg)
         cols.erase(cols.begin() + static_cast<long>(pick));
         pfi.importance.erase(pfi.importance.begin() +
                              static_cast<long>(pick));
-        model.trainOnRows(ds, cols, train_rows);
-        HoldoutEval ev = evaluateHoldout(model, ds, holdout_rows);
+        train_model(cols);
+        HoldoutEval ev = eval_holdout();
         record_step(col, ev);
         if (ev.wrong_hit > kCurveStopError)
             break;

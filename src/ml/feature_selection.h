@@ -91,6 +91,14 @@ struct SelectionConfig {
      * §V-B); never dropped regardless of importance.
      */
     std::vector<events::FieldId> forced_keep;
+    /**
+     * Optional metrics sink (nullptr = observability off): per-phase
+     * spans (`span.*.select` with nested `train` / `holdout` /
+     * `pfi`) and drop/restore/refresh counters. Also handed to the
+     * nested PFI runs unless cfg.pfi.obs is already set. Never
+     * alters results.
+     */
+    obs::Registry *obs = nullptr;
 };
 
 /** Run the iterative trimming on one event type's dataset. */

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "ml/predictor.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace snip {
@@ -37,6 +38,13 @@ struct PfiConfig {
      * value.
      */
     unsigned threads = 0;
+    /**
+     * Optional metrics sink (nullptr = observability off). Records
+     * the `shrink.pfi` span plus per-task timings attributed to the
+     * parallelFor workers that ran them (thread-local shards merged
+     * at join); never alters results.
+     */
+    obs::Registry *obs = nullptr;
 };
 
 /** Result of one PFI run. */

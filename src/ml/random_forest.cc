@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/span.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 
@@ -40,6 +41,9 @@ RandomForest::train(const Dataset &ds,
                     const std::vector<size_t> &feature_cols)
 {
     size_t num_trees = static_cast<size_t>(cfg_.num_trees);
+    obs::Span span(cfg_.obs, "train_forest");
+    if (cfg_.obs)
+        cfg_.obs->counter("shrink.forest.trees").add(num_trees);
     trees_.clear();
     trees_.resize(num_trees);
 

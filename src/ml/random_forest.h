@@ -17,6 +17,7 @@
 #include <memory>
 
 #include "ml/decision_tree.h"
+#include "obs/metrics.h"
 
 namespace snip {
 namespace ml {
@@ -31,6 +32,12 @@ struct ForestConfig {
      * cores). Results are identical for any value.
      */
     unsigned threads = 0;
+    /**
+     * Optional metrics sink (nullptr = observability off): records
+     * the `train_forest` span and a trained-trees counter. Never
+     * alters results.
+     */
+    obs::Registry *obs = nullptr;
 };
 
 /** Majority-vote forest. */

@@ -1,0 +1,131 @@
+#include "obs/metrics.h"
+
+namespace snip {
+namespace obs {
+
+namespace {
+
+/**
+ * Heterogeneous find-or-create: the std::string key is only
+ * materialized on the first reference to a name.
+ */
+template <typename Map>
+typename Map::mapped_type &
+findOrCreate(Map &m, std::string_view name)
+{
+    auto it = m.find(name);
+    if (it == m.end()) {
+        it = m.emplace(std::string(name),
+                       typename Map::mapped_type{}).first;
+    }
+    return it->second;
+}
+
+}  // namespace
+
+Counter &
+Registry::counter(std::string_view name)
+{
+    return findOrCreate(counters_, name);
+}
+
+Gauge &
+Registry::gauge(std::string_view name)
+{
+    return findOrCreate(gauges_, name);
+}
+
+util::Summary &
+Registry::timer(std::string_view name)
+{
+    return findOrCreate(timers_, name);
+}
+
+util::Log2Histogram &
+Registry::histogram(std::string_view name)
+{
+    return findOrCreate(histograms_, name);
+}
+
+uint64_t
+Registry::counterValue(std::string_view name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+double
+Registry::gaugeValue(std::string_view name) const
+{
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second.value();
+}
+
+const util::Summary *
+Registry::findTimer(std::string_view name) const
+{
+    auto it = timers_.find(name);
+    return it == timers_.end() ? nullptr : &it->second;
+}
+
+const util::Log2Histogram *
+Registry::findHistogram(std::string_view name) const
+{
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void
+Registry::merge(const Registry &other)
+{
+    for (const auto &[name, c] : other.counters_)
+        counter(name).add(c.value());
+    for (const auto &[name, g] : other.gauges_)
+        gauge(name).set(g.value());
+    for (const auto &[name, t] : other.timers_)
+        timer(name).merge(t);
+    for (const auto &[name, h] : other.histograms_)
+        histogram(name).merge(h);
+}
+
+bool
+Registry::empty() const
+{
+    return counters_.empty() && gauges_.empty() && timers_.empty() &&
+           histograms_.empty();
+}
+
+Registry &
+ShardedRegistry::local()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto id = std::this_thread::get_id();
+    auto it = by_thread_.find(id);
+    if (it == by_thread_.end()) {
+        shards_.emplace_back();
+        it = by_thread_.emplace(id, &shards_.back()).first;
+    }
+    return *it->second;
+}
+
+std::vector<const Registry *>
+ShardedRegistry::shards() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<const Registry *> out;
+    out.reserve(shards_.size());
+    for (const Registry &r : shards_)
+        out.push_back(&r);
+    return out;
+}
+
+void
+ShardedRegistry::mergeInto(Registry &target) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Registry &r : shards_)
+        target.merge(r);
+}
+
+}  // namespace obs
+}  // namespace snip

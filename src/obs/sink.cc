@@ -1,0 +1,205 @@
+#include "obs/sink.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/table_printer.h"
+
+namespace snip {
+namespace obs {
+
+namespace {
+
+/** Minimal JSON string escape (names are ours, but be safe). */
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** JSON number; non-finite values become 0 so output always parses. */
+std::string
+jsonNum(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+void
+writeTimerObject(std::ostream &os, const util::Summary &t)
+{
+    os << "{\"count\": " << t.count()
+       << ", \"sum_s\": " << jsonNum(t.sum())
+       << ", \"mean_s\": " << jsonNum(t.mean())
+       << ", \"min_s\": " << jsonNum(t.min())
+       << ", \"max_s\": " << jsonNum(t.max()) << "}";
+}
+
+void
+writeHistogramObject(std::ostream &os, const util::Log2Histogram &h)
+{
+    os << "{\"count\": " << h.count() << ", \"buckets\": {";
+    bool first = true;
+    for (const auto &[bucket, n] : h.buckets()) {
+        if (!first)
+            os << ", ";
+        first = false;
+        os << "\"" << bucket << "\": " << n;
+    }
+    os << "}}";
+}
+
+/** One human-readable line for a histogram's bucket counts. */
+std::string
+bucketSummary(const util::Log2Histogram &h)
+{
+    std::ostringstream os;
+    bool first = true;
+    for (const auto &[bucket, n] : h.buckets()) {
+        if (!first)
+            os << " ";
+        first = false;
+        if (bucket == util::Log2Histogram::kUnderflowBucket)
+            os << "<1:" << n;
+        else
+            os << bucket << ":" << n;
+    }
+    return os.str();
+}
+
+}  // namespace
+
+void
+JsonSink::write(const Registry &reg)
+{
+    os_ << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, c] : reg.counters()) {
+        os_ << (first ? "" : ",") << "\n    \"" << jsonEscape(name)
+            << "\": " << c.value();
+        first = false;
+    }
+    os_ << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+    first = true;
+    for (const auto &[name, g] : reg.gauges()) {
+        os_ << (first ? "" : ",") << "\n    \"" << jsonEscape(name)
+            << "\": " << jsonNum(g.value());
+        first = false;
+    }
+    os_ << (first ? "" : "\n  ") << "},\n  \"timers\": {";
+    first = true;
+    for (const auto &[name, t] : reg.timers()) {
+        os_ << (first ? "" : ",") << "\n    \"" << jsonEscape(name)
+            << "\": ";
+        writeTimerObject(os_, t);
+        first = false;
+    }
+    os_ << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+    first = true;
+    for (const auto &[name, h] : reg.histograms()) {
+        os_ << (first ? "" : ",") << "\n    \"" << jsonEscape(name)
+            << "\": ";
+        writeHistogramObject(os_, h);
+        first = false;
+    }
+    os_ << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+void
+TableSink::write(const Registry &reg)
+{
+    if (!reg.counters().empty()) {
+        util::TablePrinter t({"counter", "value"});
+        for (const auto &[name, c] : reg.counters())
+            t.addRow({name, std::to_string(c.value())});
+        t.print(os_);
+        os_ << "\n";
+    }
+    if (!reg.gauges().empty()) {
+        util::TablePrinter t({"gauge", "value"});
+        for (const auto &[name, g] : reg.gauges())
+            t.addRow({name, util::TablePrinter::num(g.value(), 4)});
+        t.print(os_);
+        os_ << "\n";
+    }
+    if (!reg.timers().empty()) {
+        util::TablePrinter t(
+            {"timer", "count", "sum s", "mean s", "max s"});
+        for (const auto &[name, s] : reg.timers()) {
+            t.addRow({name, std::to_string(s.count()),
+                      util::TablePrinter::num(s.sum(), 4),
+                      util::TablePrinter::num(s.mean(), 4),
+                      util::TablePrinter::num(s.max(), 4)});
+        }
+        t.print(os_);
+        os_ << "\n";
+    }
+    if (!reg.histograms().empty()) {
+        util::TablePrinter t({"histogram", "count", "buckets"});
+        for (const auto &[name, h] : reg.histograms()) {
+            t.addRow({name, std::to_string(h.count()),
+                      bucketSummary(h)});
+        }
+        t.print(os_);
+        os_ << "\n";
+    }
+}
+
+std::string
+toJson(const Registry &reg)
+{
+    std::ostringstream os;
+    JsonSink sink(os);
+    sink.write(reg);
+    return os.str();
+}
+
+util::Status
+writeJsonFile(const Registry &reg, const std::string &path)
+{
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        return util::Status::Errorf("obs: cannot open %s for write",
+                                    path.c_str());
+    f << toJson(reg);
+    f.flush();
+    if (!f)
+        return util::Status::Errorf("obs: short write to %s",
+                                    path.c_str());
+    return util::Status::Ok();
+}
+
+}  // namespace obs
+}  // namespace snip

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Pluggable export sinks for an obs::Registry snapshot: a JSON
+ * exporter (machine-readable, consumed by tools/ci.sh and the bench
+ * `--obs-json` flag), a human-readable table via util::TablePrinter
+ * (`snip stats`), and a NullSink for callers that must hand a sink
+ * somewhere but want observability off. Note the cheaper and more
+ * common way to disable observability is a null `Registry *` at the
+ * instrumentation site — see obs/metrics.h for the overhead
+ * contract.
+ */
+
+#ifndef SNIP_OBS_SINK_H
+#define SNIP_OBS_SINK_H
+
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace snip {
+namespace obs {
+
+/** Consumes a registry snapshot. */
+class Sink
+{
+  public:
+    virtual ~Sink() = default;
+
+    /** Export the registry's current contents. */
+    virtual void write(const Registry &reg) = 0;
+};
+
+/** Discards everything. */
+class NullSink final : public Sink
+{
+  public:
+    void write(const Registry &) override {}
+};
+
+/**
+ * Writes one JSON object:
+ * `{"counters": {...}, "gauges": {...}, "timers": {name:
+ * {count,sum_s,mean_s,min_s,max_s}}, "histograms": {name:
+ * {count, buckets: {"<lower-bound>": n}}}}`.
+ * Non-finite gauge values serialize as 0 so the output always
+ * parses.
+ */
+class JsonSink final : public Sink
+{
+  public:
+    explicit JsonSink(std::ostream &os) : os_(os) {}
+
+    void write(const Registry &reg) override;
+
+  private:
+    std::ostream &os_;
+};
+
+/** Renders per-kind tables through util::TablePrinter. */
+class TableSink final : public Sink
+{
+  public:
+    explicit TableSink(std::ostream &os) : os_(os) {}
+
+    void write(const Registry &reg) override;
+
+  private:
+    std::ostream &os_;
+};
+
+/** The JsonSink output as a string. */
+std::string toJson(const Registry &reg);
+
+/** Write the JsonSink output to a file. */
+util::Status writeJsonFile(const Registry &reg,
+                           const std::string &path);
+
+}  // namespace obs
+}  // namespace snip
+
+#endif  // SNIP_OBS_SINK_H

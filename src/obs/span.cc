@@ -1,0 +1,59 @@
+#include "obs/span.h"
+
+namespace snip {
+namespace obs {
+
+namespace {
+
+/** Innermost live span on this thread; nesting is per-thread only. */
+thread_local Span *t_current = nullptr;
+
+}  // namespace
+
+Span::Span(Registry *reg, std::string_view name) : reg_(reg)
+{
+    if (!reg_)
+        return;
+    parent_ = t_current;
+    if (parent_) {
+        path_.reserve(parent_->path_.size() + 1 + name.size());
+        path_ = parent_->path_;
+        path_ += '.';
+        path_ += name;
+    } else {
+        path_ = name;
+    }
+    t_current = this;
+    start_ = std::chrono::steady_clock::now();
+}
+
+Span::~Span()
+{
+    if (!reg_)
+        return;
+    double s = elapsedSeconds();
+    std::string key;
+    key.reserve(5 + path_.size());
+    key = "span.";
+    key += path_;
+    reg_->timer(key).add(s);
+    t_current = parent_;
+}
+
+double
+Span::elapsedSeconds() const
+{
+    if (!reg_)
+        return 0.0;
+    auto d = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double>(d).count();
+}
+
+const Span *
+Span::current()
+{
+    return t_current;
+}
+
+}  // namespace obs
+}  // namespace snip

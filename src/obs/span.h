@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Scoped wall-time spans with parent nesting.
+ *
+ * A Span times a region with std::chrono::steady_clock (monotonic —
+ * this is telemetry about the host run, so the no-wall-clock rule
+ * for simulated time does not apply) and, on destruction, records
+ * the elapsed seconds into its registry under
+ * `span.<parent-path>.<name>`. Nesting is tracked per thread: a
+ * span opened while another is live on the same thread becomes its
+ * child and inherits the dotted path prefix.
+ *
+ * Spans are for coarse phases (Shrink training, PFI, selection,
+ * learning epochs) — constructing one builds the dotted path, so
+ * they do not belong on per-event hot paths; use pre-resolved
+ * Counter handles there. A Span built with a null registry is fully
+ * inert: no clock read, no path, no thread-local update.
+ */
+
+#ifndef SNIP_OBS_SPAN_H
+#define SNIP_OBS_SPAN_H
+
+#include <chrono>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace snip {
+namespace obs {
+
+/** RAII wall-time span; see file header for semantics. */
+class Span
+{
+  public:
+    /**
+     * Open a span named `name` under the current thread's innermost
+     * live span. A null registry disables the span entirely.
+     */
+    Span(Registry *reg, std::string_view name);
+
+    /** Closes the span and records elapsed seconds. */
+    ~Span();
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+    /** Seconds since the span opened (0 when disabled). */
+    double elapsedSeconds() const;
+
+    /** Dotted path, e.g. "shrink.select.pfi" (empty when disabled). */
+    const std::string &path() const { return path_; }
+
+    /** The calling thread's innermost live span (may be null). */
+    static const Span *current();
+
+  private:
+    Registry *reg_ = nullptr;
+    Span *parent_ = nullptr;
+    std::string path_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace snip
+
+#endif  // SNIP_OBS_SPAN_H

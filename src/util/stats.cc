@@ -78,20 +78,42 @@ Summary::stddev() const
     return std::sqrt(variance());
 }
 
+EmpiricalCdf::EmpiricalCdf(const EmpiricalCdf &other)
+    : samples_(other.samples_),
+      sorted_(other.sorted_.load(std::memory_order_acquire))
+{
+}
+
+EmpiricalCdf &
+EmpiricalCdf::operator=(const EmpiricalCdf &other)
+{
+    if (this != &other) {
+        samples_ = other.samples_;
+        sorted_.store(other.sorted_.load(std::memory_order_acquire),
+                      std::memory_order_release);
+    }
+    return *this;
+}
+
 void
 EmpiricalCdf::add(double x)
 {
     samples_.push_back(x);
-    sorted_ = false;
+    sorted_.store(false, std::memory_order_release);
 }
 
 void
 EmpiricalCdf::ensureSorted() const
 {
-    if (!sorted_) {
-        std::sort(samples_.begin(), samples_.end());
-        sorted_ = true;
-    }
+    // Double-checked: concurrent readers of a shared const CDF all
+    // funnel through here, and exactly one sorts under the lock.
+    if (sorted_.load(std::memory_order_acquire))
+        return;
+    std::lock_guard<std::mutex> lock(sort_mu_);
+    if (sorted_.load(std::memory_order_relaxed))
+        return;
+    std::sort(samples_.begin(), samples_.end());
+    sorted_.store(true, std::memory_order_release);
 }
 
 double
@@ -150,7 +172,9 @@ EmpiricalCdf::curve(const std::vector<double> &quantiles) const
 void
 Log2Histogram::add(double x)
 {
-    uint64_t bucket = 1;
+    if (std::isnan(x))
+        return;
+    uint64_t bucket = kUnderflowBucket;
     if (x >= 1.0) {
         int e = static_cast<int>(std::floor(std::log2(x)));
         e = std::min(e, 62);
@@ -158,6 +182,14 @@ Log2Histogram::add(double x)
     }
     ++bins_[bucket];
     ++total_;
+}
+
+void
+Log2Histogram::merge(const Log2Histogram &other)
+{
+    for (const auto &[bucket, n] : other.bins_)
+        bins_[bucket] += n;
+    total_ += other.total_;
 }
 
 void

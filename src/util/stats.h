@@ -8,8 +8,10 @@
 #ifndef SNIP_UTIL_STATS_H
 #define SNIP_UTIL_STATS_H
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -50,11 +52,21 @@ class Summary
 /**
  * Empirical distribution: stores samples and answers quantile and
  * CDF queries. Used for size-spread characterization (Fig. 7).
+ *
+ * Thread safety: add() is single-writer and must not race with any
+ * other call, but every const read (quantile/cdfAt/minValue/
+ * maxValue/curve) is safe to issue concurrently from many threads on
+ * a shared CDF — the first read sorts the samples exactly once under
+ * an internal lock, later reads are lock-free.
  */
 class EmpiricalCdf
 {
   public:
-    /** Add a sample. */
+    EmpiricalCdf() = default;
+    EmpiricalCdf(const EmpiricalCdf &other);
+    EmpiricalCdf &operator=(const EmpiricalCdf &other);
+
+    /** Add a sample. Not safe concurrently with reads. */
     void add(double x);
 
     /** Number of samples. */
@@ -84,7 +96,13 @@ class EmpiricalCdf
     void ensureSorted() const;
 
     mutable std::vector<double> samples_;
-    mutable bool sorted_ = false;
+    /**
+     * Double-checked sort latch: readers acquire-load it and only
+     * the first one (under sort_mu_) pays for the sort. add()
+     * clears it, which is why add() may not race with reads.
+     */
+    mutable std::atomic<bool> sorted_{false};
+    mutable std::mutex sort_mu_;
 };
 
 /**
@@ -94,13 +112,27 @@ class EmpiricalCdf
 class Log2Histogram
 {
   public:
-    /** Add a sample (values < 1 clamp to the first bucket). */
+    /**
+     * Bucket key for samples below 1.0 (including negatives), kept
+     * distinct from the [1, 2) bucket whose key is 1. NaN samples
+     * are dropped entirely.
+     */
+    static constexpr uint64_t kUnderflowBucket = 0;
+
+    /**
+     * Add a sample. Values in [2^k, 2^(k+1)) land in the bucket
+     * keyed 2^k; values < 1 land in kUnderflowBucket; NaN is
+     * ignored.
+     */
     void add(double x);
 
-    /** Total samples. */
+    /** Merge another histogram into this one. */
+    void merge(const Log2Histogram &other);
+
+    /** Total samples (NaN drops excluded). */
     uint64_t count() const { return total_; }
 
-    /** Map from bucket lower bound (2^k) to sample count. */
+    /** Map from bucket lower bound (2^k, or 0) to sample count. */
     const std::map<uint64_t, uint64_t> &buckets() const { return bins_; }
 
   private:

@@ -18,6 +18,7 @@
 #include "core/simulation.h"
 #include "core/snip.h"
 #include "games/registry.h"
+#include "obs/metrics.h"
 #include "trace/recorder.h"
 #include "util/logging.h"
 
@@ -673,6 +674,92 @@ TEST(Simulation, DifferentSeedsDiffer)
     EXPECT_NE(e1, e2);
 }
 
+// The obs counters must be bookkeeping-identical to SessionStats
+// and to the scheme's own audit/watchdog counters; the registry
+// must stay empty when observability is off.
+TEST(Simulation, ObsCountersMatchSessionStats)
+{
+    auto game = games::makeGame("colorphun");
+    BaselineScheme baseline;
+    SimulationConfig pcfg;
+    pcfg.duration_s = 30.0;
+    pcfg.record_events = true;
+    SessionResult prof = runSession(*game, baseline, pcfg);
+    auto replica = games::makeGame("colorphun");
+    trace::Profile profile =
+        trace::Replayer::replay(prof.trace, *replica);
+
+    SnipConfig scfg;
+    scfg.min_records_per_type = 8;
+    SnipModel model = buildSnipModel(profile, *game, scfg);
+    ASSERT_NE(model.table, nullptr);
+
+    obs::Registry reg;
+    SnipRuntimeConfig rcfg;
+    rcfg.obs = &reg;
+    SnipScheme scheme(model, rcfg);
+    SimulationConfig ecfg;
+    ecfg.duration_s = 15.0;
+    ecfg.seed = 5;
+    ecfg.obs = &reg;
+    SessionResult res = runSession(*game, scheme, ecfg);
+
+    const SessionStats &st = res.stats;
+    EXPECT_EQ(reg.counterValue("session.events"), st.events);
+    EXPECT_EQ(reg.counterValue("session.useless_events"),
+              st.useless_events);
+    EXPECT_EQ(reg.counterValue("session.instr_total"),
+              st.instr_total);
+    EXPECT_EQ(reg.counterValue("session.instr_skipped"),
+              st.instr_skipped);
+    EXPECT_EQ(reg.counterValue("session.output_fields"),
+              st.output_fields_total);
+    EXPECT_EQ(reg.counterValue("session.output_fields_wrong"),
+              st.output_fields_wrong);
+    EXPECT_EQ(reg.counterValue("decide.shortcircuit"),
+              st.shortcircuits);
+    EXPECT_EQ(reg.counterValue("decide.err.shortcircuits"),
+              st.erroneous_shortcircuits);
+    EXPECT_EQ(reg.counterValue("decide.err.temp_only"),
+              st.err_temp_only);
+    EXPECT_EQ(reg.counterValue("decide.err.history"),
+              st.err_history);
+    EXPECT_EQ(reg.counterValue("decide.err.extern"), st.err_extern);
+    EXPECT_EQ(reg.counterValue("lookup.bytes"), st.lookup_bytes);
+    EXPECT_EQ(reg.counterValue("lookup.candidates"),
+              st.lookup_candidates);
+    EXPECT_EQ(reg.counterValue("decide.audits"), scheme.auditsRun());
+    EXPECT_EQ(reg.counterValue("decide.audit_failures"),
+              scheme.auditsFailed());
+    EXPECT_EQ(reg.counterValue("decide.table_clears"),
+              scheme.tableClears());
+
+    // Every lookup either hits or misses; hits are what
+    // short-circuits and audits are made of.
+    uint64_t hits = reg.counterValue("lookup.hits");
+    uint64_t misses = reg.counterValue("lookup.misses");
+    EXPECT_EQ(hits + misses, reg.counterValue("lookup.lookups"));
+    EXPECT_GT(hits, 0u);
+    EXPECT_EQ(hits, st.shortcircuits + scheme.auditsRun());
+    EXPECT_DOUBLE_EQ(
+        reg.gaugeValue("session.hit_rate"),
+        static_cast<double>(hits) /
+            static_cast<double>(hits + misses));
+    EXPECT_DOUBLE_EQ(reg.gaugeValue("session.error_field_rate"),
+                     st.errorFieldRate());
+    EXPECT_DOUBLE_EQ(reg.gaugeValue("session.energy_j"),
+                     res.report.total());
+
+    // Observability off (the default): a second run must leave the
+    // existing registry untouched and behave identically.
+    uint64_t events_before = reg.counterValue("session.events");
+    SnipScheme plain(model);
+    SimulationConfig off_cfg = ecfg;
+    off_cfg.obs = nullptr;
+    runSession(*game, plain, off_cfg);
+    EXPECT_EQ(reg.counterValue("session.events"), events_before);
+}
+
 TEST(Simulation, IdlePhoneCheaperThanAnyGame)
 {
     soc::EnergyModel m = soc::EnergyModel::snapdragon821();
@@ -764,6 +851,91 @@ TEST(ContinuousLearnerTest, EpochsReportOtaPayloadBytes)
             EXPECT_TRUE(er.deployed);
         }
     }
+}
+
+TEST(ContinuousLearnerTest, OtaRejectionFallsBackToBaseline)
+{
+    auto game = games::makeGame("colorphun");
+    auto replica = games::makeGame("colorphun");
+    LearningConfig cfg;
+    cfg.epochs = 3;
+    cfg.session_s = 6.0;
+    cfg.initial_profile_records = 20;
+    cfg.snip.min_records_per_type = 8;
+    // Lossy transport: every package arrives truncated, so every
+    // push fails the integrity check and is rejected.
+    cfg.ota_tamper = [](util::ByteBuffer &pkg) {
+        util::ByteBuffer cut;
+        cut.putBytes(pkg.data().data(), pkg.size() / 2);
+        pkg = cut;
+    };
+    obs::Registry reg;
+    cfg.obs = &reg;
+    ContinuousLearner learner(*game, *replica, cfg);
+    auto epochs = learner.run();
+    ASSERT_EQ(epochs.size(), 3u);
+    for (const auto &er : epochs) {
+        // Regression: a rejected epoch used to report the dead
+        // package's size. Nothing was deployed, so the epoch must
+        // report no payload, no table, and a baseline session.
+        EXPECT_EQ(er.payload_bytes, 0u);
+        EXPECT_EQ(er.table_bytes, 0u);
+        EXPECT_FALSE(er.deployed);
+        EXPECT_FALSE(er.gate_withheld);
+        EXPECT_EQ(er.rejected_packages,
+                  static_cast<uint64_t>(er.epoch) + 1);
+        EXPECT_DOUBLE_EQ(er.error_field_rate, 0.0);
+        EXPECT_DOUBLE_EQ(er.coverage, 0.0);
+        EXPECT_GT(er.energy_j, 0.0);
+    }
+    EXPECT_EQ(reg.counterValue("learn.epochs"), 3u);
+    EXPECT_EQ(reg.counterValue("learn.deployed_epochs"), 0u);
+    EXPECT_DOUBLE_EQ(reg.gaugeValue("learn.rejected_packages"), 3.0);
+    ASSERT_NE(reg.findHistogram("learn.payload_bytes"), nullptr);
+    // All three payload samples are 0 bytes -> underflow bucket.
+    EXPECT_EQ(reg.findHistogram("learn.payload_bytes")
+                  ->buckets()
+                  .at(util::Log2Histogram::kUnderflowBucket),
+              3u);
+}
+
+TEST(ContinuousLearnerTest, ConfidenceGateWithholdsEarlyEpochs)
+{
+    auto game = games::makeGame("colorphun");
+    auto replica = games::makeGame("colorphun");
+    LearningConfig cfg;
+    cfg.epochs = 4;
+    cfg.session_s = 6.0;
+    cfg.initial_profile_records = 20;
+    cfg.snip.min_records_per_type = 8;
+    cfg.confidence_gate = true;
+    // Gate on evidence volume only, so the trajectory is
+    // deterministic: 20 seed records < 100, then each session's
+    // replay grows the profile well past it.
+    cfg.gate_min_records = 100;
+    cfg.gate_threshold = 1.0;
+    ContinuousLearner learner(*game, *replica, cfg);
+    auto epochs = learner.run();
+    ASSERT_EQ(epochs.size(), 4u);
+
+    // Epoch 0: a model was built and shipped (there is a table and
+    // an OTA payload), but the gate withheld it.
+    EXPECT_GT(epochs[0].table_bytes, 0u);
+    EXPECT_GT(epochs[0].payload_bytes, 0u);
+    EXPECT_TRUE(epochs[0].gate_withheld);
+    EXPECT_FALSE(epochs[0].deployed);
+    EXPECT_DOUBLE_EQ(epochs[0].coverage, 0.0);
+
+    // Once the profile clears the evidence bar the gate opens.
+    bool any_deployed = false;
+    for (const auto &er : epochs) {
+        EXPECT_NE(er.deployed, er.gate_withheld);
+        EXPECT_EQ(er.rejected_packages, 0u);
+        any_deployed |= er.deployed;
+        if (er.profile_records >= cfg.gate_min_records)
+            EXPECT_TRUE(er.deployed);
+    }
+    EXPECT_TRUE(any_deployed);
 }
 
 TEST(ContinuousLearnerTest, MismatchedReplicaFatal)

@@ -18,6 +18,7 @@
 #include "ml/pfi.h"
 #include "ml/random_forest.h"
 #include "ml/table_predictor.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace snip {
@@ -326,6 +327,34 @@ TEST(RandomForestTest, PredictRowsMatchesPerRowPredict)
                   forest.predict(ds, r, col_a, shifted[r]))
             << "row " << r;
     }
+}
+
+TEST(RandomForestTest, TrainingRecordsObsMetrics)
+{
+    Synthetic syn(400);
+    Dataset ds(syn.ptrs(), syn.schema);
+    std::vector<size_t> cols = {0, 1, 2, 3};
+    obs::Registry reg;
+    ForestConfig cfg;
+    cfg.num_trees = 6;
+    cfg.obs = &reg;
+    RandomForest forest(cfg);
+    forest.train(ds, cols);
+    EXPECT_EQ(reg.counterValue("shrink.forest.trees"), 6u);
+    ASSERT_NE(reg.findTimer("span.train_forest"), nullptr);
+    EXPECT_EQ(reg.findTimer("span.train_forest")->count(), 1u);
+
+    // PFI attributes per-task work through the same registry.
+    PfiConfig pcfg;
+    pcfg.obs = &reg;
+    computePfi(forest, ds, cols, pcfg);
+    // One task per (feature, repeat).
+    uint64_t tasks =
+        cols.size() * static_cast<uint64_t>(pcfg.repeats);
+    EXPECT_EQ(reg.counterValue("shrink.pfi.tasks"), tasks);
+    ASSERT_NE(reg.findTimer("shrink.pfi.task_s"), nullptr);
+    EXPECT_EQ(reg.findTimer("shrink.pfi.task_s")->count(), tasks);
+    EXPECT_GE(reg.gaugeValue("shrink.pfi.workers"), 1.0);
 }
 
 TEST(RandomForestTest, TrainDeterministicAcrossThreadCounts)

@@ -29,6 +29,7 @@
 #include "ml/random_forest.h"
 #include "trace/recorder.h"
 #include "util/rng.h"
+#include "util/stats.h"
 
 namespace snip {
 namespace core {
@@ -344,6 +345,52 @@ TEST(ShrinkParallelTest, ConcurrentPfiOnSharedConstForest)
             ok[t] = (mine == ref &&
                      pfi.importance == ref_pfi.importance &&
                      pfi.base_error == ref_pfi.base_error);
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+    for (unsigned t = 0; t < kThreads; ++t)
+        EXPECT_EQ(ok[t], 1) << "thread " << t;
+}
+
+/**
+ * TSan smoke for util::EmpiricalCdf's lazily-sorted const reads.
+ * The old implementation mutated the sample vector from const
+ * accessors with no synchronization, so the first concurrent
+ * readers raced on the sort; reads of a shared const CDF must now
+ * be safe and agree with a serial reference.
+ */
+TEST(ShrinkParallelTest, ConcurrentEmpiricalCdfReads)
+{
+    util::EmpiricalCdf cdf;
+    util::Rng rng(99);
+    for (int i = 0; i < 5000; ++i)
+        cdf.add(rng.uniformReal(0.0, 1000.0));
+
+    // Serial reference from a copy (the copy sorts independently,
+    // leaving `cdf` unsorted for the concurrent first-read below).
+    util::EmpiricalCdf ref_cdf(cdf);
+    const double quantiles[] = {0.0, 0.25, 0.5, 0.9, 0.99, 1.0};
+    double ref_q[6];
+    for (int i = 0; i < 6; ++i)
+        ref_q[i] = ref_cdf.quantile(quantiles[i]);
+    double ref_at = ref_cdf.cdfAt(500.0);
+
+    const util::EmpiricalCdf &shared = cdf;
+    constexpr unsigned kThreads = 8;
+    std::vector<int> ok(kThreads, 0);
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&, t] {
+            bool good = true;
+            for (int rep = 0; rep < 50; ++rep) {
+                for (int i = 0; i < 6; ++i) {
+                    good &= shared.quantile(quantiles[i]) ==
+                            ref_q[i];
+                }
+                good &= shared.cdfAt(500.0) == ref_at;
+            }
+            ok[t] = good;
         });
     }
     for (auto &th : pool)

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 #include <sstream>
 
@@ -475,6 +476,75 @@ TEST(Log2Histogram, Buckets)
     EXPECT_EQ(h.buckets().at(1), 1u);
     EXPECT_EQ(h.buckets().at(2), 2u);
     EXPECT_EQ(h.buckets().at(1024), 1u);
+}
+
+// Regression: sub-1.0 samples used to alias into the [1, 2) bucket
+// because 1 << floor(log2(x)) is 1 for any negative exponent (and
+// log2 of zero/negatives is garbage). They must land in a dedicated
+// underflow bucket instead, and NaN must be ignored outright.
+TEST(Log2Histogram, UnderflowBucket)
+{
+    Log2Histogram h;
+    h.add(0.5);
+    h.add(0.0);
+    h.add(-3.0);
+    h.add(0.999999);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.buckets().at(Log2Histogram::kUnderflowBucket), 4u);
+    EXPECT_EQ(h.buckets().count(1), 0u);
+}
+
+TEST(Log2Histogram, BucketBoundaries)
+{
+    Log2Histogram h;
+    h.add(1.0);   // exactly the first real bucket's lower bound
+    h.add(1.99);  // still [1, 2)
+    h.add(2.0);   // first value of [2, 4)
+    h.add(3.99);
+    h.add(4.0);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.buckets().at(1), 2u);
+    EXPECT_EQ(h.buckets().at(2), 2u);
+    EXPECT_EQ(h.buckets().at(4), 1u);
+    EXPECT_EQ(h.buckets().count(Log2Histogram::kUnderflowBucket), 0u);
+}
+
+TEST(Log2Histogram, NanIgnored)
+{
+    Log2Histogram h;
+    h.add(std::numeric_limits<double>::quiet_NaN());
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_TRUE(h.buckets().empty());
+    h.add(7.0);
+    h.add(std::numeric_limits<double>::quiet_NaN());
+    EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Log2Histogram, Merge)
+{
+    Log2Histogram a, b;
+    a.add(1.0);
+    a.add(0.25);
+    b.add(1.5);
+    b.add(100.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_EQ(a.buckets().at(1), 2u);
+    EXPECT_EQ(a.buckets().at(Log2Histogram::kUnderflowBucket), 1u);
+    EXPECT_EQ(a.buckets().at(64), 1u);
+}
+
+TEST(EmpiricalCdf, CopyPreservesSamples)
+{
+    EmpiricalCdf cdf;
+    for (int i = 1; i <= 10; ++i)
+        cdf.add(i);
+    EmpiricalCdf copy(cdf);
+    EXPECT_DOUBLE_EQ(copy.quantile(0.5), 5.0);
+    EmpiricalCdf assigned;
+    assigned.add(999.0);
+    assigned = cdf;
+    EXPECT_DOUBLE_EQ(assigned.quantile(1.0), 10.0);
 }
 
 TEST(CounterSet, IncrementAndRead)

@@ -2,13 +2,17 @@
 # CI driver: build + test the default config, run the micro_train
 # Shrink-phase smoke (twice — the selection/model digests must match
 # across runs, and the binary itself exits non-zero on any broken
-# determinism/zero-alloc contract), build + test the asan/ubsan
-# config, run the TSan smokes of the shared-const concurrency
-# contracts (parallel session runner lookups + parallel training/PFI
-# on a shared const forest, including micro_train itself), then fuzz
-# the OTA model codec with corrupt packages under asan (truncations
-# and random bit flips must be rejected cleanly — no crashes, no
-# sanitizer reports).
+# determinism/zero-alloc contract), validate the snip::obs telemetry
+# export (fig11 --obs-json must parse and carry the hit-rate /
+# erroneous-field-rate / per-Shrink-phase-timing signals), build +
+# test the asan/ubsan config (which reruns the obs, Log2Histogram,
+# and EmpiricalCdf regression tests under sanitizers), run the TSan
+# smokes of the shared-const concurrency contracts (parallel session
+# runner lookups + parallel training/PFI on a shared const forest +
+# lazily-sorted EmpiricalCdf reads + ShardedRegistry attribution,
+# including micro_train itself), then fuzz the OTA model codec with
+# corrupt packages under asan (truncations and random bit flips must
+# be rejected cleanly — no crashes, no sanitizer reports).
 #
 # Usage: tools/ci.sh [jobs]   (jobs defaults to nproc)
 set -euo pipefail
@@ -33,6 +37,40 @@ if [ -z "$DIGESTS_A" ] || [ "$DIGESTS_A" != "$DIGESTS_B" ]; then
     exit 1
 fi
 
+echo "==> obs telemetry export smoke (fig11 --obs-json)"
+./build/bench/fig11_schemes --quick --obs-json build/fig11_obs.json \
+    >/dev/null
+python3 - <<'EOF'
+import json, sys
+
+with open('build/fig11_obs.json') as f:
+    d = json.load(f)
+
+missing = []
+for section, key in [
+    ('gauges', 'session.hit_rate'),
+    ('gauges', 'session.error_field_rate'),
+    ('counters', 'lookup.hits'),
+    ('counters', 'lookup.misses'),
+    ('counters', 'lookup.bytes'),
+    ('counters', 'decide.err.shortcircuits'),
+    ('timers', 'span.shrink'),
+    ('timers', 'span.shrink.select'),
+    ('timers', 'span.shrink.select.train'),
+    ('timers', 'span.shrink.select.pfi'),
+]:
+    if key not in d.get(section, {}):
+        missing.append(f'{section}/{key}')
+if missing:
+    sys.exit('fig11 --obs-json missing: ' + ', '.join(missing))
+
+rate = d['gauges']['session.hit_rate']
+if not 0.0 <= rate <= 1.0:
+    sys.exit(f'session.hit_rate out of range: {rate}')
+if d['timers']['span.shrink']['sum_s'] <= 0.0:
+    sys.exit('span.shrink recorded no wall time')
+EOF
+
 echo "==> asan/ubsan build + ctest"
 cmake --preset asan-ubsan >/dev/null
 cmake --build --preset asan-ubsan -j "$JOBS"
@@ -41,10 +79,13 @@ ctest --preset asan-ubsan -j "$JOBS"
 echo "==> tsan smoke (concurrent lookups + parallel Shrink phase)"
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "$JOBS" --target parallel_test \
-    --target micro_train
+    --target obs_test --target micro_train
 TSAN_OPTIONS="halt_on_error=1" \
     ./build-tsan/tests/parallel_test \
     --gtest_filter='ParallelRunnerTest.ConcurrentLookupsOnSharedConstTable:ParallelRunnerTest.RunSessionsMatchesSerialBitwise:ShrinkParallelTest.*'
+TSAN_OPTIONS="halt_on_error=1" \
+    ./build-tsan/tests/obs_test \
+    --gtest_filter='ShardedRegistry.*'
 TSAN_OPTIONS="halt_on_error=1" \
     ./build-tsan/bench/micro_train --quick --profile-s 10 --trees 8 \
     --threads 4 --out build-tsan/micro_train_tsan.json >/dev/null
