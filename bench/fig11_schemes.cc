@@ -100,9 +100,13 @@ main(int argc, char **argv)
             scheme = core::makeScheme(kind, &model);
         }
         evals[i].res = core::runSession(*game, *scheme, ecfg);
-        evals[i].table_bytes = model.table->totalBytes();
-        if (reg)
-            model.table->recordStats(*reg);
+        // Deployed bytes = frozen arena + online-fill overlay (the
+        // layouts actually serving lookups), not the build table.
+        auto *snip = dynamic_cast<core::SnipScheme *>(scheme.get());
+        evals[i].table_bytes = snip ? snip->deployedTableBytes()
+                                    : model.tableBytes();
+        if (reg && snip)
+            snip->recordTableStats(*reg);
     });
 
     for (size_t g = 0; g < names.size(); ++g) {

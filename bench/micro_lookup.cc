@@ -9,8 +9,18 @@
  * shared const table (the concurrency contract the simulator's
  * parallel session runner relies on) and report:
  *   - items_per_second per thread count (the scaling trajectory);
- *   - allocs_per_iter, counted by a global counting allocator, to
- *     prove the scratch-based hit path does zero heap allocations.
+ *   - allocs_per_iter, counted by a thread-local counting
+ *     allocator, to prove the scratch-based hit path does zero heap
+ *     allocations on every thread (a global counter would blame one
+ *     thread's bookkeeping allocations on another's timed window);
+ *   - BM_FrozenTableLookup vs BM_MemoTableLookup side by side: the
+ *     same event stream against the deployed flat arena and the
+ *     mutable build-side table.
+ *
+ * The binary is also a self-check: it exits nonzero if any lookup
+ * thread allocated during its timed loop, or if the frozen and
+ * mutable layouts disagree on any hit/miss, candidate count,
+ * bytes_scanned, or matched output over the fixture's event stream.
  *
  * Unless the caller passes its own --benchmark_out, results are
  * also written as JSON to BENCH_micro_lookup.json.
@@ -18,13 +28,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <new>
 #include <string>
 #include <vector>
 
+#include "core/frozen_table.h"
 #include "core/memo_table.h"
 #include "core/simulation.h"
 #include "core/snip.h"
@@ -34,10 +47,12 @@
 using namespace snip;
 
 // ------------------------------------------------ counting allocator
-// Global operator new/delete instrumentation: cheap relaxed atomic,
-// good enough to assert "zero allocations per lookup" on the hot
-// path (any alloc anywhere in the process inflates the count, which
-// only makes the zero-allocation claim stronger).
+// operator new/delete instrumentation with a THREAD-LOCAL counter:
+// each benchmark thread reads only its own allocation count, so one
+// thread's post-loop bookkeeping (google-benchmark's counter maps,
+// thread teardown) can never land inside another thread's timed
+// window — the failure mode that made the multi-threaded runs
+// report spurious nonzero allocs_per_iter with a global counter.
 //
 // GCC flags malloc-backed replacement allocators as mismatched with
 // the deletes it inlines elsewhere in the TU; the pair below is
@@ -47,13 +62,15 @@ using namespace snip;
 #endif
 
 namespace {
-std::atomic<uint64_t> g_allocs{0};
+thread_local uint64_t t_allocs = 0;
+/** Lookup threads that allocated inside their timed loop. */
+std::atomic<uint64_t> g_alloc_violations{0};
 }
 
 void *
 operator new(size_t size)
 {
-    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    ++t_allocs;
     if (void *p = std::malloc(size))
         return p;
     throw std::bad_alloc();
@@ -62,7 +79,7 @@ operator new(size_t size)
 void *
 operator new[](size_t size)
 {
-    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    ++t_allocs;
     if (void *p = std::malloc(size))
         return p;
     throw std::bad_alloc();
@@ -75,12 +92,14 @@ void operator delete[](void *p, size_t) noexcept { std::free(p); }
 
 namespace {
 
-/** Shared fixture: a profiled game + deployed model. */
+/** Shared fixture: a profiled game + deployed model, both layouts. */
 struct Fixture {
     std::unique_ptr<games::Game> game;
     trace::Profile profile;
     core::SnipModel model;
+    std::shared_ptr<const core::FrozenTable> frozen;
     std::vector<events::EventObject> events;
+    size_t max_selected = 0;
 
     Fixture()
     {
@@ -95,8 +114,22 @@ struct Fixture {
         profile = trace::Replayer::replay(res.trace, *replica);
         core::SnipConfig scfg;
         model = core::buildSnipModel(profile, *game, scfg);
+        frozen = model.table->freeze();
         events = res.trace.events;
+        for (const auto &t : model.types)
+            max_selected = std::max(max_selected,
+                                    t.selection.selected.size());
         game->reset();
+    }
+
+    /** Scratch pre-sized to the widest selection: lookups against
+     *  either layout then resize within capacity (no allocation). */
+    core::LookupScratch sizedScratch() const
+    {
+        core::LookupScratch s;
+        s.values.reserve(max_selected);
+        s.present.reserve(max_selected);
+        return s;
     }
 };
 
@@ -119,24 +152,25 @@ BM_MemoTableLookup(benchmark::State &state)
     Fixture &f = fixture();
     const core::MemoTable &table = *f.model.table;
     const games::Game &game = *f.game;
-    core::LookupScratch scratch;
-    // Stride the event stream by thread so threads don't walk in
-    // lockstep; warm the scratch before counting allocations.
+    // Pre-size the scratch to the widest selection and stride the
+    // event stream by thread so threads don't walk in lockstep.
+    core::LookupScratch scratch = f.sizedScratch();
     size_t i = static_cast<size_t>(state.thread_index()) * 7919;
     core::MemoLookup warm =
         table.lookup(f.events[i % f.events.size()], game, scratch);
     benchmark::DoNotOptimize(warm);
 
     uint64_t hits = 0;
-    uint64_t allocs_before = g_allocs.load(std::memory_order_relaxed);
+    uint64_t allocs_before = t_allocs;
     for (auto _ : state) {
         const auto &ev = f.events[i++ % f.events.size()];
         core::MemoLookup res = table.lookup(ev, game, scratch);
         hits += res.hit;
         benchmark::DoNotOptimize(res);
     }
-    uint64_t allocs =
-        g_allocs.load(std::memory_order_relaxed) - allocs_before;
+    uint64_t allocs = t_allocs - allocs_before;
+    if (allocs != 0)
+        g_alloc_violations.fetch_add(1, std::memory_order_relaxed);
     // Per-thread rates: averaged (not summed) across threads.
     state.counters["hit_rate"] = benchmark::Counter(
         static_cast<double>(hits) /
@@ -150,6 +184,48 @@ BM_MemoTableLookup(benchmark::State &state)
         static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_MemoTableLookup)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+/** Same workload against the deployed flat arena. */
+void
+BM_FrozenTableLookup(benchmark::State &state)
+{
+    Fixture &f = fixture();
+    const core::FrozenTable &table = *f.frozen;
+    const games::Game &game = *f.game;
+    core::LookupScratch scratch = f.sizedScratch();
+    size_t i = static_cast<size_t>(state.thread_index()) * 7919;
+    core::FrozenLookup warm =
+        table.lookup(f.events[i % f.events.size()], game, scratch);
+    benchmark::DoNotOptimize(warm);
+
+    uint64_t hits = 0;
+    uint64_t allocs_before = t_allocs;
+    for (auto _ : state) {
+        const auto &ev = f.events[i++ % f.events.size()];
+        core::FrozenLookup res = table.lookup(ev, game, scratch);
+        hits += res.hit;
+        benchmark::DoNotOptimize(res);
+    }
+    uint64_t allocs = t_allocs - allocs_before;
+    if (allocs != 0)
+        g_alloc_violations.fetch_add(1, std::memory_order_relaxed);
+    state.counters["hit_rate"] = benchmark::Counter(
+        static_cast<double>(hits) /
+            static_cast<double>(state.iterations()),
+        benchmark::Counter::kAvgThreads);
+    state.counters["allocs_per_iter"] = benchmark::Counter(
+        static_cast<double>(allocs) /
+            static_cast<double>(state.iterations()),
+        benchmark::Counter::kAvgThreads);
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FrozenTableLookup)
     ->Threads(1)
     ->Threads(2)
     ->Threads(4)
@@ -222,5 +298,51 @@ main(int argc, char **argv)
     benchmark::Initialize(&args_argc, args.data());
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
-    return 0;
+
+    // Self-check 1: no lookup thread may have allocated inside its
+    // timed loop, at any thread count.
+    uint64_t alloc_violations =
+        g_alloc_violations.load(std::memory_order_relaxed);
+    if (alloc_violations != 0)
+        std::fprintf(stderr,
+                     "FAIL: %llu lookup thread(s) allocated during "
+                     "the timed loop\n",
+                     static_cast<unsigned long long>(alloc_violations));
+
+    // Self-check 2: the frozen and mutable layouts must make
+    // bitwise-identical decisions — hit/miss, candidates scanned,
+    // bytes charged, and matched outputs — over the whole fixture
+    // event stream.
+    Fixture &f = fixture();
+    core::LookupScratch ms = f.sizedScratch();
+    core::LookupScratch fs = f.sizedScratch();
+    uint64_t mismatches = 0;
+    for (const auto &ev : f.events) {
+        core::MemoLookup mres = f.model.table->lookup(ev, *f.game, ms);
+        core::FrozenLookup fres = f.frozen->lookup(ev, *f.game, fs);
+        bool same = mres.hit == fres.hit &&
+                    mres.candidates == fres.candidates &&
+                    mres.bytes_scanned == fres.bytes_scanned;
+        if (same && mres.hit) {
+            same = mres.entry->outputs.size() == fres.nout;
+            for (uint32_t o = 0; same && o < fres.nout; ++o)
+                same = mres.entry->outputs[o].id == fres.out_ids[o] &&
+                       mres.entry->outputs[o].value ==
+                           fres.out_values[o];
+        }
+        if (!same)
+            ++mismatches;
+    }
+    if (mismatches != 0)
+        std::fprintf(stderr,
+                     "FAIL: frozen vs mutable lookup disagreed on "
+                     "%llu of %zu events\n",
+                     static_cast<unsigned long long>(mismatches),
+                     f.events.size());
+    else
+        std::fprintf(stderr,
+                     "equivalence: frozen == mutable over %zu events "
+                     "(hits, candidates, bytes, outputs)\n",
+                     f.events.size());
+    return (alloc_violations != 0 || mismatches != 0) ? 1 : 0;
 }

@@ -445,14 +445,24 @@ cmdInspect(const Args &args)
                             m.table->schema().def(fid).name.c_str());
         }
     }
-    if (m.table)
+    if (m.table) {
         std::printf("table: %zu entries, %s modeled on-device\n",
                     m.table->entryCount(),
                     util::formatSize(static_cast<double>(
                                          m.table->totalBytes()))
                         .c_str());
-    else
+        // Both layouts: the mutable build table above and the flat
+        // arena the runtime actually probes.
+        auto fz = m.table->freeze();
+        std::printf("frozen: %s arena, index load %.2f "
+                    "(%zu entries, one probe + linear scan)\n",
+                    util::formatSize(
+                        static_cast<double>(fz->arenaSize()))
+                        .c_str(),
+                    fz->indexLoadFactor(), fz->entryCount());
+    } else {
         std::printf("table: (none)\n");
+    }
     return 0;
 }
 
@@ -514,9 +524,10 @@ cmdStats(const Args &args)
     rcfg.obs = &reg;
     core::SnipScheme scheme(model, rcfg);
     core::runSession(*game, scheme, ecfg);
-    // Refresh the table gauges: online fill grew it during the
-    // session.
-    model.table->recordStats(reg);
+    // Refresh the table gauges from the scheme: they describe the
+    // deployed layout (frozen arena + whatever online fill grew in
+    // the overlay during the session), not the build-side table.
+    scheme.recordTableStats(reg);
 
     std::printf("obs metrics: %s, %.0f s profile + %.0f s deployed "
                 "session\n\n", game->displayName().c_str(),

@@ -54,11 +54,16 @@ ContinuousLearner::run()
 
     std::vector<EpochResult> results;
     SnipModel model;
+    // The device's runtime scheme persists between re-learns so its
+    // online-fill overlay keeps accumulating across epochs; each
+    // newly shipped model replaces it.
+    std::unique_ptr<SnipScheme> scheme;
     uint64_t payload_bytes = 0;
     uint64_t rejected_packages = 0;
     for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
         obs::Span epoch_span(cfg_.obs, "epoch");
         if (epoch % cfg_.relearn_every == 0) {
+            scheme.reset();  // borrows model; drop before replacing
             SnipConfig sc = cfg_.snip;
             sc.seed = util::mixCombine(cfg_.snip.seed,
                                        static_cast<uint64_t>(epoch));
@@ -67,15 +72,18 @@ ContinuousLearner::run()
 
             // Deploy through the OTA transport: the table the phone
             // runs is the one that survived serialize->deserialize,
-            // never the in-memory pointer. A package that fails
-            // integrity checks is rejected and the device keeps
-            // running at baseline until the next epoch's push.
-            util::ByteBuffer pkg;
-            packModel(built, pkg);
+            // never the in-memory pointer. deployModel attaches a
+            // zero-copy FrozenTable view over the package bytes (the
+            // model shares ownership of the buffer, so it outlives
+            // this scope). A package that fails integrity checks is
+            // rejected and the device keeps running at baseline
+            // until the next epoch's push.
+            auto pkg = std::make_shared<util::ByteBuffer>();
+            packModel(built, *pkg);
             if (cfg_.ota_tamper)
-                cfg_.ota_tamper(pkg);
-            payload_bytes = pkg.size();
-            util::Result<SnipModel> shipped = unpackModel(pkg);
+                cfg_.ota_tamper(*pkg);
+            payload_bytes = pkg->size();
+            util::Result<SnipModel> shipped = deployModel(pkg);
             if (shipped.ok()) {
                 model = std::move(shipped.value());
             } else {
@@ -91,7 +99,7 @@ ContinuousLearner::run()
             }
         }
 
-        bool deployed = model.table != nullptr;
+        bool deployed = model.deployed();
         bool gate_withheld = false;
         if (cfg_.confidence_gate && deployed &&
             (profile.records.size() < cfg_.gate_min_records ||
@@ -105,7 +113,7 @@ ContinuousLearner::run()
         EpochResult er;
         er.epoch = epoch;
         er.profile_records = profile.records.size();
-        er.table_bytes = model.table ? model.table->totalBytes() : 0;
+        er.table_bytes = model.tableBytes();
         er.payload_bytes = payload_bytes;
         er.deployed = deployed;
         er.gate_withheld = gate_withheld;
@@ -113,8 +121,9 @@ ContinuousLearner::run()
 
         SessionResult res = [&] {
             if (deployed) {
-                SnipScheme scheme(model);
-                return runSession(game_, scheme, scfg);
+                if (!scheme)
+                    scheme = std::make_unique<SnipScheme>(model);
+                return runSession(game_, *scheme, scfg);
             }
             BaselineScheme b;
             return runSession(game_, b, scfg);

@@ -88,6 +88,7 @@ buildCentralized(const std::string &game_name,
     for (const auto &t : out.model.types)
         out.deployed_types.emplace_back(
             t.type, t.selection.selected.size());
+    out.model.freeze();  // deployable form for the runtime
     return out;
 }
 
@@ -181,6 +182,9 @@ buildFederated(const std::string &game_name,
         }
         out.model.table->mergeFrom(*decoded.value().table);
     }
+    // The merge operates on the mutable table; freeze the aggregate
+    // into its deployable form once all uploads are unioned.
+    out.model.freeze();
     return out;
 }
 

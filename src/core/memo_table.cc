@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/frozen_table.h"
 #include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -133,7 +134,6 @@ MemoTable::lookup(const events::EventObject &ev,
 {
     const TypeTable &tt = types_[static_cast<int>(ev.type)];
     MemoLookup res;
-    res.type = ev.type;
     if (tt.selected.empty())
         return res;
 
@@ -141,8 +141,8 @@ MemoTable::lookup(const events::EventObject &ev,
     // table has no candidates (they must be loaded to compare).
     res.bytes_scanned = tt.selected_bytes;
 
-    res.subkey = eventSubkey(tt, ev.fields);
-    auto it = tt.buckets.find(res.subkey);
+    uint64_t subkey = eventSubkey(tt, ev.fields);
+    auto it = tt.buckets.find(subkey);
     if (it == tt.buckets.end())
         return res;
 
@@ -166,7 +166,6 @@ MemoTable::lookup(const events::EventObject &ev,
         }
     }
 
-    uint32_t index = 0;
     for (const MemoEntry &e : it->second) {
         ++res.candidates;
         res.bytes_scanned += e.entry_bytes + kEntryHeaderBytes;
@@ -183,10 +182,8 @@ MemoTable::lookup(const events::EventObject &ev,
         if (match) {
             res.hit = true;
             res.entry = &e;
-            res.entry_index = index;
             return res;
         }
-        ++index;
     }
     return res;
 }
@@ -199,17 +196,10 @@ MemoTable::lookup(const events::EventObject &ev,
     return lookup(ev, game, scratch);
 }
 
-void
-MemoTable::recordHit(const MemoLookup &res)
+std::shared_ptr<const FrozenTable>
+MemoTable::freeze() const
 {
-    if (!res.hit)
-        return;
-    TypeTable &tt = types_[static_cast<int>(res.type)];
-    auto it = tt.buckets.find(res.subkey);
-    if (it == tt.buckets.end() ||
-        res.entry_index >= it->second.size())
-        util::panic("MemoTable::recordHit: stale lookup result");
-    ++it->second[res.entry_index].hits;
+    return FrozenTable::freeze(*this);
 }
 
 void
@@ -286,6 +276,7 @@ MemoTable::recordStats(obs::Registry &reg) const
         .set(static_cast<double>(selected_bytes));
     reg.gauge("table.types_configured")
         .set(static_cast<double>(configured));
+    reg.gauge("table.layout").set(0.0);
 }
 
 void

@@ -18,6 +18,7 @@
 
 #include <array>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -34,6 +35,8 @@ class Registry;
 
 namespace core {
 
+class FrozenTable;
+
 /** One memoized entry: necessary-input values -> outputs. */
 struct MemoEntry {
     /** Stored necessary-field values (canonical id order). Fields
@@ -48,8 +51,6 @@ struct MemoEntry {
     std::vector<events::FieldValue> outputs;
     /** Entry payload size in bytes (keys + outputs). */
     uint32_t entry_bytes = 0;
-    /** Times this entry produced a short-circuit (see recordHit()). */
-    uint64_t hits = 0;
 };
 
 /** Result of one runtime lookup. */
@@ -61,11 +62,6 @@ struct MemoLookup {
     uint32_t candidates = 0;
     /** Total bytes gathered + compared during the scan. */
     uint64_t bytes_scanned = 0;
-
-    /** Locator of the matched entry, for recordHit(). */
-    events::EventType type = events::EventType::Touch;
-    uint64_t subkey = 0;
-    uint32_t entry_index = 0;
 };
 
 /**
@@ -121,7 +117,9 @@ class MemoTable
      * Thread safety: lookup() never mutates the table, so any number
      * of threads may look up concurrently on a shared const table
      * (each with its own scratch) as long as no thread insert()s or
-     * clear()s. Hit accounting is the caller's job via recordHit().
+     * clear()s. Hit accounting is the caller's job (the deploy-side
+     * FrozenTable hands back an entry ordinal for a caller-owned
+     * dense counter array; see frozen_table.h).
      */
     MemoLookup lookup(const events::EventObject &ev,
                       const games::Game &game,
@@ -132,12 +130,12 @@ class MemoTable
                       const games::Game &game) const;
 
     /**
-     * Credit a hit to the entry @p res matched. Split out of
-     * lookup() so the hot path stays const/race-free; call it only
-     * with exclusive ownership of the table (as the single-writer
-     * SnipScheme has).
+     * Freeze this table into its immutable deploy-side form (a
+     * self-owning contiguous arena; see frozen_table.h). Pure and
+     * deterministic over the canonical entry order; the build-side
+     * table is unchanged.
      */
-    void recordHit(const MemoLookup &res);
+    std::shared_ptr<const FrozenTable> freeze() const;
 
     /** The schema copy this table is bound to. */
     const events::FieldSchema &schema() const { return schema_; }

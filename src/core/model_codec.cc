@@ -102,17 +102,6 @@ decodeFieldIds(util::ByteReader &r,
     return util::Status::Ok();
 }
 
-void
-encodeFieldValues(const std::vector<events::FieldValue> &values,
-                  util::ByteBuffer &buf)
-{
-    buf.putU32(static_cast<uint32_t>(values.size()));
-    for (const auto &fv : values) {
-        buf.putU32(fv.id);
-        buf.putU64(fv.value);
-    }
-}
-
 util::Status
 decodeFieldValues(util::ByteReader &r,
                   std::vector<events::FieldValue> *values,
@@ -139,6 +128,9 @@ decodeFieldValues(util::ByteReader &r,
     return util::Status::Ok();
 }
 
+/** Package offset where the payload starts (after the header). */
+constexpr size_t kPayloadPackageOffset = 12;
+
 void
 encodePayload(const SnipModel &model, util::ByteBuffer &buf)
 {
@@ -146,7 +138,9 @@ encodePayload(const SnipModel &model, util::ByteBuffer &buf)
 
     const events::FieldSchema empty;
     const events::FieldSchema &schema =
-        model.table ? model.table->schema() : empty;
+        model.table    ? model.table->schema()
+        : model.frozen ? model.frozen->schema()
+                       : empty;
     encodeSchema(schema, buf);
 
     buf.putU32(static_cast<uint32_t>(model.types.size()));
@@ -165,40 +159,40 @@ encodePayload(const SnipModel &model, util::ByteBuffer &buf)
             std::bit_cast<uint64_t>(t.selection.selected_hit_rate));
     }
 
-    buf.putU8(model.table ? 1 : 0);
-    if (!model.table)
+    bool has_table = model.table != nullptr || model.frozen != nullptr;
+    buf.putU8(has_table ? 1 : 0);
+    if (!has_table)
         return;
-    const MemoTable &table = *model.table;
-    uint32_t ntypes = 0;
-    for (int t = 0; t < events::kNumEventTypes; ++t)
-        if (!table.selected(static_cast<events::EventType>(t)).empty())
-            ++ntypes;
-    buf.putU32(ntypes);
-    for (int t = 0; t < events::kNumEventTypes; ++t) {
-        events::EventType type = static_cast<events::EventType>(t);
-        if (table.selected(type).empty())
-            continue;
-        buf.putU8(static_cast<uint8_t>(t));
-        buf.putU32(
-            static_cast<uint32_t>(table.selected(type).size()));
-        for (events::FieldId fid : table.selected(type))
-            buf.putU32(fid);
-        buf.putU32(static_cast<uint32_t>(table.entryCount(type)));
-        table.visitEntries(type,
-                           [&](uint64_t, const MemoEntry &e) {
-                               encodeFieldValues(e.key_fields, buf);
-                               encodeFieldValues(e.outputs, buf);
-                           });
-    }
+
+    // The v2 "SNPF" section: the frozen arena verbatim, preceded by
+    // a u32 pad length + zero pad bytes chosen so the arena starts
+    // 8-aligned *within the package* (payload begins at package
+    // offset 12). The pad is a pure function of the cursor, so
+    // re-serialization stays byte-identical.
+    std::shared_ptr<const FrozenTable> frozen =
+        model.frozen ? model.frozen : model.table->freeze();
+    size_t arena_pkg_off =
+        kPayloadPackageOffset + buf.size() + 4;  // after pad length
+    uint32_t pad =
+        static_cast<uint32_t>((8 - arena_pkg_off % 8) % 8);
+    buf.putU32(pad);
+    for (uint32_t i = 0; i < pad; ++i)
+        buf.putU8(0);
+    buf.putBytes(frozen->arenaData(), frozen->arenaSize());
 }
 
+/**
+ * Decode the shared payload head: game name, schema snapshot,
+ * per-type selection metadata and the has-table flag (identical in
+ * v1 and v2).
+ */
 util::Status
-decodePayload(util::ByteReader &r, SnipModel *model)
+decodeMeta(util::ByteReader &r, SnipModel *model,
+           events::FieldSchema *schema, bool *has_table)
 {
     model->game = r.str();
 
-    events::FieldSchema schema;
-    util::Status st = decodeSchema(r, &schema);
+    util::Status st = decodeSchema(r, schema);
     if (!st.ok())
         return st;
 
@@ -226,27 +220,33 @@ decodePayload(util::ByteReader &r, SnipModel *model)
             std::bit_cast<double>(r.u64());
         if (!r.ok())
             return util::Status::Error("model: truncated type entry");
-        st = checkFieldIds(tm.selection.selected, schema,
+        st = checkFieldIds(tm.selection.selected, *schema,
                            events::FieldSide::Input, "selection");
         if (!st.ok())
             return st;
         model->types.push_back(std::move(tm));
     }
 
-    uint8_t has_table = r.u8();
+    uint8_t flag = r.u8();
     if (!r.ok())
         return util::Status::Error("model: truncated table flag");
-    if (has_table > 1)
-        return util::Status::Errorf("model: bad table flag %u",
-                                    has_table);
-    if (!has_table)
-        return util::Status::Ok();
+    if (flag > 1)
+        return util::Status::Errorf("model: bad table flag %u", flag);
+    *has_table = flag != 0;
+    return util::Status::Ok();
+}
 
+/** Decode the v1 per-entry table wire format (legacy packages). */
+util::Status
+decodeTableV1(util::ByteReader &r, SnipModel *model,
+              const events::FieldSchema &schema)
+{
+    util::Status st;
     model->table = std::make_unique<MemoTable>(schema);
     uint32_t ntable = r.u32();
     if (!r.fits(ntable, kMinTableTypeBytes))
         return util::Status::Error("model: truncated table");
-    seen_types.clear();
+    std::set<uint8_t> seen_types;
     for (uint32_t i = 0; i < ntable; ++i) {
         uint8_t type = r.u8();
         if (r.ok() && (type >= events::kNumEventTypes ||
@@ -291,6 +291,68 @@ decodePayload(util::ByteReader &r, SnipModel *model)
     if (!r.ok())
         return util::Status::Error("model: truncated payload");
     return util::Status::Ok();
+}
+
+/**
+ * Decode the v2 "SNPF" section: pad length + zero pad + the frozen
+ * arena, which must fill the payload exactly. The returned view
+ * borrows the package bytes; @p owner (may be null for a transient
+ * server-side read) keeps them alive.
+ */
+util::Status
+decodeArenaV2(util::ByteBuffer &buf, util::ByteReader &r,
+              size_t payload_end, const events::FieldSchema &schema,
+              std::shared_ptr<const void> owner,
+              std::shared_ptr<const FrozenTable> *out)
+{
+    uint32_t pad = r.u32();
+    if (!r.ok())
+        return util::Status::Error("model: truncated arena pad");
+    if (pad >= 8)
+        return util::Status::Errorf("model: bad arena pad %u", pad);
+    for (uint32_t i = 0; i < pad; ++i) {
+        uint8_t b = r.u8();
+        if (!r.ok())
+            return util::Status::Error("model: truncated arena pad");
+        if (b != 0)
+            return util::Status::Error(
+                "model: nonzero arena pad byte");
+    }
+    if (buf.cursor() % 8 != 0)
+        return util::Status::Error("model: arena not 8-aligned");
+    if (buf.cursor() > payload_end)
+        return util::Status::Error("model: truncated arena");
+    size_t len = payload_end - buf.cursor();
+    auto view = FrozenTable::attach(
+        buf.data().data() + buf.cursor(), len, std::move(owner),
+        schema);
+    if (!view.ok())
+        return view.status();
+    r.skip(len);
+    *out = std::move(view.value());
+    return util::Status::Ok();
+}
+
+/**
+ * Rebuild a mutable MemoTable from a validated arena view: same
+ * selections, entries re-inserted in canonical order (visitRecords
+ * yields them so), so freeze() of the rebuild reproduces the arena
+ * byte for byte.
+ */
+void
+rebuildTable(const FrozenTable &view,
+             const events::FieldSchema &schema, SnipModel *model)
+{
+    model->table = std::make_unique<MemoTable>(schema);
+    for (int t = 0; t < events::kNumEventTypes; ++t) {
+        events::EventType type = static_cast<events::EventType>(t);
+        auto selected = view.selectedVector(type);
+        if (!selected.empty())
+            model->table->setSelected(type, std::move(selected));
+    }
+    view.visitRecords([&](const games::HandlerExecution &rec) {
+        model->table->insert(rec);
+    });
 }
 
 }  // namespace
@@ -341,7 +403,8 @@ unpackModel(util::ByteBuffer &buf)
     util::Status st = inspectPackage(buf, &info);
     if (!st.ok())
         return st;
-    if (info.version != kModelVersion)
+    if (info.version != kModelVersion &&
+        info.version != kLegacyModelVersion)
         return util::Status::Errorf(
             "model: unsupported version %u (expected %u)",
             info.version, kModelVersion);
@@ -354,10 +417,78 @@ unpackModel(util::ByteBuffer &buf)
     size_t payload_end = buf.cursor() + info.payload_bytes;
     util::ByteReader r(buf);
     SnipModel model;
-    st = decodePayload(r, &model);
+    events::FieldSchema schema;
+    bool has_table = false;
+    st = decodeMeta(r, &model, &schema, &has_table);
     if (!st.ok())
         return st;
+    if (has_table) {
+        if (info.version == kLegacyModelVersion) {
+            st = decodeTableV1(r, &model, schema);
+        } else {
+            // Server-side read of a v2 arena: validate a transient
+            // borrowed view, then rebuild the mutable table from it.
+            std::shared_ptr<const FrozenTable> view;
+            st = decodeArenaV2(buf, r, payload_end, schema, nullptr,
+                               &view);
+            if (st.ok())
+                rebuildTable(*view, schema, &model);
+        }
+        if (!st.ok())
+            return st;
+    }
     if (buf.cursor() != payload_end)
+        return util::Status::Error(
+            "model: trailing bytes in payload");
+    return model;
+}
+
+util::Result<SnipModel>
+deployModel(std::shared_ptr<util::ByteBuffer> pkg)
+{
+    if (!pkg)
+        return util::Status::Error("model: null package");
+    PackageInfo info;
+    util::Status st = inspectPackage(*pkg, &info);
+    if (!st.ok())
+        return st;
+    if (info.version == kLegacyModelVersion) {
+        // v1: per-entry rebuild, then freeze for the runtime.
+        util::Result<SnipModel> res = unpackModel(*pkg);
+        if (!res.ok())
+            return res.status();
+        SnipModel model = std::move(res.value());
+        if (model.table)
+            model.freeze();
+        return model;
+    }
+    if (info.version != kModelVersion)
+        return util::Status::Errorf(
+            "model: unsupported version %u (expected %u)",
+            info.version, kModelVersion);
+    if (!info.crc_ok)
+        return util::Status::Errorf(
+            "model: CRC mismatch (stored 0x%08x): corrupt payload",
+            info.crc);
+
+    size_t payload_end = pkg->cursor() + info.payload_bytes;
+    util::ByteReader r(*pkg);
+    SnipModel model;
+    events::FieldSchema schema;
+    bool has_table = false;
+    st = decodeMeta(r, &model, &schema, &has_table);
+    if (!st.ok())
+        return st;
+    if (has_table) {
+        // Zero-copy deploy: the FrozenTable is a validated view over
+        // the package bytes, kept alive by sharing ownership of the
+        // buffer itself. No per-entry work, no table rebuild.
+        st = decodeArenaV2(*pkg, r, payload_end, schema, pkg,
+                           &model.frozen);
+        if (!st.ok())
+            return st;
+    }
+    if (pkg->cursor() != payload_end)
         return util::Status::Error(
             "model: trailing bytes in payload");
     return model;

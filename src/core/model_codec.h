@@ -9,19 +9,30 @@
  *   payload bytes    | u32 crc32(payload)
  *
  * whose payload carries the game name, a snapshot of the field
- * schema, the per-type PFI selections, and the full MemoTable
- * contents (entries in canonical bucket order, so that
- * serialize(deserialize(serialize(m))) is byte-identical).
+ * schema, the per-type PFI selections, and the lookup table.
+ *
+ * Version 2 carries the table as a "SNPF" frozen arena
+ * (frozen_table.h) whose on-wire bytes *are* the runtime layout:
+ * deployModel() attaches a bounds-checked zero-copy FrozenTable view
+ * over the package bytes, so OTA deploy costs CRC + header
+ * validation instead of a per-entry rebuild. unpackModel() is the
+ * server-side reader: it rebuilds a mutable MemoTable from the arena
+ * (for federated merging and re-learning); freeze() of that rebuild
+ * reproduces the arena byte for byte, so pack→unpack→pack is still
+ * byte-identical. Version 1 packages (per-entry wire format) are
+ * still read via the rebuild path.
  *
  * Unpacking is corruption-safe: a truncated, bit-flipped, or
- * version-mismatched package is *rejected* with an error Status —
- * never a crash — and the runtime keeps executing at baseline
- * (snipping is always optional). See DESIGN.md "OTA model package".
+ * version-mismatched package — including a malformed arena behind a
+ * valid CRC — is *rejected* with an error Status — never a crash —
+ * and the runtime keeps executing at baseline (snipping is always
+ * optional). See DESIGN.md "OTA model package".
  */
 
 #ifndef SNIP_CORE_MODEL_CODEC_H
 #define SNIP_CORE_MODEL_CODEC_H
 
+#include <memory>
 #include <string>
 
 #include "core/snip.h"
@@ -33,19 +44,35 @@ namespace core {
 
 /** Package magic ("SNPM" in the trace_log magic style). */
 constexpr uint32_t kModelMagic = 0x534e504d;
-/** Current package format version. Readers reject other versions. */
-constexpr uint32_t kModelVersion = 1;
+/** Current package format version (frozen-arena table section). */
+constexpr uint32_t kModelVersion = 2;
+/** Legacy per-entry format, still readable via the rebuild path. */
+constexpr uint32_t kLegacyModelVersion = 1;
 
 /** Serialize @p model into the OTA envelope, appended to @p out. */
 void packModel(const SnipModel &model, util::ByteBuffer &out);
 
 /**
- * Validate (magic, version, length, CRC) and decode a package.
- * Reads the whole buffer from the start. On any malformed input —
- * truncation, bit corruption, bad counts or field ids, unsupported
- * version — returns an error Status and no model.
+ * Validate (magic, version, length, CRC) and decode a package into
+ * its *mutable* form: the server-side reader. Reads the whole buffer
+ * from the start; v2 arenas are rebuilt into a MemoTable, v1
+ * packages decode natively. On any malformed input — truncation, bit
+ * corruption, bad counts or field ids, unsupported version — returns
+ * an error Status and no model.
  */
 util::Result<SnipModel> unpackModel(util::ByteBuffer &buf);
+
+/**
+ * Device-side deploy: validate the envelope and attach the model's
+ * table as a zero-copy FrozenTable view over the package bytes
+ * (v2; the package buffer is kept alive by the returned model's
+ * view, and `model.table` stays null). v1 packages fall back to the
+ * per-entry rebuild and are frozen after. Malformed input — wrong
+ * CRC, or an arena whose offsets/ids/geometry fail validation even
+ * behind a correct CRC — is rejected with an error Status.
+ */
+util::Result<SnipModel>
+deployModel(std::shared_ptr<util::ByteBuffer> pkg);
 
 /** Shallow header/integrity summary of a package. */
 struct PackageInfo {

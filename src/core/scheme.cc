@@ -61,12 +61,32 @@ MaxIpScheme::observe(const games::HandlerExecution &)
 {
 }
 
+namespace {
+
+/** Freeze the model (idempotent) and hand back the shared arena. */
+std::shared_ptr<const FrozenTable>
+frozenOf(SnipModel &model)
+{
+    if (!model.table && !model.frozen)
+        util::fatal("SnipScheme: model has no table");
+    model.freeze();
+    return model.frozen;
+}
+
+}  // namespace
+
 SnipScheme::SnipScheme(SnipModel &model, SnipRuntimeConfig cfg,
                        bool charge_overheads)
-    : model_(model), cfg_(cfg), chargeOverheads_(charge_overheads)
+    : model_(model), cfg_(cfg), chargeOverheads_(charge_overheads),
+      frozen_(frozenOf(model)), overlay_(frozen_->schema())
 {
-    if (!model_.table)
-        util::fatal("SnipScheme: model has no table");
+    for (int t = 0; t < events::kNumEventTypes; ++t) {
+        events::EventType type = static_cast<events::EventType>(t);
+        auto selected = frozen_->selectedVector(type);
+        if (!selected.empty())
+            overlay_.setSelected(type, std::move(selected));
+    }
+    hitCounts_.assign(frozen_->entryCount(), 0);
     if (cfg_.obs) {
         obsAudits_ = &cfg_.obs->counter("decide.audits");
         obsAuditFailures_ =
@@ -84,13 +104,48 @@ SnipScheme::decide(const games::Game &game, const events::EventObject &ev,
     Decision d;
     d.charge_lookup = chargeOverheads_;
     auditPending_ = false;
-    MemoLookup res = model_.table->lookup(ev, game, scratch_);
     d.lookup_ran = true;
-    d.lookup_hit = res.hit;
-    d.lookup_bytes = res.bytes_scanned;
-    d.lookup_candidates = res.candidates;
-    if (res.hit) {
-        model_.table->recordHit(res);
+
+    // Frozen-first lookup with the overlay consulted only on a miss.
+    // The scan is equivalent to the old single-table scan: frozen
+    // buckets hold the profile entries in their original insertion
+    // order and overlay buckets the online-filled ones that would
+    // have followed them, and the shared gather cost (the type's
+    // selected bytes, charged by both lookups) is counted once.
+    bool hit = false;
+    if (frozenActive_) {
+        FrozenLookup fres = frozen_->lookup(ev, game, scratch_);
+        d.lookup_bytes = fres.bytes_scanned;
+        d.lookup_candidates = fres.candidates;
+        if (fres.hit) {
+            hit = true;
+            ++hitCounts_[fres.entry_ordinal];
+            d.outputs.resize(fres.nout);
+            for (uint32_t i = 0; i < fres.nout; ++i)
+                d.outputs[i] = {fres.out_ids[i],
+                                fres.out_values[i]};
+        } else if (overlay_.entryCount(ev.type) > 0) {
+            MemoLookup ores = overlay_.lookup(ev, game, scratch_);
+            d.lookup_bytes += ores.bytes_scanned -
+                              overlay_.selectedBytes(ev.type);
+            d.lookup_candidates += ores.candidates;
+            if (ores.hit) {
+                hit = true;
+                d.outputs = ores.entry->outputs;
+            }
+        }
+    } else {
+        MemoLookup ores = overlay_.lookup(ev, game, scratch_);
+        d.lookup_bytes = ores.bytes_scanned;
+        d.lookup_candidates = ores.candidates;
+        if (ores.hit) {
+            hit = true;
+            d.outputs = ores.entry->outputs;
+        }
+    }
+
+    d.lookup_hit = hit;
+    if (hit) {
         // Audit watchdog: periodically let a would-be hit run at
         // full cost so the table's output can be checked against
         // ground truth in observe().
@@ -98,11 +153,11 @@ SnipScheme::decide(const games::Game &game, const events::EventObject &ev,
             ++hitCounter_ % cfg_.audit_every == 0) {
             auditPending_ = true;
             d.audited = true;
-            auditOutputs_ = res.entry->outputs;
+            auditOutputs_ = std::move(d.outputs);
+            d.outputs.clear();
             return d;  // processed fully; observe() compares
         }
         d.shortcircuit = true;
-        d.outputs = res.entry->outputs;
     }
     return d;
 }
@@ -126,7 +181,13 @@ SnipScheme::observe(const games::HandlerExecution &truth)
             double rate = static_cast<double>(windowFailures_) /
                           static_cast<double>(windowAudits_);
             if (rate > cfg_.audit_clear_threshold) {
-                model_.table->clear();
+                // Deactivate the immutable frozen layout and drop
+                // the overlay's entries (its selections survive, so
+                // online fill keeps working until the next
+                // re-learn). The frozen arena itself is shared and
+                // never mutated.
+                frozenActive_ = false;
+                overlay_.clear();
                 ++tableClears_;
                 if (obsTableClears_)
                     obsTableClears_->add(1);
@@ -140,10 +201,34 @@ SnipScheme::observe(const games::HandlerExecution &truth)
         }
     }
     if (cfg_.online_fill) {
-        model_.table->insert(truth);
+        // Entries the frozen table already memoizes would be
+        // deduplicated by the old single-table insert; skip them so
+        // the overlay holds only genuinely new observations.
+        if (!frozenActive_ || !frozen_->containsRecord(truth))
+            overlay_.insert(truth);
         if (obsOnlineInserts_)
             obsOnlineInserts_->add(1);
     }
+}
+
+uint64_t
+SnipScheme::deployedTableBytes() const
+{
+    uint64_t n = overlay_.totalBytes();
+    if (frozenActive_)
+        n += frozen_->totalBytes();
+    return n;
+}
+
+void
+SnipScheme::recordTableStats(obs::Registry &reg) const
+{
+    if (frozenActive_)
+        frozen_->recordStats(reg);
+    else
+        overlay_.recordStats(reg);
+    reg.gauge("table.overlay_entries")
+        .set(static_cast<double>(overlay_.entryCount()));
 }
 
 std::unique_ptr<Scheme>

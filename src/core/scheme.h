@@ -169,12 +169,27 @@ struct SnipRuntimeConfig {
     obs::Registry *obs = nullptr;
 };
 
-/** SNIP: end-to-end short-circuiting via the deployed table. */
+/**
+ * SNIP: end-to-end short-circuiting via the deployed table.
+ *
+ * The scheme serves lookups from the model's immutable FrozenTable
+ * (freezing the mutable table on construction if the model was not
+ * already frozen). Online fill goes into a small per-scheme mutable
+ * *overlay* MemoTable with the same selections, consulted only on a
+ * frozen miss — the frozen arena itself is never mutated, so it can
+ * be shared across sessions and threads. Hit accounting lives in a
+ * scheme-owned dense counter array indexed by frozen entry ordinal
+ * (race-free by construction; the arena has no mutable hit field).
+ * The watchdog's "clear the table" action deactivates the frozen
+ * layout and falls back to the (cleared) overlay until re-learn.
+ */
 class SnipScheme : public Scheme
 {
   public:
     /**
      * @param model Deployed model (borrowed; must outlive this).
+     *        Must have a table in at least one layout; freeze() is
+     *        called on it, so `model.frozen` is set on return.
      * @param charge_overheads False builds the No-Overheads bound.
      */
     SnipScheme(SnipModel &model, SnipRuntimeConfig cfg = {},
@@ -190,8 +205,21 @@ class SnipScheme : public Scheme
                     const games::HandlerExecution &truth) override;
     void observe(const games::HandlerExecution &truth) override;
 
-    /** The deployed table (inspection). */
-    const MemoTable &table() const { return *model_.table; }
+    /** The frozen table lookups are served from (inspection). */
+    const FrozenTable &frozen() const { return *frozen_; }
+    /** False after a watchdog clear (overlay-only fallback). */
+    bool frozenActive() const { return frozenActive_; }
+    /** Per-frozen-entry hit counts, indexed by entry ordinal. */
+    const std::vector<uint64_t> &hitCounts() const
+    {
+        return hitCounts_;
+    }
+    /** Entries accumulated by online fill (overlay layout). */
+    size_t overlayEntries() const { return overlay_.entryCount(); }
+    /** Bytes of the deployed layout(s) serving lookups now. */
+    uint64_t deployedTableBytes() const;
+    /** Export `table.*` gauges for the layout serving lookups. */
+    void recordTableStats(obs::Registry &reg) const;
 
     /** Audits performed so far. */
     uint64_t auditsRun() const { return auditsRun_; }
@@ -204,6 +232,15 @@ class SnipScheme : public Scheme
     SnipModel &model_;
     SnipRuntimeConfig cfg_;
     bool chargeOverheads_;
+
+    /** Immutable deployed arena (shared with the model). */
+    std::shared_ptr<const FrozenTable> frozen_;
+    /** Mutable online-fill overlay (frozen's selections). */
+    MemoTable overlay_;
+    /** Cleared by the watchdog: lookups become overlay-only. */
+    bool frozenActive_ = true;
+    /** Dense per-entry hit counters (frozen entry ordinals). */
+    std::vector<uint64_t> hitCounts_;
 
     /** Watchdog state. */
     uint64_t hitCounter_ = 0;

@@ -16,6 +16,33 @@ SnipModel::selectedBytes() const
     return total;
 }
 
+void
+SnipModel::freeze()
+{
+    if (frozen)
+        return;
+    if (!table)
+        util::panic("SnipModel::freeze: model has no table");
+    frozen = table->freeze();
+}
+
+uint64_t
+SnipModel::tableBytes() const
+{
+    if (frozen)
+        return frozen->totalBytes();
+    return table ? table->totalBytes() : 0;
+}
+
+void
+SnipModel::recordTableStats(obs::Registry &reg) const
+{
+    if (frozen)
+        frozen->recordStats(reg);
+    else if (table)
+        table->recordStats(reg);
+}
+
 SnipModel
 buildSnipModel(const trace::Profile &profile, const games::Game &game,
                const SnipConfig &cfg)

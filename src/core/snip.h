@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "core/frozen_table.h"
 #include "core/memo_table.h"
 #include "ml/feature_selection.h"
 #include "trace/profile.h"
@@ -75,11 +76,37 @@ struct TypeModel {
 struct SnipModel {
     std::string game;
     std::vector<TypeModel> types;
-    /** Table pre-filled from the profile (the OTA payload). */
+    /** Mutable build-side table pre-filled from the profile (null on
+     *  a device that deployed a zero-copy v2 package). */
     std::unique_ptr<MemoTable> table;
+    /**
+     * Immutable deploy-side form (frozen_table.h). Set by freeze(),
+     * or directly by deployModel() when a v2 package is attached
+     * zero-copy. The runtime (SnipScheme) looks up against this.
+     */
+    std::shared_ptr<const FrozenTable> frozen;
 
     /** Sum of selected necessary-input bytes across types. */
     uint64_t selectedBytes() const;
+
+    /**
+     * Ensure `frozen` is populated (idempotent): freezes `table`
+     * when a frozen form is not already attached. Panics if the
+     * model has neither.
+     */
+    void freeze();
+
+    /** Whether a lookup table is deployed in either layout. */
+    bool deployed() const { return table != nullptr || frozen != nullptr; }
+
+    /** Deployed-table payload bytes (frozen arena preferred). */
+    uint64_t tableBytes() const;
+
+    /**
+     * Export `table.*` gauges for whichever layout the runtime
+     * would serve lookups from (frozen when present).
+     */
+    void recordTableStats(obs::Registry &reg) const;
 };
 
 /**

@@ -1,7 +1,6 @@
 #include "ml/decision_tree.h"
 
 #include <algorithm>
-#include <map>
 
 #include "util/logging.h"
 
@@ -10,15 +9,22 @@ namespace ml {
 
 namespace {
 
-/** Weighted Gini impurity of a label tally. */
+/**
+ * Weighted Gini impurity of a dense label tally (indexed by the
+ * tree's label dictionary). Ascending index is ascending label, and
+ * empty labels are skipped, so the summation order — and hence the
+ * floating-point result — matches the old ordered-map tally exactly.
+ */
 double
-gini(const std::map<uint64_t, uint64_t> &tally, uint64_t total)
+gini(const std::vector<uint64_t> &tally, uint64_t total)
 {
     if (total == 0)
         return 0.0;
     double g = 1.0;
-    for (const auto &kv : tally) {
-        double p = static_cast<double>(kv.second) /
+    for (uint64_t c : tally) {
+        if (c == 0)
+            continue;
+        double p = static_cast<double>(c) /
                    static_cast<double>(total);
         g -= p * p;
     }
@@ -45,6 +51,27 @@ DecisionTree::trainOnRows(const Dataset &ds,
                           const std::vector<size_t> &rows)
 {
     nodes_.clear();
+
+    // Build the label dictionary once per training run; every split
+    // then tallies through dense indices instead of an ordered map.
+    labels_.clear();
+    labels_.reserve(rows.size());
+    for (size_t r : rows)
+        labels_.push_back(ds.label(r));
+    std::sort(labels_.begin(), labels_.end());
+    labels_.erase(std::unique(labels_.begin(), labels_.end()),
+                  labels_.end());
+    row_label_idx_.assign(ds.numRows(), 0);
+    for (size_t r : rows)
+        row_label_idx_[r] = static_cast<uint32_t>(
+            std::lower_bound(labels_.begin(), labels_.end(),
+                             ds.label(r)) -
+            labels_.begin());
+    tally_.assign(labels_.size(), 0);
+    lt_.assign(labels_.size(), 0);
+    rt_.assign(labels_.size(), 0);
+    repr_.assign(labels_.size(), SIZE_MAX);
+
     std::vector<size_t> work = rows;
     util::Rng rng(cfg_.seed);
     build(ds, feature_cols, work, 0, rng);
@@ -54,18 +81,22 @@ int
 DecisionTree::makeLeaf(const Dataset &ds, const std::vector<size_t> &rows)
 {
     Node n;
-    std::map<uint64_t, uint64_t> tally;
-    std::map<uint64_t, size_t> repr;
+    std::fill(tally_.begin(), tally_.end(), 0);
+    std::fill(repr_.begin(), repr_.end(), SIZE_MAX);
     for (size_t r : rows) {
-        tally[ds.label(r)] += ds.weight(r);
-        repr.emplace(ds.label(r), r);
+        uint32_t li = row_label_idx_[r];
+        tally_[li] += ds.weight(r);
+        if (repr_[li] == SIZE_MAX)
+            repr_[li] = r;  // first row seen, as before
     }
+    // Strict > over ascending labels keeps the smallest-label
+    // tie-break of the ordered-map scan.
     uint64_t best = 0;
-    for (const auto &kv : tally) {
-        if (kv.second > best) {
-            best = kv.second;
-            n.label = kv.first;
-            n.representative = repr[kv.first];
+    for (size_t i = 0; i < labels_.size(); ++i) {
+        if (tally_[i] > best) {
+            best = tally_[i];
+            n.label = labels_[i];
+            n.representative = repr_[i];
         }
     }
     nodes_.push_back(n);
@@ -99,13 +130,13 @@ DecisionTree::build(const Dataset &ds, const std::vector<size_t> &cols,
         cand = std::move(sub);
     }
 
-    std::map<uint64_t, uint64_t> total_tally;
+    std::fill(tally_.begin(), tally_.end(), 0);
     uint64_t total_w = 0;
     for (size_t r : rows) {
-        total_tally[ds.label(r)] += ds.weight(r);
+        tally_[row_label_idx_[r]] += ds.weight(r);
         total_w += ds.weight(r);
     }
-    double parent_gini = gini(total_tally, total_w);
+    double parent_gini = gini(tally_, total_w);
 
     double best_gain = 1e-12;
     size_t best_col = SIZE_MAX;
@@ -130,22 +161,24 @@ DecisionTree::build(const Dataset &ds, const std::vector<size_t> &cols,
                    static_cast<size_t>(cfg_.threshold_candidates));
         for (size_t i = 0; i + 1 < values.size(); i += step) {
             uint64_t thr = values[i];
-            std::map<uint64_t, uint64_t> lt, rt;
+            std::fill(lt_.begin(), lt_.end(), 0);
+            std::fill(rt_.begin(), rt_.end(), 0);
             uint64_t lw = 0, rw = 0;
             for (size_t r : rows) {
+                uint64_t w = ds.weight(r);
                 if (colv[r] <= thr) {
-                    lt[ds.label(r)] += ds.weight(r);
-                    lw += ds.weight(r);
+                    lt_[row_label_idx_[r]] += w;
+                    lw += w;
                 } else {
-                    rt[ds.label(r)] += ds.weight(r);
-                    rw += ds.weight(r);
+                    rt_[row_label_idx_[r]] += w;
+                    rw += w;
                 }
             }
             if (lw == 0 || rw == 0)
                 continue;
             double child =
-                (static_cast<double>(lw) * gini(lt, lw) +
-                 static_cast<double>(rw) * gini(rt, rw)) /
+                (static_cast<double>(lw) * gini(lt_, lw) +
+                 static_cast<double>(rw) * gini(rt_, rw)) /
                 static_cast<double>(total_w);
             double gain = parent_gini - child;
             if (gain > best_gain) {

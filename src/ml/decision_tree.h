@@ -104,6 +104,21 @@ class DecisionTree : public Predictor
 
     TreeConfig cfg_;
     std::vector<Node> nodes_;
+
+    /**
+     * Training-time dense label dictionary (the forest-voting
+     * pattern): labels_ lists the distinct training labels
+     * ascending, row_label_idx_ maps a dataset row to its dense
+     * index, and the flat tally/representative vectors below replace
+     * per-split std::map tallies — same ascending-label iteration
+     * order, so impurities and tie-breaks are bitwise identical.
+     */
+    std::vector<uint64_t> labels_;
+    std::vector<uint32_t> row_label_idx_;
+    /** Reusable split scratch (total / left / right tallies). */
+    std::vector<uint64_t> tally_, lt_, rt_;
+    /** First training row seen per label (leaf representatives). */
+    std::vector<size_t> repr_;
 };
 
 }  // namespace ml

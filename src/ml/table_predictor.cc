@@ -1,11 +1,50 @@
 #include "ml/table_predictor.h"
 
+#include <algorithm>
 #include <map>
 
 #include "util/rng.h"
 
 namespace snip {
 namespace ml {
+
+size_t
+TablePredictor::probe(uint64_t key) const
+{
+    if (fslots_.empty())
+        return SIZE_MAX;
+    size_t mask = fslots_.size() - 1;
+    size_t idx = static_cast<size_t>(key) & mask;
+    for (size_t step = 0; step < fslots_.size(); ++step) {
+        uint32_t v = fslots_[idx];
+        if (v == 0)
+            return SIZE_MAX;
+        if (fkeys_[v - 1] == key)
+            return static_cast<size_t>(v - 1);
+        idx = (idx + 1) & mask;
+    }
+    return SIZE_MAX;
+}
+
+TablePredictor::Hit
+TablePredictor::find(uint64_t key) const
+{
+    Hit h;
+    size_t e = probe(key);
+    if (e != SIZE_MAX) {
+        h.hit = true;
+        h.label = flabels_[e];
+        h.repr = freprs_[e];
+        return h;
+    }
+    auto it = delta_.find(key);
+    if (it != delta_.end()) {
+        h.hit = true;
+        h.label = it->second.majority_label;
+        h.repr = it->second.representative_row;
+    }
+    return h;
+}
 
 uint64_t
 TablePredictor::keyOf(const Dataset &ds, size_t row, size_t override_col,
@@ -36,7 +75,8 @@ TablePredictor::trainOnRows(const Dataset &ds,
                             const std::vector<size_t> &rows)
 {
     cols_ = feature_cols;
-    table_.clear();
+    std::unordered_map<uint64_t, Entry> table;
+    delta_.clear();
 
     // Per-key label tallies (weighted), then majority.
     struct Tally {
@@ -76,7 +116,7 @@ TablePredictor::trainOnRows(const Dataset &ds,
             static_cast<uint32_t>(kv.second.label_weight.size());
         if (e.distinct_labels > 1)
             ambiguous_weight += kv.second.total_weight;
-        table_[kv.first] = e;
+        table[kv.first] = e;
     }
     ambiguousWeightFraction_ =
         trained_weight ? static_cast<double>(ambiguous_weight) /
@@ -91,6 +131,35 @@ TablePredictor::trainOnRows(const Dataset &ds,
             fallbackRow_ = global_row[lw.first];
         }
     }
+
+    // Freeze: flat entry columns in ascending-key order plus a
+    // power-of-two open-addressing slot index (load factor <= 0.5),
+    // the deployed FrozenTable shape. Lookups from here on are one
+    // probe + column reads, no node allocation or pointer chasing.
+    size_t n = table.size();
+    fkeys_.clear();
+    fkeys_.reserve(n);
+    for (const auto &kv : table)
+        fkeys_.push_back(kv.first);
+    std::sort(fkeys_.begin(), fkeys_.end());
+    flabels_.resize(n);
+    freprs_.resize(n);
+    fdistinct_.resize(n);
+    size_t cap = 4;
+    while (cap < 2 * n)
+        cap <<= 1;
+    fslots_.assign(cap, 0);
+    size_t mask = cap - 1;
+    for (size_t i = 0; i < n; ++i) {
+        const Entry &e = table[fkeys_[i]];
+        flabels_[i] = e.majority_label;
+        freprs_[i] = e.representative_row;
+        fdistinct_[i] = e.distinct_labels;
+        size_t idx = static_cast<size_t>(fkeys_[i]) & mask;
+        while (fslots_[idx] != 0)
+            idx = (idx + 1) & mask;
+        fslots_[idx] = static_cast<uint32_t>(i + 1);
+    }
 }
 
 uint64_t
@@ -98,9 +167,8 @@ TablePredictor::predict(const Dataset &ds, size_t row,
                         size_t override_col,
                         uint64_t override_value) const
 {
-    auto it = table_.find(keyOf(ds, row, override_col, override_value));
-    return it == table_.end() ? fallbackLabel_
-                              : it->second.majority_label;
+    Hit h = find(keyOf(ds, row, override_col, override_value));
+    return h.hit ? h.label : fallbackLabel_;
 }
 
 void
@@ -114,10 +182,8 @@ TablePredictor::predictRows(const Dataset &ds, size_t row_begin,
     for (size_t r = row_begin; r < row_end; ++r) {
         uint64_t ov =
             override_col != SIZE_MAX ? override_values[r] : 0;
-        auto it = table_.find(keyOf(ds, r, override_col, ov));
-        out_labels[r - row_begin] = it == table_.end()
-                                        ? fallbackLabel_
-                                        : it->second.majority_label;
+        Hit h = find(keyOf(ds, r, override_col, ov));
+        out_labels[r - row_begin] = h.hit ? h.label : fallbackLabel_;
     }
 }
 
@@ -126,45 +192,48 @@ TablePredictor::predictRow(const Dataset &ds, size_t row,
                            size_t override_col,
                            uint64_t override_value) const
 {
-    auto it = table_.find(keyOf(ds, row, override_col, override_value));
-    return it == table_.end() ? fallbackRow_
-                              : it->second.representative_row;
+    Hit h = find(keyOf(ds, row, override_col, override_value));
+    return h.hit ? h.repr : fallbackRow_;
 }
 
 bool
 TablePredictor::lookupLabel(const Dataset &ds, size_t row,
                             uint64_t &label) const
 {
-    auto it = table_.find(keyOf(ds, row, SIZE_MAX, 0));
-    if (it == table_.end())
+    Hit h = find(keyOf(ds, row, SIZE_MAX, 0));
+    if (!h.hit)
         return false;
-    label = it->second.majority_label;
+    label = h.label;
     return true;
 }
 
 void
 TablePredictor::insertRow(const Dataset &ds, size_t row)
 {
+    // Online inserts never touch the frozen arrays; first-wins
+    // semantics across both layers (frozen keys shadow the delta).
     uint64_t key = keyOf(ds, row, SIZE_MAX, 0);
-    auto it = table_.find(key);
-    if (it != table_.end())
+    if (probe(key) != SIZE_MAX || delta_.count(key))
         return;
     Entry e;
     e.majority_label = ds.label(row);
     e.representative_row = row;
     e.distinct_labels = 1;
-    table_[key] = e;
+    delta_[key] = e;
 }
 
 double
 TablePredictor::meanLabelsPerKey() const
 {
-    if (table_.empty())
+    size_t n = fkeys_.size() + delta_.size();
+    if (n == 0)
         return 0.0;
     double sum = 0.0;
-    for (const auto &kv : table_)
+    for (uint32_t d : fdistinct_)
+        sum += d;
+    for (const auto &kv : delta_)
         sum += kv.second.distinct_labels;
-    return sum / static_cast<double>(table_.size());
+    return sum / static_cast<double>(n);
 }
 
 }  // namespace ml

@@ -60,7 +60,7 @@ class TablePredictor : public Predictor
     void insertRow(const Dataset &ds, size_t row);
 
     /** Number of distinct keys in the trained table. */
-    size_t tableRows() const { return table_.size(); }
+    size_t tableRows() const { return fkeys_.size() + delta_.size(); }
 
     /**
      * Number of distinct labels observed under a key averaged over
@@ -85,8 +85,32 @@ class TablePredictor : public Predictor
     uint64_t keyOf(const Dataset &ds, size_t row, size_t override_col,
                    uint64_t override_value) const;
 
+    /** Frozen-table probe: entry index for @p key, or SIZE_MAX. */
+    size_t probe(uint64_t key) const;
+    struct Hit {
+        bool hit = false;
+        uint64_t label = kNoLabel;
+        size_t repr = SIZE_MAX;
+    };
+    /** Probe frozen then delta; the PFI inner loop lives here. */
+    Hit find(uint64_t key) const;
+
     std::vector<size_t> cols_;
-    std::unordered_map<uint64_t, Entry> table_;
+
+    /**
+     * The trained table is frozen after trainOnRows into the same
+     * shape the runtime deploys (core::FrozenTable): a power-of-two
+     * open-addressing slot array over flat entry columns, probed
+     * with one index hit + linear scan and zero allocation. Online
+     * insertRow() keys land in the small delta_ map instead — the
+     * frozen arrays stay immutable between re-trains.
+     */
+    std::vector<uint64_t> fkeys_;        // entry keys, ascending
+    std::vector<uint64_t> flabels_;      // majority label per entry
+    std::vector<size_t> freprs_;         // representative row
+    std::vector<uint32_t> fdistinct_;    // distinct labels per key
+    std::vector<uint32_t> fslots_;       // entry index + 1; 0 = empty
+    std::unordered_map<uint64_t, Entry> delta_;
     uint64_t fallbackLabel_ = kNoLabel;
     size_t fallbackRow_ = SIZE_MAX;
     double ambiguousWeightFraction_ = 0.0;

@@ -67,6 +67,16 @@ class ByteBuffer
     bool tryGetU64(uint64_t *v);
     bool tryGetString(std::string *s);
 
+    /** Advance the read cursor past @p n bytes without copying;
+     *  false (cursor unchanged) on underrun. */
+    bool trySkip(size_t n)
+    {
+        if (n > remaining())
+            return false;
+        cursor_ += n;
+        return true;
+    }
+
     /** Reset the read cursor to the beginning. */
     void rewind() { cursor_ = 0; }
 
@@ -125,6 +135,8 @@ class ByteReader
         ok_ = ok_ && buf_.tryGetString(&s);
         return s;
     }
+    /** Skip @p n bytes (latching, like a read). */
+    void skip(size_t n) { ok_ = ok_ && buf_.trySkip(n); }
 
     /**
      * Sanity-bound a decoded element count before reserving memory

@@ -10,8 +10,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 
 #include "core/model_codec.h"
 #include "core/scheme.h"
@@ -327,6 +329,154 @@ TEST(ModelCodecTest, RejectedPackageFallsBackToBaseline)
     SessionResult res = runSession(*game, baseline, cfg);
     EXPECT_GT(res.stats.events, 0u);
     EXPECT_EQ(res.stats.shortcircuits, 0u);
+}
+
+TEST(ModelCodecTest, V1PackageStillLoads)
+{
+    // Fleets upgrade gradually: a legacy v1 package (per-entry table
+    // wire format) must still unpack on the server and deploy on the
+    // device (rebuild + freeze). There is no v1 encoder any more, so
+    // hand-craft the payload.
+    auto game = games::makeGame("colorphun");
+    std::vector<events::FieldId> selected =
+        game->necessaryInputIds(events::EventType::Touch);
+    std::sort(selected.begin(), selected.end());
+    util::Rng rng(31337);
+    std::vector<games::HandlerExecution> recs;
+    std::vector<events::EventObject> evs;
+    for (int i = 0; i < 8; ++i) {
+        events::EventObject ev =
+            game->makeEvent(events::EventType::Touch, 0.0, rng);
+        evs.push_back(ev);
+        recs.push_back(game->process(ev));
+    }
+
+    util::ByteBuffer payload;
+    payload.putString("colorphun");
+    const events::FieldSchema &schema = game->schema();
+    payload.putU32(static_cast<uint32_t>(schema.size()));
+    for (const auto &d : schema.defs()) {
+        payload.putString(d.name);
+        payload.putU8(static_cast<uint8_t>(d.side));
+        payload.putU8(d.side == events::FieldSide::Input
+                          ? static_cast<uint8_t>(d.in_cat)
+                          : static_cast<uint8_t>(d.out_cat));
+        payload.putU32(d.size_bytes);
+    }
+    payload.putU32(0);  // no per-type metadata
+    payload.putU8(1);   // has table
+    payload.putU32(1);  // one deployed type
+    payload.putU8(static_cast<uint8_t>(events::EventType::Touch));
+    payload.putU32(static_cast<uint32_t>(selected.size()));
+    for (events::FieldId fid : selected)
+        payload.putU32(fid);
+    payload.putU32(static_cast<uint32_t>(recs.size()));
+    for (const auto &rec : recs) {
+        payload.putU32(static_cast<uint32_t>(rec.inputs.size()));
+        for (const auto &fv : rec.inputs) {
+            payload.putU32(fv.id);
+            payload.putU64(fv.value);
+        }
+        payload.putU32(static_cast<uint32_t>(rec.outputs.size()));
+        for (const auto &fv : rec.outputs) {
+            payload.putU32(fv.id);
+            payload.putU64(fv.value);
+        }
+    }
+    util::ByteBuffer pkg = envelope(payload, kLegacyModelVersion);
+
+    util::Result<SnipModel> r = unpackModel(pkg);
+    ASSERT_TRUE(r.ok()) << r.status().message();
+    ASSERT_TRUE(r.value().table != nullptr);
+    EXPECT_GT(r.value().table->entryCount(), 0u);
+    // The most recent record matches the game's current state.
+    MemoLookup hit = r.value().table->lookup(evs.back(), *game);
+    EXPECT_TRUE(hit.hit);
+
+    auto shared_pkg = std::make_shared<util::ByteBuffer>(copyOf(pkg));
+    util::Result<SnipModel> dep = deployModel(shared_pkg);
+    ASSERT_TRUE(dep.ok()) << dep.status().message();
+    ASSERT_TRUE(dep.value().frozen != nullptr);
+    // v1 deploys via rebuild: the arena is built, not borrowed.
+    EXPECT_FALSE(dep.value().frozen->zeroCopy());
+    EXPECT_EQ(dep.value().frozen->entryCount(),
+              r.value().table->entryCount());
+}
+
+TEST(ModelCodecTest, DeployModelZeroCopyRunsBitwiseIdentical)
+{
+    // Device-side deploy: the v2 arena is attached as a validated
+    // view over the package bytes — no per-entry rebuild — and runs
+    // bit-for-bit like the in-memory original.
+    SnipModel original = buildModelFor("colorphun", 20.0, 4321);
+    auto pkg = std::make_shared<util::ByteBuffer>();
+    packModel(original, *pkg);
+
+    util::Result<SnipModel> dep = deployModel(pkg);
+    ASSERT_TRUE(dep.ok()) << dep.status().message();
+    ASSERT_TRUE(dep.value().frozen != nullptr);
+    EXPECT_TRUE(dep.value().frozen->zeroCopy());
+    EXPECT_TRUE(dep.value().table == nullptr);
+
+    SimulationConfig cfg;
+    cfg.duration_s = 20.0;
+    cfg.seed = 888;
+
+    auto game_a = games::makeGame("colorphun");
+    SnipScheme scheme_a(original);
+    SessionResult a = runSession(*game_a, scheme_a, cfg);
+
+    auto game_b = games::makeGame("colorphun");
+    SnipScheme scheme_b(dep.value());
+    SessionResult b = runSession(*game_b, scheme_b, cfg);
+
+    EXPECT_GT(a.stats.shortcircuits, 0u);
+    EXPECT_EQ(a.stats.events, b.stats.events);
+    EXPECT_EQ(a.stats.shortcircuits, b.stats.shortcircuits);
+    EXPECT_EQ(a.stats.instr_skipped, b.stats.instr_skipped);
+    EXPECT_EQ(a.stats.lookup_bytes, b.stats.lookup_bytes);
+    EXPECT_EQ(a.stats.lookup_candidates, b.stats.lookup_candidates);
+    EXPECT_EQ(a.stats.output_fields_wrong,
+              b.stats.output_fields_wrong);
+    EXPECT_EQ(a.report.total(), b.report.total());
+}
+
+TEST(ModelCodecTest, DeployModelCorruptionFuzz)
+{
+    // The zero-copy deploy path has no rebuild step to trip over
+    // garbage, so the arena validation must catch everything the
+    // CRC does not: every mutated package comes back as a clean
+    // error, never a crash, and clean packages still deploy.
+    size_t iters = 64;
+    if (const char *env = std::getenv("SNIP_FUZZ_ITERS"))
+        iters = static_cast<size_t>(std::strtoull(env, nullptr, 10));
+
+    SnipModel model = buildModelFor("ab_evolution", 15.0, 22);
+    util::ByteBuffer pkg;
+    packModel(model, pkg);
+    ASSERT_GT(pkg.size(), 32u);
+
+    util::Rng rng(0xdeb70cafeULL);
+    for (size_t i = 0; i < iters; ++i) {
+        auto mutant = std::make_shared<util::ByteBuffer>();
+        if (rng.next() % 2 == 0) {
+            size_t len = rng.next() % pkg.size();
+            mutant->putBytes(pkg.data().data(), len);
+        } else {
+            *mutant = copyOf(pkg);
+            auto &bytes =
+                const_cast<std::vector<uint8_t> &>(mutant->data());
+            size_t flips = 1 + rng.next() % 8;
+            for (size_t f = 0; f < flips; ++f)
+                bytes[rng.next() % bytes.size()] ^=
+                    static_cast<uint8_t>(1u + rng.next() % 255);
+        }
+        bool changed = mutant->data() != pkg.data();
+        util::Result<SnipModel> r = deployModel(mutant);
+        EXPECT_EQ(r.ok(), !changed) << "iteration " << i;
+        if (r.ok())
+            EXPECT_TRUE(r.value().frozen != nullptr);
+    }
 }
 
 TEST(ModelCodecTest, CorruptionFuzzSmoke)

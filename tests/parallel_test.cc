@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/frozen_table.h"
 #include "core/memo_table.h"
 #include "core/model_codec.h"
 #include "core/parallel_runner.h"
@@ -237,6 +238,71 @@ TEST(ParallelRunnerTest, ConcurrentLookupsOnSharedConstTable)
         EXPECT_EQ(hits[t], ref_hits * kRounds) << "thread " << t;
         EXPECT_EQ(candidates[t], ref_candidates * kRounds)
             << "thread " << t;
+    }
+    EXPECT_GT(ref_hits, 0u);
+}
+
+TEST(ParallelRunnerTest, ConcurrentLookupsOnSharedConstFrozenTable)
+{
+    // Same contract as the mutable-table test above, for the
+    // deployed layout: one shared const FrozenTable, 8 threads,
+    // per-caller scratch, results identical to a serial pass. The
+    // frozen view is immutable by construction, so TSan has nothing
+    // to flag (tools/ci.sh runs this under -fsanitize=thread).
+    auto game = games::makeGame("colorphun");
+    BaselineScheme baseline;
+    SimulationConfig cfg;
+    cfg.duration_s = 30.0;
+    cfg.record_events = true;
+    SessionResult res = runSession(*game, baseline, cfg);
+    auto replica = games::makeGame("colorphun");
+    trace::Profile profile =
+        trace::Replayer::replay(res.trace, *replica);
+    SnipConfig scfg;
+    SnipModel model = buildSnipModel(profile, *game, scfg);
+    ASSERT_GT(model.table->entryCount(), 0u);
+
+    game->reset();
+    std::shared_ptr<const FrozenTable> frozen =
+        model.table->freeze();
+    const FrozenTable &table = *frozen;         // shared, const
+    const games::Game &cgame = *game;           // shared, const
+    const auto &events = res.trace.events;
+    ASSERT_FALSE(events.empty());
+
+    uint64_t ref_hits = 0, ref_bytes = 0;
+    {
+        LookupScratch scratch;
+        for (const auto &ev : events) {
+            FrozenLookup r = table.lookup(ev, cgame, scratch);
+            ref_hits += r.hit;
+            ref_bytes += r.bytes_scanned;
+        }
+    }
+
+    constexpr unsigned kThreads = 8;
+    constexpr int kRounds = 4;
+    std::vector<uint64_t> hits(kThreads, 0);
+    std::vector<uint64_t> bytes(kThreads, 0);
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&, t] {
+            LookupScratch scratch;  // per-caller, reused
+            for (int round = 0; round < kRounds; ++round) {
+                for (const auto &ev : events) {
+                    FrozenLookup r = table.lookup(ev, cgame, scratch);
+                    hits[t] += r.hit;
+                    bytes[t] += r.bytes_scanned;
+                }
+            }
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+
+    for (unsigned t = 0; t < kThreads; ++t) {
+        EXPECT_EQ(hits[t], ref_hits * kRounds) << "thread " << t;
+        EXPECT_EQ(bytes[t], ref_bytes * kRounds) << "thread " << t;
     }
     EXPECT_GT(ref_hits, 0u);
 }

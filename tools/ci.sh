@@ -10,9 +10,14 @@
 # smokes of the shared-const concurrency contracts (parallel session
 # runner lookups + parallel training/PFI on a shared const forest +
 # lazily-sorted EmpiricalCdf reads + ShardedRegistry attribution,
-# including micro_train itself), then fuzz the OTA model codec with
-# corrupt packages under asan (truncations and random bit flips must
-# be rejected cleanly — no crashes, no sanitizer reports).
+# including micro_train itself), run the micro_lookup hot-path smoke
+# (the binary exits non-zero if any lookup thread allocated in its
+# timed loop or the frozen and mutable layouts disagree on a single
+# decision; the JSON is additionally checked for zero allocs_per_iter
+# at every thread count of both lookup benchmarks), then fuzz the OTA
+# model codec and the frozen "SNPF" arena with corrupt packages under
+# asan (truncations and random bit flips must be rejected cleanly —
+# no crashes, no sanitizer reports).
 #
 # Usage: tools/ci.sh [jobs]   (jobs defaults to nproc)
 set -euo pipefail
@@ -71,6 +76,28 @@ if d['timers']['span.shrink']['sum_s'] <= 0.0:
     sys.exit('span.shrink recorded no wall time')
 EOF
 
+echo "==> micro_lookup smoke (hot-path zero-alloc + frozen equivalence)"
+( cd build && ./bench/micro_lookup --benchmark_min_time=0.05s \
+    --benchmark_out=micro_lookup_ci.json \
+    --benchmark_out_format=json >/dev/null )
+python3 - <<'EOF'
+import json, sys
+
+with open('build/micro_lookup_ci.json') as f:
+    d = json.load(f)
+
+lookups = [b for b in d['benchmarks']
+           if 'TableLookup' in b['name']]
+if not any('BM_FrozenTableLookup' in b['name'] for b in lookups):
+    sys.exit('micro_lookup: BM_FrozenTableLookup missing from JSON')
+if not any('BM_MemoTableLookup' in b['name'] for b in lookups):
+    sys.exit('micro_lookup: BM_MemoTableLookup missing from JSON')
+bad = [(b['name'], b['allocs_per_iter']) for b in lookups
+       if b.get('allocs_per_iter', 0) != 0]
+if bad:
+    sys.exit('micro_lookup: nonzero allocs_per_iter: %r' % bad)
+EOF
+
 echo "==> asan/ubsan build + ctest"
 cmake --preset asan-ubsan >/dev/null
 cmake --build --preset asan-ubsan -j "$JOBS"
@@ -82,7 +109,7 @@ cmake --build --preset tsan -j "$JOBS" --target parallel_test \
     --target obs_test --target micro_train
 TSAN_OPTIONS="halt_on_error=1" \
     ./build-tsan/tests/parallel_test \
-    --gtest_filter='ParallelRunnerTest.ConcurrentLookupsOnSharedConstTable:ParallelRunnerTest.RunSessionsMatchesSerialBitwise:ShrinkParallelTest.*'
+    --gtest_filter='ParallelRunnerTest.ConcurrentLookupsOnSharedConstTable:ParallelRunnerTest.ConcurrentLookupsOnSharedConstFrozenTable:ParallelRunnerTest.RunSessionsMatchesSerialBitwise:ShrinkParallelTest.*'
 TSAN_OPTIONS="halt_on_error=1" \
     ./build-tsan/tests/obs_test \
     --gtest_filter='ShardedRegistry.*'
@@ -90,9 +117,12 @@ TSAN_OPTIONS="halt_on_error=1" \
     ./build-tsan/bench/micro_train --quick --profile-s 10 --trees 8 \
     --threads 4 --out build-tsan/micro_train_tsan.json >/dev/null
 
-echo "==> corruption fuzz smoke (OTA model codec, asan)"
+echo "==> corruption fuzz smoke (OTA model codec + SNPF arena, asan)"
 SNIP_FUZZ_ITERS=512 \
     ./build-asan/tests/model_codec_test \
     --gtest_filter='ModelCodec*Fuzz*'
+SNIP_FUZZ_ITERS=512 \
+    ./build-asan/tests/core_test \
+    --gtest_filter='*FrozenArenaCorruptionFuzz*'
 
 echo "==> all green"
