@@ -12,6 +12,11 @@
  *   snip select --in events.bin --out profile.bin [--verbose]
  *       Replay the stream offline, run PFI selection, report the
  *       necessary inputs per event type (the cloud-side step).
+ *   snip convert --in A --out B
+ *       Convert a recorded event trace between the row transport
+ *       encoding ("SNPE") and the mmap-friendly binary columnar
+ *       replay format ("SNCT"); direction is detected from the
+ *       input's magic.
  *   snip eval --game G [--seconds S] [--scheme snip|baseline|
  *             maxcpu|maxip|nooverheads] [--audit N]
  *       Profile + deploy + evaluate one scheme; prints savings,
@@ -52,6 +57,7 @@
 #include "core/snip.h"
 #include "games/registry.h"
 #include "obs/sink.h"
+#include "trace/columnar_log.h"
 #include "trace/field_stats.h"
 #include "trace/recorder.h"
 #include "trace/trace_log.h"
@@ -243,6 +249,64 @@ cmdSelect(const Args &args)
                 model.table->entryCount(),
                 util::formatSize(static_cast<double>(
                                      model.table->totalBytes()))
+                    .c_str());
+    return 0;
+}
+
+int
+cmdConvert(const Args &args)
+{
+    std::string in = args.get("in");
+    std::string out = args.get("out");
+    if (in.empty() || out.empty())
+        util::fatal("convert: --in <file> and --out <file> are "
+                    "required");
+    util::ByteBuffer buf;
+    util::Status st = trace::loadBuffer(in, &buf);
+    if (!st.ok())
+        util::fatal("convert: %s", st.message().c_str());
+    if (buf.size() < 4)
+        util::fatal("convert: '%s' is too short to carry a trace "
+                    "magic", in.c_str());
+    uint32_t magic;
+    std::memcpy(&magic, buf.data().data(), 4);
+
+    if (magic == trace::kColumnarMagic) {
+        // Columnar -> rows.
+        auto log = trace::ColumnarLog::attach(buf.data().data(),
+                                              buf.size(), nullptr);
+        if (!log.ok())
+            util::fatal("convert: %s",
+                        log.status().message().c_str());
+        trace::EventTrace tr;
+        log.value()->toTrace(&tr);
+        util::ByteBuffer rows;
+        trace::encodeEventTrace(tr, rows);
+        st = trace::saveBuffer(rows, out);
+        if (!st.ok())
+            util::fatal("convert: %s", st.message().c_str());
+        std::printf("columnar -> rows: %zu events of %s -> %s (%s)\n",
+                    tr.events.size(), tr.game.c_str(), out.c_str(),
+                    util::formatSize(static_cast<double>(rows.size()))
+                        .c_str());
+        return 0;
+    }
+
+    // Rows -> columnar.
+    trace::EventTrace tr;
+    st = trace::decodeEventTrace(buf, &tr);
+    if (!st.ok())
+        util::fatal("convert: %s", st.message().c_str());
+    std::vector<uint8_t> bytes;
+    st = trace::ColumnarLog::encode(tr, &bytes);
+    if (!st.ok())
+        util::fatal("convert: %s", st.message().c_str());
+    st = trace::ColumnarLog::save(bytes, out);
+    if (!st.ok())
+        util::fatal("convert: %s", st.message().c_str());
+    std::printf("rows -> columnar: %zu events of %s -> %s (%s)\n",
+                tr.events.size(), tr.game.c_str(), out.c_str(),
+                util::formatSize(static_cast<double>(bytes.size()))
                     .c_str());
     return 0;
 }
@@ -556,6 +620,7 @@ usage()
         "  characterize --game G [--seconds S]  baseline stats\n"
         "  record --game G --out F [--seconds S] record events\n"
         "  select --in F [--out P] [--verbose]  replay + PFI\n"
+        "  convert --in F --out F               rows <-> columnar trace\n"
         "  eval --game G [--scheme S] [--audit N] deploy + measure\n"
         "  learn --game G [--epochs E] [--gate]  continuous learning\n"
         "  pack --game G --out F                 build + serialize OTA model\n"
@@ -579,6 +644,8 @@ main(int argc, char **argv)
         return cmdRecord(args);
     if (args.command == "select")
         return cmdSelect(args);
+    if (args.command == "convert")
+        return cmdConvert(args);
     if (args.command == "eval")
         return cmdEval(args);
     if (args.command == "learn")

@@ -18,6 +18,19 @@ schemeName(SchemeKind k)
     return "?";
 }
 
+void
+Scheme::decideBatch(const games::Game &game,
+                    std::span<const events::EventObject> evs,
+                    std::span<const games::HandlerExecution> truths,
+                    std::span<Decision> out)
+{
+    for (size_t i = 0; i < evs.size(); ++i) {
+        out[i] = decide(game, evs[i], truths[i]);
+        if (!out[i].shortcircuit)
+            observe(truths[i]);
+    }
+}
+
 Decision
 BaselineScheme::decide(const games::Game &, const events::EventObject &,
                        const games::HandlerExecution &)
@@ -49,16 +62,24 @@ MaxIpScheme::decide(const games::Game &, const events::EventObject &ev,
     Decision d;
     d.charge_lookup = false;
     // IP results (rendered tiles, decoded blocks) are reusable only
-    // when the triggering event object repeats exactly.
-    if (seen_.count(events::hashFields(ev.fields)))
+    // when the triggering event object repeats exactly. The insert
+    // belongs to observe(): decide() must stay read-only so a
+    // pipelined caller separating the two phases cannot
+    // double-insert.
+    pendingHash_ = events::hashFields(ev.fields);
+    hasPending_ = true;
+    if (seen_.count(pendingHash_))
         d.skip_ips = true;
-    seen_.insert(events::hashFields(ev.fields));
     return d;
 }
 
 void
 MaxIpScheme::observe(const games::HandlerExecution &)
 {
+    if (hasPending_) {
+        seen_.insert(pendingHash_);
+        hasPending_ = false;
+    }
 }
 
 namespace {
@@ -101,10 +122,26 @@ Decision
 SnipScheme::decide(const games::Game &game, const events::EventObject &ev,
                    const games::HandlerExecution &)
 {
+    return decideImpl(game, ev, nullptr);
+}
+
+Decision
+SnipScheme::decideImpl(const games::Game &game,
+                       const events::EventObject &ev,
+                       const FrozenLookup *pre)
+{
     Decision d;
     d.charge_lookup = chargeOverheads_;
     auditPending_ = false;
     d.lookup_ran = true;
+
+    // A probe prepareBatch() resolved for this event? Consume it in
+    // order regardless of frozenActive_ (the cursor tracks the
+    // delivery stream), use it only on the frozen path.
+    const FrozenProbe *probe = nullptr;
+    if (preparedCursor_ < preparedSeqs_.size() &&
+        preparedSeqs_[preparedCursor_] == ev.seq)
+        probe = &prepared_[preparedCursor_++];
 
     // Frozen-first lookup with the overlay consulted only on a miss.
     // The scan is equivalent to the old single-table scan: frozen
@@ -114,7 +151,13 @@ SnipScheme::decide(const games::Game &game, const events::EventObject &ev,
     // selected bytes, charged by both lookups) is counted once.
     bool hit = false;
     if (frozenActive_) {
-        FrozenLookup fres = frozen_->lookup(ev, game, scratch_);
+        FrozenLookup fres;
+        if (pre)
+            fres = *pre;
+        else if (probe)
+            fres = frozen_->finishLookup(ev, game, scratch_, *probe);
+        else
+            fres = frozen_->lookup(ev, game, scratch_);
         d.lookup_bytes = fres.bytes_scanned;
         d.lookup_candidates = fres.candidates;
         if (fres.hit) {
@@ -126,8 +169,14 @@ SnipScheme::decide(const games::Game &game, const events::EventObject &ev,
                                 fres.out_values[i]};
         } else if (overlay_.entryCount(ev.type) > 0) {
             MemoLookup ores = overlay_.lookup(ev, game, scratch_);
-            d.lookup_bytes += ores.bytes_scanned -
-                              overlay_.selectedBytes(ev.type);
+            // The overlay's gather cost is already covered by the
+            // frozen lookup's charge; count only the extra scan
+            // volume, clamped at zero (an empty-bucket early-out can
+            // charge less than the shared gather cost).
+            uint64_t sel = overlay_.selectedBytes(ev.type);
+            d.lookup_bytes += ores.bytes_scanned > sel
+                                  ? ores.bytes_scanned - sel
+                                  : 0;
             d.lookup_candidates += ores.candidates;
             if (ores.hit) {
                 hit = true;
@@ -160,6 +209,47 @@ SnipScheme::decide(const games::Game &game, const events::EventObject &ev,
         d.shortcircuit = true;
     }
     return d;
+}
+
+void
+SnipScheme::prepareBatch(std::span<const events::EventObject> evs)
+{
+    prepared_.resize(evs.size());
+    preparedSeqs_.resize(evs.size());
+    preparedCursor_ = 0;
+    frozen_->probeBatch(evs, {prepared_.data(), prepared_.size()},
+                        batchScratch_);
+    for (size_t i = 0; i < evs.size(); ++i)
+        preparedSeqs_[i] = evs[i].seq;
+}
+
+void
+SnipScheme::decideBatch(const games::Game &game,
+                        std::span<const events::EventObject> evs,
+                        std::span<const games::HandlerExecution> truths,
+                        std::span<Decision> out)
+{
+    // The frozen half of every decide in one batched pass: the arena
+    // is immutable and decideBatch never applies outputs, so the
+    // static-game-state contract of lookupBatch holds for the whole
+    // block. Everything order-dependent — overlay lookups/inserts,
+    // audit-window counting, a possible mid-block watchdog clear —
+    // then replays the exact scalar protocol in original event
+    // order; after a mid-block clear the precomputed lookups are
+    // simply ignored (decideImpl takes the overlay-only path).
+    batchLookups_.resize(evs.size());
+    if (frozenActive_)
+        frozen_->lookupBatch(evs, game,
+                             {batchLookups_.data(),
+                              batchLookups_.size()},
+                             batchScratch_);
+    for (size_t i = 0; i < evs.size(); ++i) {
+        const FrozenLookup *pre =
+            frozenActive_ ? &batchLookups_[i] : nullptr;
+        out[i] = decideImpl(game, evs[i], pre);
+        if (!out[i].shortcircuit)
+            observe(truths[i]);
+    }
 }
 
 void
@@ -203,11 +293,16 @@ SnipScheme::observe(const games::HandlerExecution &truth)
     if (cfg_.online_fill) {
         // Entries the frozen table already memoizes would be
         // deduplicated by the old single-table insert; skip them so
-        // the overlay holds only genuinely new observations.
-        if (!frozenActive_ || !frozen_->containsRecord(truth))
+        // the overlay holds only genuinely new observations. The
+        // counter tracks actual overlay growth — a skipped or
+        // deduplicated insert is not an online insert.
+        if (!frozenActive_ || !frozen_->containsRecord(truth)) {
+            size_t before = overlay_.entryCount(truth.type);
             overlay_.insert(truth);
-        if (obsOnlineInserts_)
-            obsOnlineInserts_->add(1);
+            if (obsOnlineInserts_ &&
+                overlay_.entryCount(truth.type) > before)
+                obsOnlineInserts_->add(1);
+        }
     }
 }
 

@@ -14,6 +14,7 @@
 #define SNIP_CORE_SCHEME_H
 
 #include <memory>
+#include <span>
 #include <unordered_set>
 
 #include "core/snip.h"
@@ -87,6 +88,47 @@ class Scheme
         (void)truth;
     }
 
+    /**
+     * Preferred event-block size for batched deciding (0 = scalar
+     * only). runSession collects up to this many same-frame events,
+     * calls prepareBatch() once, then runs the normal per-event
+     * decide/observe protocol over the block.
+     */
+    virtual uint32_t batchBlock() const { return 0; }
+
+    /**
+     * Hint: the next events, in delivery order, before they are
+     * decided one by one. Schemes may precompute whatever depends
+     * only on the event objects and immutable state (SNIP resolves
+     * its frozen index probes type-grouped and prefetched); the
+     * per-event decide() must return bitwise-identical Decisions
+     * with or without the hint.
+     */
+    virtual void prepareBatch(std::span<const events::EventObject> evs)
+    {
+        (void)evs;
+    }
+
+    /**
+     * Decide a block of events in one call. Exactly equivalent to
+     *
+     *   for i: out[i] = decide(game, evs[i], truths[i]);
+     *          if (!out[i].shortcircuit) observe(truths[i]);
+     *
+     * i.e. observes are performed internally, in original event
+     * order (the protocol runSession follows). Requires the game's
+     * state to be static across the block — decideBatch never
+     * applies outputs, so within one call that holds by
+     * construction; callers interleaving applyOutputs must use the
+     * scalar path. Decisions are bitwise-identical to the scalar
+     * loop above.
+     */
+    virtual void decideBatch(const games::Game &game,
+                             std::span<const events::EventObject> evs,
+                             std::span<const games::HandlerExecution>
+                                 truths,
+                             std::span<Decision> out);
+
     /** Idle seconds after which an IP may be power-gated. */
     virtual double ipSleepTimeout() const { return 0.5; }
 };
@@ -134,6 +176,11 @@ class MaxIpScheme : public Scheme
 
   private:
     std::unordered_set<uint64_t> seen_;
+    /** Hash of the last decided event, inserted by observe() — a
+     *  decide() that mutated seen_ would double-insert under a
+     *  pipelined caller that separates the two. */
+    uint64_t pendingHash_ = 0;
+    bool hasPending_ = false;
 };
 
 /** SNIP runtime knobs. */
@@ -205,6 +252,19 @@ class SnipScheme : public Scheme
                     const games::HandlerExecution &truth) override;
     void observe(const games::HandlerExecution &truth) override;
 
+    /** SNIP decides blocks natively: prepareBatch() resolves the
+     *  frozen index probes type-grouped (probeBatch), which decide()
+     *  then consumes per event; decideBatch() runs the whole frozen
+     *  half as one lookupBatch pass. Both are bitwise-identical to
+     *  the scalar path. */
+    uint32_t batchBlock() const override { return 32; }
+    void prepareBatch(
+        std::span<const events::EventObject> evs) override;
+    void decideBatch(const games::Game &game,
+                     std::span<const events::EventObject> evs,
+                     std::span<const games::HandlerExecution> truths,
+                     std::span<Decision> out) override;
+
     /** The frozen table lookups are served from (inspection). */
     const FrozenTable &frozen() const { return *frozen_; }
     /** False after a watchdog clear (overlay-only fallback). */
@@ -260,6 +320,22 @@ class SnipScheme : public Scheme
 
     /** Reusable gather buffers: zero-allocation lookups. */
     LookupScratch scratch_;
+
+    /** Shared decide body: @p pre, when set, is the event's frozen
+     *  lookup precomputed by decideBatch (ignored after a watchdog
+     *  clear). */
+    Decision decideImpl(const games::Game &game,
+                        const events::EventObject &ev,
+                        const FrozenLookup *pre);
+
+    /** Batched-path state: probes resolved by prepareBatch(), keyed
+     *  by event seq and consumed in order by decide(); the batch
+     *  scratch and lookup buffer back decideBatch(). */
+    BatchLookupScratch batchScratch_;
+    std::vector<FrozenProbe> prepared_;
+    std::vector<uint64_t> preparedSeqs_;
+    size_t preparedCursor_ = 0;
+    std::vector<FrozenLookup> batchLookups_;
 };
 
 /** Construct a scheme by kind (Snip/NoOverheads need a model). */

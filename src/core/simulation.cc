@@ -120,9 +120,8 @@ runSession(games::Game &game, Scheme &scheme, const SimulationConfig &cfg)
     double frame_dt = 1.0 / gp.frame_rate;
     double now = 0.0;
 
-    auto process_event = [&](size_t mix_idx, double at) {
-        events::EventObject ev =
-            game.makeEvent(mix[mix_idx].type, at, rng);
+    auto process_event = [&](const events::EventObject &ev) {
+        double at = ev.timestamp;
         sensor_mgr.deliver(ev);
         binder.transfer(ev);
 
@@ -225,23 +224,48 @@ runSession(games::Game &game, Scheme &scheme, const SimulationConfig &cfg)
         scheme.observe(truth);
     };
 
+    // Batched decide path: generate same-frame events in blocks of
+    // up to `block`, hand each block to the scheme's prepareBatch()
+    // hint, then run the unchanged per-event sequential stage. Event
+    // generation is state-independent (makeEvent touches only the
+    // rng and the event-generation memory) and consumes the rng in
+    // exactly the scalar order — makeEvent then the arrival draw,
+    // per event — so sessions are bitwise-identical to block = 1.
+    uint32_t block = cfg.batch_block
+                         ? cfg.batch_block
+                         : std::max<uint32_t>(1, scheme.batchBlock());
+    std::vector<events::EventObject> block_events;
+    block_events.reserve(std::min<uint32_t>(block, 1024));
+
     while (now < cfg.duration_s) {
         double frame_end = std::min(now + frame_dt, cfg.duration_s);
 
         // Deliver all events arriving within this frame, in time
         // order across mix entries.
         for (;;) {
-            size_t best = SIZE_MAX;
-            for (size_t i = 0; i < mix.size(); ++i) {
-                if (next_at[i] < frame_end &&
-                    (best == SIZE_MAX || next_at[i] < next_at[best]))
-                    best = i;
+            block_events.clear();
+            while (block_events.size() < block) {
+                size_t best = SIZE_MAX;
+                for (size_t i = 0; i < mix.size(); ++i) {
+                    if (next_at[i] < frame_end &&
+                        (best == SIZE_MAX ||
+                         next_at[i] < next_at[best]))
+                        best = i;
+                }
+                if (best == SIZE_MAX)
+                    break;
+                block_events.push_back(game.makeEvent(
+                    mix[best].type, next_at[best], rng));
+                next_at[best] += rng.uniformReal(0.7, 1.3) /
+                                 mix[best].rate_hz;
             }
-            if (best == SIZE_MAX)
+            if (block_events.empty())
                 break;
-            process_event(best, next_at[best]);
-            next_at[best] += rng.uniformReal(0.7, 1.3) /
-                             mix[best].rate_hz;
+            if (block_events.size() > 1)
+                scheme.prepareBatch({block_events.data(),
+                                     block_events.size()});
+            for (const auto &ev : block_events)
+                process_event(ev);
         }
 
         // Per-frame background load (composition, UI animation,

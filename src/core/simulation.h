@@ -41,6 +41,19 @@ struct SimulationConfig {
     uint64_t lookup_instr_base = 4000;
 
     /**
+     * Event-block size for the batched decide path: same-frame
+     * events are generated in blocks of up to this many, handed to
+     * Scheme::prepareBatch() (SNIP resolves its frozen index probes
+     * type-grouped), then processed through the unchanged per-event
+     * sequential stage. 0 uses the scheme's own batchBlock()
+     * preference; 1 forces the scalar path. Sessions are
+     * bitwise-identical at every setting: event generation consumes
+     * the rng in the same order, and all state-dependent work stays
+     * per-event.
+     */
+    uint32_t batch_block = 0;
+
+    /**
      * Optional metrics sink (nullptr = observability off): lookup
      * hit/miss/byte counters, decide outcomes, erroneous-
      * shortcircuit classes, per-frame/event counts, and end-of-

@@ -1,0 +1,394 @@
+#include "trace/columnar_log.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "util/logging.h"
+
+namespace snip {
+namespace trace {
+
+namespace {
+
+constexpr size_t kHeaderBytes = 72;
+constexpr size_t kDirRecBytes = 32;
+
+uint32_t
+readU32(const uint8_t *p)
+{
+    uint32_t v;
+    std::memcpy(&v, p, 4);
+    return v;
+}
+
+uint64_t
+readU64(const uint8_t *p)
+{
+    uint64_t v;
+    std::memcpy(&v, p, 8);
+    return v;
+}
+
+void
+writeU32(uint8_t *p, uint32_t v)
+{
+    std::memcpy(p, &v, 4);
+}
+
+void
+writeU64(uint8_t *p, uint64_t v)
+{
+    std::memcpy(p, &v, 8);
+}
+
+size_t
+align8(size_t off)
+{
+    return (off + 7) & ~size_t{7};
+}
+
+}  // namespace
+
+util::Status
+ColumnarLog::encode(const EventTrace &trace, std::vector<uint8_t> *out)
+{
+    size_t n = trace.events.size();
+
+    // Pass 1: per-type field-id template + row counts. The columns
+    // are only well-formed when every row of a type carries the same
+    // fields in the same order.
+    struct TypeBuild {
+        bool present = false;
+        std::vector<uint32_t> ids;
+        uint64_t nrows = 0;
+    };
+    std::array<TypeBuild, events::kNumEventTypes> builds;
+    std::vector<uint32_t> row(n);
+    for (size_t i = 0; i < n; ++i) {
+        const events::EventObject &ev = trace.events[i];
+        int t = static_cast<int>(ev.type);
+        if (t < 0 || t >= events::kNumEventTypes)
+            return util::Status::Errorf(
+                "columnar: bad event type %d", t);
+        TypeBuild &b = builds[t];
+        if (!b.present) {
+            b.present = true;
+            b.ids.reserve(ev.fields.size());
+            for (const auto &fv : ev.fields)
+                b.ids.push_back(fv.id);
+        } else {
+            bool same = b.ids.size() == ev.fields.size();
+            for (size_t f = 0; same && f < b.ids.size(); ++f)
+                same = b.ids[f] == ev.fields[f].id;
+            if (!same)
+                return util::Status::Errorf(
+                    "columnar: type %d rows do not share one field "
+                    "set (event %zu)", t, i);
+        }
+        row[i] = static_cast<uint32_t>(b.nrows++);
+    }
+
+    // Layout.
+    uint32_t ntypes = 0;
+    for (const auto &b : builds)
+        ntypes += b.present;
+    size_t game_len = trace.game.size();
+    size_t off = align8(kHeaderBytes + game_len);
+    size_t type_off = off;
+    off = align8(off + n);
+    size_t row_off = off;
+    off = align8(off + n * 4);
+    size_t seq_off = off;
+    off += n * 8;
+    size_t ts_off = off;
+    off += n * 8;
+    size_t dir_off = off;
+    off += static_cast<size_t>(ntypes) * kDirRecBytes;
+    struct TypeOffsets {
+        size_t ids = 0, cols = 0;
+    };
+    std::array<TypeOffsets, events::kNumEventTypes> offsets{};
+    for (int t = 0; t < events::kNumEventTypes; ++t) {
+        const TypeBuild &b = builds[t];
+        if (!b.present)
+            continue;
+        offsets[t].ids = off;
+        off = align8(off + b.ids.size() * 4);
+        offsets[t].cols = off;
+        off += b.nrows * b.ids.size() * 8;
+    }
+    size_t total = off;
+
+    out->assign(total, 0);
+    uint8_t *base = out->data();
+    writeU32(base + 0, kColumnarMagic);
+    writeU32(base + 4, kColumnarVersion);
+    writeU64(base + 8, total);
+    writeU64(base + 16, n);
+    writeU32(base + 24, ntypes);
+    writeU32(base + 28, static_cast<uint32_t>(game_len));
+    writeU64(base + 32, type_off);
+    writeU64(base + 40, row_off);
+    writeU64(base + 48, seq_off);
+    writeU64(base + 56, ts_off);
+    writeU64(base + 64, dir_off);
+    std::memcpy(base + kHeaderBytes, trace.game.data(), game_len);
+
+    uint32_t dir_i = 0;
+    for (int t = 0; t < events::kNumEventTypes; ++t) {
+        const TypeBuild &b = builds[t];
+        if (!b.present)
+            continue;
+        uint8_t *rec = base + dir_off + dir_i++ * kDirRecBytes;
+        writeU32(rec + 0, static_cast<uint32_t>(t));
+        writeU32(rec + 4, static_cast<uint32_t>(b.ids.size()));
+        writeU64(rec + 8, b.nrows);
+        writeU64(rec + 16, offsets[t].ids);
+        writeU64(rec + 24, offsets[t].cols);
+        for (size_t f = 0; f < b.ids.size(); ++f)
+            writeU32(base + offsets[t].ids + f * 4, b.ids[f]);
+    }
+
+    // Pass 2: fill the global arrays and the column-major values.
+    for (size_t i = 0; i < n; ++i) {
+        const events::EventObject &ev = trace.events[i];
+        int t = static_cast<int>(ev.type);
+        const TypeBuild &b = builds[t];
+        base[type_off + i] = static_cast<uint8_t>(t);
+        writeU32(base + row_off + i * 4, row[i]);
+        writeU64(base + seq_off + i * 8, ev.seq);
+        uint64_t bits;
+        std::memcpy(&bits, &ev.timestamp, 8);
+        writeU64(base + ts_off + i * 8, bits);
+        for (size_t f = 0; f < ev.fields.size(); ++f)
+            writeU64(base + offsets[t].cols +
+                         (f * b.nrows + row[i]) * 8,
+                     ev.fields[f].value);
+    }
+    return util::Status::Ok();
+}
+
+util::Result<std::shared_ptr<const ColumnarLog>>
+ColumnarLog::attach(const uint8_t *data, size_t size,
+                    std::shared_ptr<const void> owner)
+{
+    auto log = std::shared_ptr<ColumnarLog>(new ColumnarLog());
+    if (reinterpret_cast<uintptr_t>(data) % 8 == 0) {
+        log->data_ = data;
+        log->size_ = size;
+        log->owner_ = std::move(owner);
+    } else {
+        log->owned_.assign((size + 7) / 8, 0);
+        std::memcpy(log->owned_.data(), data, size);
+        log->data_ = reinterpret_cast<uint8_t *>(log->owned_.data());
+        log->size_ = size;
+    }
+    util::Status st = log->decode();
+    if (!st.ok())
+        return st;
+    return util::Result<std::shared_ptr<const ColumnarLog>>(
+        std::shared_ptr<const ColumnarLog>(std::move(log)));
+}
+
+util::Status
+ColumnarLog::decode()
+{
+    const uint8_t *base = data_;
+    const size_t size = size_;
+    if (size < kHeaderBytes)
+        return util::Status::Error("columnar: truncated header");
+    if (readU32(base) != kColumnarMagic)
+        return util::Status::Errorf("columnar: bad magic 0x%08x",
+                                    readU32(base));
+    if (readU32(base + 4) != kColumnarVersion)
+        return util::Status::Errorf(
+            "columnar: unsupported version %u", readU32(base + 4));
+    if (readU64(base + 8) != size)
+        return util::Status::Errorf(
+            "columnar: size %llu does not match buffer size %zu",
+            static_cast<unsigned long long>(readU64(base + 8)), size);
+    uint64_t nevents = readU64(base + 16);
+    uint32_t ntypes = readU32(base + 24);
+    uint32_t game_len = readU32(base + 28);
+    uint64_t type_off = readU64(base + 32);
+    uint64_t row_off = readU64(base + 40);
+    uint64_t seq_off = readU64(base + 48);
+    uint64_t ts_off = readU64(base + 56);
+    uint64_t dir_off = readU64(base + 64);
+    if (ntypes > events::kNumEventTypes)
+        return util::Status::Errorf("columnar: %u types out of range",
+                                    ntypes);
+    if (game_len > size - kHeaderBytes)
+        return util::Status::Error("columnar: game name out of bounds");
+
+    // Same span discipline as the frozen arena decoder: count
+    // elements of elem bytes at off, inside the buffer and aligned
+    // for the typed view over them.
+    auto span = [&](uint64_t off, uint64_t count, uint64_t elem,
+                    uint64_t align) {
+        return off <= size && count <= (size - off) / elem &&
+               off % align == 0;
+    };
+    if (!span(type_off, nevents, 1, 1) ||
+        !span(row_off, nevents, 4, 4) ||
+        !span(seq_off, nevents, 8, 8) ||
+        !span(ts_off, nevents, 8, 8) ||
+        !span(dir_off, ntypes, kDirRecBytes, 8))
+        return util::Status::Error(
+            "columnar: global arrays out of bounds");
+
+    game_.assign(reinterpret_cast<const char *>(base + kHeaderBytes),
+                 game_len);
+    nevents_ = nevents;
+    type_ = base + type_off;
+    row_ = reinterpret_cast<const uint32_t *>(base + row_off);
+    seq_ = reinterpret_cast<const uint64_t *>(base + seq_off);
+    ts_ = reinterpret_cast<const uint64_t *>(base + ts_off);
+
+    int prev_type = -1;
+    for (uint32_t i = 0; i < ntypes; ++i) {
+        const uint8_t *rec = base + dir_off + i * kDirRecBytes;
+        uint32_t type = readU32(rec + 0);
+        if (type >= events::kNumEventTypes ||
+            static_cast<int>(type) <= prev_type)
+            return util::Status::Errorf(
+                "columnar: bad or out-of-order type %u", type);
+        prev_type = static_cast<int>(type);
+        TypeCols tc;
+        tc.nfields = readU32(rec + 4);
+        tc.nrows = readU64(rec + 8);
+        uint64_t ids_off = readU64(rec + 16);
+        uint64_t cols_off = readU64(rec + 24);
+        if (tc.nfields != 0 &&
+            tc.nrows > UINT64_MAX / tc.nfields)
+            return util::Status::Error(
+                "columnar: column count overflow");
+        if (!span(ids_off, tc.nfields, 4, 4) ||
+            !span(cols_off, tc.nrows * tc.nfields, 8, 8))
+            return util::Status::Errorf(
+                "columnar: type %u columns out of bounds", type);
+        tc.ids = reinterpret_cast<const uint32_t *>(base + ids_off);
+        tc.cols = reinterpret_cast<const uint64_t *>(base + cols_off);
+        types_[type] = tc;
+        has_type_[type] = true;
+    }
+
+    // Every event must land in a directory type, and its row index
+    // must equal the running per-type counter — the invariant that
+    // makes event(i) a safe O(1) column access.
+    std::array<uint64_t, events::kNumEventTypes> counters{};
+    for (uint64_t i = 0; i < nevents; ++i) {
+        uint8_t t = type_[i];
+        if (t >= events::kNumEventTypes || !has_type_[t])
+            return util::Status::Errorf(
+                "columnar: event %llu has undeclared type %u",
+                static_cast<unsigned long long>(i), t);
+        if (row_[i] != counters[t]++)
+            return util::Status::Errorf(
+                "columnar: event %llu row index mismatch",
+                static_cast<unsigned long long>(i));
+    }
+    for (int t = 0; t < events::kNumEventTypes; ++t) {
+        if (has_type_[t] && counters[t] != types_[t].nrows)
+            return util::Status::Errorf(
+                "columnar: type %d row count mismatch", t);
+    }
+    return util::Status::Ok();
+}
+
+util::Result<std::shared_ptr<const ColumnarLog>>
+ColumnarLog::open(const std::string &path)
+{
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return util::Status::Errorf("columnar: cannot open '%s'",
+                                    path.c_str());
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+        ::close(fd);
+        return util::Status::Errorf("columnar: cannot stat '%s'",
+                                    path.c_str());
+    }
+    size_t size = static_cast<size_t>(st.st_size);
+    if (size > 0) {
+        void *p = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+        ::close(fd);
+        if (p != MAP_FAILED) {
+            std::shared_ptr<const void> owner(
+                p, [size](const void *q) {
+                    ::munmap(const_cast<void *>(q), size);
+                });
+            return attach(static_cast<const uint8_t *>(p), size,
+                          std::move(owner));
+        }
+        fd = -1;
+    }
+    // mmap unavailable (or empty file): plain read fallback.
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (fd >= 0)
+        ::close(fd);
+    if (!f)
+        return util::Status::Errorf("columnar: cannot open '%s'",
+                                    path.c_str());
+    std::vector<uint8_t> bytes(size);
+    size_t got = size ? std::fread(bytes.data(), 1, size, f) : 0;
+    std::fclose(f);
+    if (got != size)
+        return util::Status::Errorf("columnar: short read on '%s'",
+                                    path.c_str());
+    auto owned =
+        std::make_shared<std::vector<uint8_t>>(std::move(bytes));
+    return attach(owned->data(), owned->size(), owned);
+}
+
+util::Status
+ColumnarLog::save(const std::vector<uint8_t> &bytes,
+                  const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return util::Status::Errorf("columnar: cannot write '%s'",
+                                    path.c_str());
+    size_t wrote =
+        bytes.empty() ? 0 : std::fwrite(bytes.data(), 1,
+                                        bytes.size(), f);
+    bool ok = wrote == bytes.size() && std::fclose(f) == 0;
+    if (!ok)
+        return util::Status::Errorf("columnar: short write on '%s'",
+                                    path.c_str());
+    return util::Status::Ok();
+}
+
+void
+ColumnarLog::event(size_t i, events::EventObject *ev) const
+{
+    uint8_t t = type_[i];
+    const TypeCols &tc = types_[t];
+    ev->type = static_cast<events::EventType>(t);
+    ev->seq = seq_[i];
+    uint64_t bits = ts_[i];
+    double d;
+    std::memcpy(&d, &bits, 8);
+    ev->timestamp = d;
+    uint64_t r = row_[i];
+    ev->fields.resize(tc.nfields);
+    for (uint32_t f = 0; f < tc.nfields; ++f)
+        ev->fields[f] = {tc.ids[f], tc.cols[f * tc.nrows + r]};
+}
+
+void
+ColumnarLog::toTrace(EventTrace *out) const
+{
+    out->game = game_;
+    out->events.resize(nevents_);
+    for (size_t i = 0; i < nevents_; ++i)
+        event(i, &out->events[i]);
+}
+
+}  // namespace trace
+}  // namespace snip

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Binary columnar event-trace format ("SNCT"): the replay-side
+ * counterpart of the row-oriented "SNPE" transport encoding. A
+ * ColumnarLog stores the trace as flat per-type value columns plus
+ * global type/seq/timestamp arrays, so the fig/micro benches can
+ * mmap a converted trace once and replay it without re-parsing the
+ * row encoding per run — and a reader never materializes more than
+ * the events it asks for (the seed of the out-of-core Shrink path).
+ *
+ * Layout (little-endian, all array offsets 8-aligned):
+ *
+ *   header (72 B): magic "SNCT", version, total_size u64,
+ *     nevents u64, ntypes u32, game_len u32, then five u64 offsets:
+ *     type_off  -> u8[nevents]   event type codes
+ *     row_off   -> u32[nevents]  per-type row index (O(1) random
+ *                                access into the type's columns)
+ *     seq_off   -> u64[nevents]  sequence numbers
+ *     ts_off    -> u64[nevents]  timestamps as raw double bits
+ *                                (lossless, unlike SNPE's ns u64)
+ *     dir_off   -> ntypes directory records
+ *   game name bytes [game_len] at offset 72
+ *   directory record (32 B): type u32, nfields u32, nrows u64,
+ *     ids_off u64 -> u32[nfields], cols_off u64 ->
+ *     u64[nrows * nfields] *column-major* (field f's values are
+ *     adjacent: cols[f * nrows .. (f + 1) * nrows)).
+ *
+ * Events of one type always carry exactly the handler's event
+ * fields in canonical order, which is what makes uniform per-type
+ * columns valid; encode() rejects a trace violating that.
+ *
+ * Like the SNPE decoder, attach()/open() validate everything before
+ * trusting it: a malformed, truncated, or bit-flipped file yields
+ * an error Status, never UB.
+ */
+
+#ifndef SNIP_TRACE_COLUMNAR_LOG_H
+#define SNIP_TRACE_COLUMNAR_LOG_H
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/profile.h"
+#include "util/status.h"
+
+namespace snip {
+namespace trace {
+
+/** Columnar trace magic ("SNCT"), first word of the layout. */
+constexpr uint32_t kColumnarMagic = 0x534e4354;
+/** Columnar trace format version. */
+constexpr uint32_t kColumnarVersion = 1;
+
+/**
+ * Immutable reader over a columnar trace buffer. All methods are
+ * const; any number of threads may read concurrently.
+ */
+class ColumnarLog
+{
+  public:
+    /**
+     * Convert a row trace to the columnar encoding. Errors when the
+     * rows of one event type do not share a single field-id set in
+     * one order (the per-type columns would be ill-formed).
+     */
+    static util::Status encode(const EventTrace &trace,
+                               std::vector<uint8_t> *out);
+
+    /**
+     * Attach a validated view over columnar bytes. Every offset,
+     * count and type code is bounds-checked before the view is
+     * returned. @p owner keeps the backing buffer alive (zero-copy);
+     * misaligned buffers are copied into owned aligned storage.
+     */
+    static util::Result<std::shared_ptr<const ColumnarLog>>
+    attach(const uint8_t *data, size_t size,
+           std::shared_ptr<const void> owner);
+
+    /**
+     * Open a columnar trace file: mmap(2) when available (the
+     * mapping is dropped with the last reader reference), falling
+     * back to reading the file into an owned buffer.
+     */
+    static util::Result<std::shared_ptr<const ColumnarLog>>
+    open(const std::string &path);
+
+    /** Write encoded bytes to a file; error Status on I/O errors. */
+    static util::Status save(const std::vector<uint8_t> &bytes,
+                             const std::string &path);
+
+    /** Game name recorded with the trace. */
+    const std::string &game() const { return game_; }
+    /** Number of events. */
+    size_t eventCount() const { return nevents_; }
+    /** Whether the buffer is a borrowed (mmap/attach) view. */
+    bool zeroCopy() const { return owned_.empty(); }
+
+    /**
+     * Decode event @p i into @p ev, reusing its field storage (no
+     * allocation once the vector capacity covers the widest type).
+     */
+    void event(size_t i, events::EventObject *ev) const;
+
+    /** Materialize the whole trace back into row form. */
+    void toTrace(EventTrace *out) const;
+
+  private:
+    ColumnarLog() = default;
+
+    /** Decoded directory entry of one event type. */
+    struct TypeCols {
+        uint32_t nfields = 0;
+        uint64_t nrows = 0;
+        const uint32_t *ids = nullptr;
+        const uint64_t *cols = nullptr;  // column-major
+    };
+
+    util::Status decode();
+
+    const uint8_t *data_ = nullptr;
+    size_t size_ = 0;
+    std::shared_ptr<const void> owner_;
+    /** Owned storage (read fallback / misaligned attach). */
+    std::vector<uint64_t> owned_;
+
+    std::string game_;
+    size_t nevents_ = 0;
+    const uint8_t *type_ = nullptr;
+    const uint32_t *row_ = nullptr;
+    const uint64_t *seq_ = nullptr;
+    const uint64_t *ts_ = nullptr;
+    std::array<TypeCols, events::kNumEventTypes> types_{};
+    /** Directory entry present for this type code. */
+    std::array<bool, events::kNumEventTypes> has_type_{};
+};
+
+}  // namespace trace
+}  // namespace snip
+
+#endif  // SNIP_TRACE_COLUMNAR_LOG_H

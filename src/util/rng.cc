@@ -18,22 +18,6 @@ rotl(uint64_t x, int k)
 
 }  // namespace
 
-uint64_t
-mix64(uint64_t x)
-{
-    // SplitMix64 finalizer (Steele, Lea, Flood 2014).
-    x += 0x9e3779b97f4a7c15ULL;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-    return x ^ (x >> 31);
-}
-
-uint64_t
-mixCombine(uint64_t a, uint64_t b)
-{
-    return mix64(a ^ rotl(mix64(b), 17));
-}
-
 Rng::Rng(uint64_t seed_value)
 {
     seed(seed_value);

@@ -21,15 +21,29 @@ namespace util {
 /**
  * Stateless 64-bit mixer (SplitMix64 finalizer). Useful for turning
  * structured identifiers into well-distributed hash values
- * deterministically.
+ * deterministically. Inline: this sits on the per-event lookup hot
+ * path (table subkeys hash a handful of fields per event).
  *
  * @param x Value to mix.
  * @return Avalanche-mixed 64-bit value.
  */
-uint64_t mix64(uint64_t x);
+inline uint64_t
+mix64(uint64_t x)
+{
+    // SplitMix64 finalizer (Steele, Lea, Flood 2014).
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
 
 /** Combine two 64-bit values into one mixed value. */
-uint64_t mixCombine(uint64_t a, uint64_t b);
+inline uint64_t
+mixCombine(uint64_t a, uint64_t b)
+{
+    uint64_t m = mix64(b);
+    return mix64(a ^ ((m << 17) | (m >> 47)));
+}
 
 /**
  * Seedable xoshiro256** pseudo-random generator.

@@ -554,6 +554,100 @@ TEST_F(MemoTableTest, FrozenArenaCorruptionFuzz)
     }
 }
 
+// lookupBatch() must agree with per-event lookup() on every field of
+// every FrozenLookup, for any window size (including ragged tails and
+// single-event blocks), over a stream mixing profiled and fresh
+// events.
+TEST_F(MemoTableTest, FrozenLookupBatchMatchesScalar)
+{
+    util::Rng rng(0xba7c4);
+    std::vector<events::EventObject> seen;
+    for (int i = 0; i < 256; ++i) {
+        table_->insert(nextExecution(rng));
+        seen.push_back(last_event_);
+    }
+    auto frozen = table_->freeze();
+
+    std::vector<events::EventObject> stream;
+    for (int i = 0; i < 4096; ++i)
+        stream.push_back(
+            rng.next() % 2 == 0
+                ? seen[rng.next() % seen.size()]
+                : game_->makeEvent(events::EventType::Touch, 0.0,
+                                   rng));
+
+    LookupScratch ss;
+    BatchLookupScratch bs;
+    uint64_t hits = 0;
+    for (size_t block : {size_t(1), size_t(7), size_t(32),
+                         size_t(211)}) {
+        std::vector<FrozenLookup> out(block);
+        for (size_t base = 0; base < stream.size(); base += block) {
+            size_t len = std::min(block, stream.size() - base);
+            frozen->lookupBatch({stream.data() + base, len}, *game_,
+                                {out.data(), len}, bs);
+            for (size_t k = 0; k < len; ++k) {
+                FrozenLookup s = frozen->lookup(stream[base + k],
+                                                *game_, ss);
+                const FrozenLookup &b = out[k];
+                ASSERT_EQ(s.hit, b.hit) << base + k;
+                ASSERT_EQ(s.candidates, b.candidates) << base + k;
+                ASSERT_EQ(s.bytes_scanned, b.bytes_scanned)
+                    << base + k;
+                if (s.hit) {
+                    ++hits;
+                    ASSERT_EQ(s.entry_ordinal, b.entry_ordinal);
+                    ASSERT_EQ(s.nout, b.nout);
+                    for (uint32_t o = 0; o < s.nout; ++o) {
+                        ASSERT_EQ(s.out_ids[o], b.out_ids[o]);
+                        ASSERT_EQ(s.out_values[o], b.out_values[o]);
+                    }
+                }
+            }
+        }
+    }
+    EXPECT_GT(hits, 0u);
+}
+
+// probeBatch() resolves the same index ranges the scalar probe does,
+// and a probe finished later via finishLookup() equals a direct
+// lookup (the prepareBatch()/decide() split in SnipScheme).
+TEST_F(MemoTableTest, ProbeBatchMatchesScalarProbe)
+{
+    util::Rng rng(0x9e0be);
+    std::vector<events::EventObject> seen;
+    for (int i = 0; i < 128; ++i) {
+        table_->insert(nextExecution(rng));
+        seen.push_back(last_event_);
+    }
+    auto frozen = table_->freeze();
+
+    std::vector<events::EventObject> stream;
+    for (int i = 0; i < 512; ++i)
+        stream.push_back(
+            rng.next() % 2 == 0
+                ? seen[rng.next() % seen.size()]
+                : game_->makeEvent(events::EventType::Touch, 0.0,
+                                   rng));
+
+    BatchLookupScratch bs;
+    std::vector<FrozenProbe> probes(stream.size());
+    frozen->probeBatch({stream.data(), stream.size()},
+                       {probes.data(), probes.size()}, bs);
+    LookupScratch a, b;
+    for (size_t i = 0; i < stream.size(); ++i) {
+        FrozenProbe p = frozen->probeEvent(stream[i]);
+        ASSERT_EQ(p.begin, probes[i].begin) << i;
+        ASSERT_EQ(p.count, probes[i].count) << i;
+        FrozenLookup via =
+            frozen->finishLookup(stream[i], *game_, a, probes[i]);
+        FrozenLookup direct = frozen->lookup(stream[i], *game_, b);
+        ASSERT_EQ(via.hit, direct.hit) << i;
+        ASSERT_EQ(via.candidates, direct.candidates) << i;
+        ASSERT_EQ(via.bytes_scanned, direct.bytes_scanned) << i;
+    }
+}
+
 // ------------------------------------------------------ lookup tables
 
 class AnalysisTest : public ::testing::Test
@@ -708,9 +802,29 @@ TEST(Schemes, MaxIpSkipsIpsOnExactEventRepeat)
     games::HandlerExecution truth = game->process(ev);
     Decision first = s.decide(*game, ev, truth);
     EXPECT_FALSE(first.skip_ips);
+    s.observe(truth);
     Decision second = s.decide(*game, ev, truth);
     EXPECT_TRUE(second.skip_ips);
     EXPECT_LT(s.ipSleepTimeout(), BaselineScheme().ipSleepTimeout());
+}
+
+TEST(Schemes, MaxIpDecideAloneDoesNotLearn)
+{
+    // decide() must be read-only: a pipelined caller that separates
+    // decide from observe must not see the event as "seen" until
+    // observe() runs, and re-deciding without observing must never
+    // change the answer.
+    auto game = games::makeGame("colorphun");
+    MaxIpScheme s;
+    util::Rng rng(3);
+    events::EventObject ev =
+        game->makeEvent(events::EventType::Touch, 0.0, rng);
+    games::HandlerExecution truth = game->process(ev);
+    EXPECT_FALSE(s.decide(*game, ev, truth).skip_ips);
+    EXPECT_FALSE(s.decide(*game, ev, truth).skip_ips);
+    EXPECT_FALSE(s.decide(*game, ev, truth).skip_ips);
+    s.observe(truth);
+    EXPECT_TRUE(s.decide(*game, ev, truth).skip_ips);
 }
 
 TEST(Schemes, SnipHitsAfterObserve)
@@ -773,6 +887,138 @@ TEST(Schemes, Names)
     EXPECT_STREQ(schemeName(SchemeKind::NoOverheads), "No Overheads");
 }
 
+// On the overlay-fallback path (frozen miss, overlay consulted) the
+// overlay's shared gather cost is already covered by the frozen
+// charge; an overlay scan charged no more than that cost must
+// contribute zero extra lookup bytes — never wrap the subtraction.
+TEST(Schemes, OverlayFallbackLookupBytesNoUnderflow)
+{
+    auto game = games::makeGame("colorphun");
+    SnipModel model;
+    model.game = game->name();
+    model.table = std::make_unique<MemoTable>(game->schema());
+    model.table->setSelected(
+        events::EventType::Touch,
+        game->necessaryInputIds(events::EventType::Touch));
+
+    SnipScheme s(model);
+    util::Rng rng(21);
+    events::EventObject ev1 =
+        game->makeEvent(events::EventType::Touch, 0.0, rng);
+    games::HandlerExecution truth1 = game->process(ev1);
+    EXPECT_FALSE(s.decide(*game, ev1, truth1).lookup_hit);
+    s.observe(truth1);  // online fill: overlay now non-empty
+    ASSERT_GT(s.overlayEntries(), 0u);
+
+    // A fresh event missing in both tables: the frozen (empty)
+    // lookup charges the gather cost, the overlay scan hits an
+    // empty bucket and may charge no more than that same cost.
+    events::EventObject ev2 =
+        game->makeEvent(events::EventType::Touch, 1.0, rng);
+    games::HandlerExecution truth2 = game->process(ev2);
+    LookupScratch scratch;
+    FrozenLookup f = s.frozen().lookup(ev2, *game, scratch);
+    ASSERT_FALSE(f.hit);
+    Decision d = s.decide(*game, ev2, truth2);
+    EXPECT_FALSE(d.lookup_hit);
+    // No underflow: the total can only be the frozen charge plus a
+    // small non-negative overlay surplus, not a wrapped uint64.
+    EXPECT_GE(d.lookup_bytes, f.bytes_scanned);
+    EXPECT_LT(d.lookup_bytes, f.bytes_scanned + (1u << 20));
+    if (d.lookup_candidates == 0) {
+        EXPECT_EQ(d.lookup_bytes, f.bytes_scanned);
+    }
+}
+
+// The 10k-event batch-vs-scalar fuzz: mixed event types, the audit
+// watchdog live, online fill on. decideBatch() must produce
+// bitwise-identical Decision sequences and leave both schemes with
+// identical hit counts, audit counters and overlay contents.
+TEST(Schemes, DecideBatchMatchesScalarFuzz)
+{
+    auto game = games::makeGame("ab_evolution");
+    BaselineScheme baseline;
+    SimulationConfig cfg;
+    cfg.duration_s = 60.0;
+    cfg.record_events = true;
+    cfg.seed = 99;
+    SessionResult res = runSession(*game, baseline, cfg);
+    auto replica = games::makeGame("ab_evolution");
+    trace::Profile profile =
+        trace::Replayer::replay(res.trace, *replica);
+    SnipConfig scfg;
+    scfg.min_records_per_type = 8;
+    SnipModel model = buildSnipModel(profile, *game, scfg);
+    ASSERT_NE(model.table, nullptr);
+
+    // Tile the recorded stream to 10k events (duplicates are what
+    // make the hit/audit paths fire); the game keeps its
+    // end-of-session state, matching the most recent records.
+    const auto &evs = res.trace.events;
+    const auto &recs = profile.records;
+    ASSERT_EQ(evs.size(), recs.size());
+    ASSERT_GT(evs.size(), 0u);
+    const size_t kTotal = 10000;
+    std::vector<events::EventObject> stream(kTotal);
+    std::vector<games::HandlerExecution> truths(kTotal);
+    for (size_t i = 0; i < kTotal; ++i) {
+        stream[i] = evs[i % evs.size()];
+        truths[i] = recs[i % recs.size()];
+    }
+
+    SnipRuntimeConfig rcfg;
+    rcfg.online_fill = true;
+    rcfg.audit_every = 4;
+    SnipScheme scalar(model, rcfg);
+    SnipScheme batched(model, rcfg);
+
+    util::Rng brng(0xb10c);
+    std::vector<Decision> bdec;
+    uint64_t hits = 0;
+    size_t base = 0;
+    while (base < kTotal) {
+        size_t len = std::min<size_t>(1 + brng.next() % 64,
+                                      kTotal - base);
+        bdec.resize(len);
+        batched.prepareBatch({stream.data() + base, len});
+        batched.decideBatch(*game, {stream.data() + base, len},
+                            {truths.data() + base, len},
+                            {bdec.data(), len});
+        for (size_t k = 0; k < len; ++k) {
+            Decision sd =
+                scalar.decide(*game, stream[base + k],
+                              truths[base + k]);
+            if (!sd.shortcircuit)
+                scalar.observe(truths[base + k]);
+            const Decision &bd = bdec[k];
+            ASSERT_EQ(sd.shortcircuit, bd.shortcircuit) << base + k;
+            ASSERT_EQ(sd.outputs, bd.outputs) << base + k;
+            ASSERT_EQ(sd.cpu_skip_fraction, bd.cpu_skip_fraction);
+            ASSERT_EQ(sd.skip_ips, bd.skip_ips) << base + k;
+            ASSERT_EQ(sd.lookup_bytes, bd.lookup_bytes) << base + k;
+            ASSERT_EQ(sd.lookup_candidates, bd.lookup_candidates)
+                << base + k;
+            ASSERT_EQ(sd.charge_lookup, bd.charge_lookup);
+            ASSERT_EQ(sd.lookup_ran, bd.lookup_ran) << base + k;
+            ASSERT_EQ(sd.lookup_hit, bd.lookup_hit) << base + k;
+            ASSERT_EQ(sd.audited, bd.audited) << base + k;
+            hits += sd.lookup_hit;
+        }
+        base += len;
+    }
+    EXPECT_EQ(scalar.hitCounts(), batched.hitCounts());
+    EXPECT_EQ(scalar.auditsRun(), batched.auditsRun());
+    EXPECT_EQ(scalar.auditsFailed(), batched.auditsFailed());
+    EXPECT_EQ(scalar.tableClears(), batched.tableClears());
+    EXPECT_EQ(scalar.overlayEntries(), batched.overlayEntries());
+    EXPECT_EQ(scalar.frozenActive(), batched.frozenActive());
+    // The tiled duplicates must actually exercise the hit path
+    // (and with it the audit watchdog).
+    EXPECT_GT(hits, 0u);
+    EXPECT_GT(scalar.auditsRun(), 0u);
+    EXPECT_GT(scalar.overlayEntries(), 0u);
+}
+
 // --------------------------------------------------------- Simulation
 
 TEST(Simulation, SessionStatsConsistent)
@@ -813,6 +1059,65 @@ TEST(Simulation, SameSeedSameEnergy)
     double e1 = runSession(*game, a, cfg).report.total();
     double e2 = runSession(*game, b, cfg).report.total();
     EXPECT_DOUBLE_EQ(e1, e2);
+}
+
+// Sessions must be bitwise-identical at every batch_block setting:
+// the batched drain only hoists event generation and the frozen
+// index probes, never any state-dependent work.
+TEST(Simulation, BatchedSessionBitwiseIdentical)
+{
+    auto game = games::makeGame("colorphun");
+    BaselineScheme baseline;
+    SimulationConfig pcfg;
+    pcfg.duration_s = 30.0;
+    pcfg.record_events = true;
+    SessionResult prof = runSession(*game, baseline, pcfg);
+    auto replica = games::makeGame("colorphun");
+    trace::Profile profile =
+        trace::Replayer::replay(prof.trace, *replica);
+    SnipConfig scfg;
+    scfg.min_records_per_type = 8;
+    SnipModel model = buildSnipModel(profile, *game, scfg);
+    ASSERT_NE(model.table, nullptr);
+
+    auto runWith = [&](uint32_t block) {
+        SnipRuntimeConfig rcfg;
+        rcfg.audit_every = 8;
+        SnipScheme scheme(model, rcfg);
+        SimulationConfig ecfg;
+        ecfg.duration_s = 15.0;
+        ecfg.seed = 5;
+        ecfg.batch_block = block;
+        return runSession(*game, scheme, ecfg);
+    };
+    SessionResult scalar = runWith(1);
+    for (uint32_t block : {0u, 8u, 256u}) {
+        SessionResult batched = runWith(block);
+        const SessionStats &a = scalar.stats;
+        const SessionStats &b = batched.stats;
+        EXPECT_EQ(a.events, b.events) << block;
+        EXPECT_EQ(a.shortcircuits, b.shortcircuits) << block;
+        EXPECT_EQ(a.instr_total, b.instr_total) << block;
+        EXPECT_EQ(a.instr_skipped, b.instr_skipped) << block;
+        EXPECT_DOUBLE_EQ(a.ip_work_total, b.ip_work_total) << block;
+        EXPECT_DOUBLE_EQ(a.ip_work_skipped, b.ip_work_skipped)
+            << block;
+        EXPECT_EQ(a.lookup_bytes, b.lookup_bytes) << block;
+        EXPECT_EQ(a.lookup_candidates, b.lookup_candidates) << block;
+        EXPECT_DOUBLE_EQ(a.lookup_energy_j, b.lookup_energy_j)
+            << block;
+        EXPECT_EQ(a.erroneous_shortcircuits, b.erroneous_shortcircuits)
+            << block;
+        EXPECT_EQ(a.output_fields_total, b.output_fields_total)
+            << block;
+        EXPECT_EQ(a.output_fields_wrong, b.output_fields_wrong)
+            << block;
+        EXPECT_EQ(a.useless_events, b.useless_events) << block;
+        EXPECT_DOUBLE_EQ(scalar.report.total(), batched.report.total())
+            << block;
+    }
+    // The stream must actually exercise the hit path.
+    EXPECT_GT(scalar.stats.shortcircuits, 0u);
 }
 
 TEST(Simulation, DifferentSeedsDiffer)

@@ -13,10 +13,14 @@
 #include <sstream>
 #include <thread>
 
+#include "core/memo_table.h"
+#include "core/scheme.h"
+#include "games/registry.h"
 #include "obs/metrics.h"
 #include "obs/sink.h"
 #include "obs/span.h"
 #include "util/parallel.h"
+#include "util/rng.h"
 
 namespace snip {
 namespace obs {
@@ -262,6 +266,53 @@ TEST(Sinks, NullSinkDiscards)
     NullSink sink;
     sink.write(reg);  // Must not crash or print.
     EXPECT_EQ(reg.counterValue("c"), 1u);
+}
+
+// ------------------------------------------------- scheme telemetry
+
+// Regression: decide.online_inserts must count actual overlay
+// growth. Observing the same record twice (the second insert is
+// deduplicated) or a record the frozen table already memoizes (the
+// insert is skipped) must leave the counter unchanged.
+TEST(SchemeTelemetry, OnlineInsertsCountOverlayGrowthOnly)
+{
+    auto game = games::makeGame("colorphun");
+    core::SnipModel model;
+    model.game = game->name();
+    model.table =
+        std::make_unique<core::MemoTable>(game->schema());
+    model.table->setSelected(
+        events::EventType::Touch,
+        game->necessaryInputIds(events::EventType::Touch));
+    // One record memoized by the deployed (frozen) table.
+    util::Rng rng(8);
+    events::EventObject frozen_ev =
+        game->makeEvent(events::EventType::Touch, 0.0, rng);
+    games::HandlerExecution frozen_truth = game->process(frozen_ev);
+    model.table->insert(frozen_truth);
+
+    Registry reg;
+    core::SnipRuntimeConfig rcfg;
+    rcfg.obs = &reg;
+    core::SnipScheme s(model, rcfg);
+
+    // A genuinely new observation grows the overlay: one insert.
+    events::EventObject ev =
+        game->makeEvent(events::EventType::Touch, 1.0, rng);
+    games::HandlerExecution truth = game->process(ev);
+    s.observe(truth);
+    EXPECT_EQ(reg.counterValue("decide.online_inserts"), 1u);
+    EXPECT_EQ(s.overlayEntries(), 1u);
+
+    // Observing it again deduplicates: no growth, no count.
+    s.observe(truth);
+    EXPECT_EQ(reg.counterValue("decide.online_inserts"), 1u);
+    EXPECT_EQ(s.overlayEntries(), 1u);
+
+    // A record the frozen table holds is skipped entirely.
+    s.observe(frozen_truth);
+    EXPECT_EQ(reg.counterValue("decide.online_inserts"), 1u);
+    EXPECT_EQ(s.overlayEntries(), 1u);
 }
 
 }  // namespace

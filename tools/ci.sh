@@ -14,10 +14,13 @@
 # (the binary exits non-zero if any lookup thread allocated in its
 # timed loop or the frozen and mutable layouts disagree on a single
 # decision; the JSON is additionally checked for zero allocs_per_iter
-# at every thread count of both lookup benchmarks), then fuzz the OTA
-# model codec and the frozen "SNPF" arena with corrupt packages under
-# asan (truncations and random bit flips must be rejected cleanly —
-# no crashes, no sanitizer reports).
+# at every thread count of both lookup benchmarks and the batched
+# lookup benchmark must be present with zero allocs), then fuzz the
+# OTA model codec and the frozen "SNPF" arena with corrupt packages
+# under asan (truncations and random bit flips must be rejected
+# cleanly — no crashes, no sanitizer reports), and finally replay a
+# 10k-event stream through decideBatch/lookupBatch under asan
+# asserting bitwise-identical decisions against the scalar path.
 #
 # Usage: tools/ci.sh [jobs]   (jobs defaults to nproc)
 set -euo pipefail
@@ -92,6 +95,8 @@ if not any('BM_FrozenTableLookup' in b['name'] for b in lookups):
     sys.exit('micro_lookup: BM_FrozenTableLookup missing from JSON')
 if not any('BM_MemoTableLookup' in b['name'] for b in lookups):
     sys.exit('micro_lookup: BM_MemoTableLookup missing from JSON')
+if not any('BM_FrozenTableLookupBatch' in b['name'] for b in lookups):
+    sys.exit('micro_lookup: BM_FrozenTableLookupBatch missing from JSON')
 bad = [(b['name'], b['allocs_per_iter']) for b in lookups
        if b.get('allocs_per_iter', 0) != 0]
 if bad:
@@ -109,7 +114,7 @@ cmake --build --preset tsan -j "$JOBS" --target parallel_test \
     --target obs_test --target micro_train
 TSAN_OPTIONS="halt_on_error=1" \
     ./build-tsan/tests/parallel_test \
-    --gtest_filter='ParallelRunnerTest.ConcurrentLookupsOnSharedConstTable:ParallelRunnerTest.ConcurrentLookupsOnSharedConstFrozenTable:ParallelRunnerTest.RunSessionsMatchesSerialBitwise:ShrinkParallelTest.*'
+    --gtest_filter='ParallelRunnerTest.ConcurrentLookupsOnSharedConstTable:ParallelRunnerTest.ConcurrentLookupsOnSharedConstFrozenTable:ParallelRunnerTest.ConcurrentBatchLookupsOnSharedConstFrozenTable:ParallelRunnerTest.RunSessionsMatchesSerialBitwise:ShrinkParallelTest.*'
 TSAN_OPTIONS="halt_on_error=1" \
     ./build-tsan/tests/obs_test \
     --gtest_filter='ShardedRegistry.*'
@@ -124,5 +129,9 @@ SNIP_FUZZ_ITERS=512 \
 SNIP_FUZZ_ITERS=512 \
     ./build-asan/tests/core_test \
     --gtest_filter='*FrozenArenaCorruptionFuzz*'
+
+echo "==> batch-equivalence fuzz (decideBatch/lookupBatch vs scalar, asan)"
+./build-asan/tests/core_test \
+    --gtest_filter='Schemes.DecideBatchMatchesScalarFuzz:MemoTableTest.FrozenLookupBatchMatchesScalar'
 
 echo "==> all green"
