@@ -33,10 +33,13 @@ parseOptions(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--trace-cache") == 0 &&
                    i + 1 < argc) {
             opts.trace_cache = argv[++i];
+        } else if (std::strcmp(argv[i], "--pipeline") == 0) {
+            opts.pipeline = true;
         } else {
             util::fatal("unknown argument '%s' (expected --quick, "
                         "--csv <path>, --seed <n>, --threads <n>, "
-                        "--obs-json <path>, --trace-cache <dir>)",
+                        "--obs-json <path>, --trace-cache <dir>, "
+                        "--pipeline)",
                         argv[i]);
         }
     }
@@ -147,6 +150,7 @@ evalConfig(const BenchOptions &opts)
     core::SimulationConfig cfg;
     cfg.duration_s = opts.evalSeconds();
     cfg.seed = util::mixCombine(opts.seed, 0xe7a1ULL);
+    cfg.pipeline.enabled = opts.pipeline;
     return cfg;
 }
 

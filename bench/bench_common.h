@@ -56,6 +56,13 @@ struct BenchOptions {
      * SNIP_TRACE_CACHE environment variable.
      */
     std::string trace_cache;
+    /**
+     * Run evaluation sessions through the staged pipeline runtime
+     * (core::Pipeline) instead of the sequential loop. Results are
+     * bitwise identical; with --obs-json the registry additionally
+     * carries the `pipeline.*` stage metrics.
+     */
+    bool pipeline = false;
 
     /** Profiling session length (s). */
     double profileSeconds() const { return quick ? 90.0 : 300.0; }

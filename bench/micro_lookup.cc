@@ -340,6 +340,7 @@ main(int argc, char **argv)
     // `--batch N` (ours, stripped before google-benchmark sees it)
     // registers an extra BM_FrozenTableLookupBatch block size.
     bool has_out = false;
+    bool check_pipeline = false;
     long extra_batch = 0;
     std::vector<char *> args;
     args.push_back(argv[0]);
@@ -351,6 +352,10 @@ main(int argc, char **argv)
                                      "block size\n");
                 return 1;
             }
+            continue;
+        }
+        if (std::strcmp(argv[i], "--pipeline") == 0) {
+            check_pipeline = true;
             continue;
         }
         if (std::strncmp(argv[i], "--benchmark_out", 15) == 0)
@@ -511,8 +516,75 @@ main(int argc, char **argv)
                      "decideBatch == decide/observe over %zu "
                      "events\n",
                      f.events.size());
+
+    // Self-check 4 (--pipeline): a whole session through the staged
+    // pipeline runtime must be bitwise-identical to the sequential
+    // loop — stats and per-component energy — across worker counts
+    // and queue capacities.
+    uint64_t pipeline_mismatches = 0;
+    if (check_pipeline) {
+        auto run = [&](bool pipelined, unsigned workers,
+                       uint32_t capacity) {
+            auto game = games::makeGame("ab_evolution");
+            core::SnipRuntimeConfig rcfg;
+            rcfg.audit_every = 8;
+            core::SnipScheme scheme(f.model, rcfg);
+            core::SimulationConfig cfg;
+            cfg.duration_s = 20.0;
+            cfg.seed = 99;
+            cfg.pipeline.enabled = pipelined;
+            cfg.pipeline.workers = workers;
+            cfg.pipeline.queue_capacity = capacity;
+            return core::runSession(*game, scheme, cfg);
+        };
+        core::SessionResult seq = run(false, 0, 0);
+        struct {
+            unsigned workers;
+            uint32_t capacity;
+        } combos[] = {{1, 1}, {2, 4}, {3, 16}};
+        for (const auto &c : combos) {
+            core::SessionResult pip =
+                run(true, c.workers, c.capacity);
+            bool same =
+                pip.stats.events == seq.stats.events &&
+                pip.stats.shortcircuits == seq.stats.shortcircuits &&
+                pip.stats.instr_total == seq.stats.instr_total &&
+                pip.stats.instr_skipped == seq.stats.instr_skipped &&
+                pip.stats.lookup_bytes == seq.stats.lookup_bytes &&
+                pip.stats.lookup_energy_j ==
+                    seq.stats.lookup_energy_j &&
+                pip.stats.erroneous_shortcircuits ==
+                    seq.stats.erroneous_shortcircuits &&
+                pip.stats.output_fields_wrong ==
+                    seq.stats.output_fields_wrong &&
+                pip.report.total() == seq.report.total() &&
+                pip.report.components().size() ==
+                    seq.report.components().size();
+            for (size_t k = 0;
+                 same && k < seq.report.components().size(); ++k)
+                same = pip.report.components()[k].dynamic_j ==
+                           seq.report.components()[k].dynamic_j &&
+                       pip.report.components()[k].static_j ==
+                           seq.report.components()[k].static_j;
+            if (!same)
+                ++pipeline_mismatches;
+        }
+        if (pipeline_mismatches != 0)
+            std::fprintf(stderr,
+                         "FAIL: pipelined session diverged from "
+                         "sequential on %llu of %zu configs\n",
+                         static_cast<unsigned long long>(
+                             pipeline_mismatches),
+                         std::size(combos));
+        else
+            std::fprintf(stderr,
+                         "equivalence: pipelined session == "
+                         "sequential (stats + energy) across %zu "
+                         "worker/queue configs\n",
+                         std::size(combos));
+    }
     return (alloc_violations != 0 || mismatches != 0 ||
-            batch_mismatches != 0)
+            batch_mismatches != 0 || pipeline_mismatches != 0)
                ? 1
                : 0;
 }

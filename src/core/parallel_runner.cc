@@ -28,12 +28,20 @@ ParallelRunner::forEach(size_t n,
 std::vector<SessionResult>
 ParallelRunner::runSessions(const std::vector<SessionSpec> &specs) const
 {
+    // Validate every spec on the calling thread before any work is
+    // dispatched: util::fatal from inside a worker would bypass the
+    // caller's error handling entirely (an uncaught exception in a
+    // parallelFor worker is std::terminate), and with throw-on-error
+    // configured the throw must reach the caller's catch scope.
+    for (size_t i = 0; i < specs.size(); ++i) {
+        if (!specs[i].make_game || !specs[i].make_scheme)
+            util::fatal("ParallelRunner: session %zu lacks a game or "
+                        "scheme factory", i);
+    }
+
     std::vector<SessionResult> results(specs.size());
     forEach(specs.size(), [&](size_t i) {
         const SessionSpec &spec = specs[i];
-        if (!spec.make_game || !spec.make_scheme)
-            util::fatal("ParallelRunner: session %zu lacks a game or "
-                        "scheme factory", i);
         std::unique_ptr<games::Game> game = spec.make_game();
         std::unique_ptr<Scheme> scheme = spec.make_scheme(*game);
         results[i] = runSession(*game, *scheme, spec.cfg);

@@ -1,0 +1,352 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/session_parts.h"
+#include "util/parallel.h"
+#include "util/ring_buffer.h"
+
+namespace snip {
+namespace core {
+
+namespace {
+
+using detail::GenItem;
+
+/** Outcome of one non-blocking stage step. */
+enum class Step : uint8_t {
+    Worked,   ///< Processed one item (or produced one).
+    Blocked,  ///< Input empty or output full; try again later.
+    Done,     ///< Stage finished; its output queue is closed.
+};
+
+/** Consumer-side pop with the end-of-stream protocol. */
+enum class Pop : uint8_t { Item, Empty, Closed };
+
+Pop
+popNext(util::StageQueue<GenItem> &q, GenItem &item)
+{
+    if (q.ring().tryPop(item))
+        return Pop::Item;
+    if (!q.closed())
+        return Pop::Empty;
+    // Closed was observed after empty: one more pop covers the
+    // window where the producer pushed its final item between our
+    // two loads (close() release-orders after the last push).
+    return q.ring().tryPop(item) ? Pop::Item : Pop::Closed;
+}
+
+/**
+ * Per-stage metric shard. Written only by the stage's owning worker
+ * for the whole run; the coordinating thread merges the shards into
+ * the session registry after the join.
+ */
+struct StageMetrics {
+    uint64_t items = 0;
+    uint64_t busy_ns = 0;
+    uint64_t deadline_misses = 0;
+    uint64_t blocked = 0;
+    util::Log2Histogram queue_depth;
+};
+
+constexpr int kGen = 0;
+constexpr int kDecide = 1;
+constexpr int kExec = 2;
+constexpr const char *kStageName[3] = {"gen", "decide", "exec"};
+
+/** All run state; lives on the calling thread's stack for one run. */
+class PipelineRun
+{
+  public:
+    PipelineRun(games::Game &game, Scheme &scheme,
+                const SimulationConfig &cfg)
+        : scheme_(scheme), cfg_(cfg),
+          gen_(game, cfg, detail::effectiveBlock(cfg, scheme)),
+          body_(game, scheme, cfg),
+          q01_(cfg.pipeline.queue_capacity),
+          q12_(cfg.pipeline.queue_capacity),
+          timed_(cfg.obs != nullptr ||
+                 cfg.pipeline.stage_deadline_us > 0.0),
+          deadline_ns_(cfg.pipeline.stage_deadline_us * 1e3)
+    {
+    }
+
+    SessionResult run();
+
+  private:
+    Step stepGen();
+    Step stepDecide();
+    Step stepExec();
+    Step step(int s);
+    void workerLoop(unsigned w, unsigned W);
+    void exportMetrics(uint64_t wall_ns, unsigned W);
+
+    /**
+     * Timing-controller bracket around one item of stage @p s:
+     * invokes the test stall hook, runs @p fn, accumulates busy time
+     * and checks the per-stage deadline. Clock reads are skipped
+     * entirely when neither obs nor a deadline asked for them.
+     */
+    template <typename Fn>
+    void
+    timedItem(int s, Fn &&fn)
+    {
+        if (cfg_.pipeline.test_stall)
+            cfg_.pipeline.test_stall(s, m_[s].items);
+        if (!timed_) {
+            fn();
+        } else {
+            auto t0 = std::chrono::steady_clock::now();
+            fn();
+            auto dt_ns = std::chrono::duration_cast<
+                             std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+            m_[s].busy_ns += static_cast<uint64_t>(dt_ns);
+            if (deadline_ns_ > 0.0 &&
+                static_cast<double>(dt_ns) > deadline_ns_)
+                ++m_[s].deadline_misses;
+        }
+        ++m_[s].items;
+    }
+
+    Scheme &scheme_;
+    const SimulationConfig &cfg_;
+
+    detail::EventGen gen_;
+    detail::SessionBody body_;
+    util::StageQueue<GenItem> q01_;  ///< gen → decide
+    util::StageQueue<GenItem> q12_;  ///< decide → exec
+
+    /** Stage-2 scratch: private to the decide worker. */
+    BatchLookupScratch scratch_;
+
+    const bool timed_;
+    const double deadline_ns_;
+
+    StageMetrics m_[3];
+    /** Set once by the owning worker; read only by that worker. */
+    bool stage_done_[3] = {false, false, false};
+
+    /** First worker exception; peers wind down via abort_. */
+    std::atomic<bool> abort_{false};
+    std::mutex eptr_mu_;
+    std::exception_ptr eptr_;
+};
+
+Step
+PipelineRun::stepGen()
+{
+    // Sole producer of q01_: a not-full check here cannot be
+    // invalidated before our push, so the push below never fails.
+    if (q01_.ring().full()) {
+        ++m_[kGen].blocked;
+        return Step::Blocked;
+    }
+    GenItem item;
+    bool more = false;
+    timedItem(kGen, [&] { more = gen_.next(item); });
+    if (!more) {
+        --m_[kGen].items;  // counted by timedItem; nothing produced
+        q01_.close();
+        return Step::Done;
+    }
+    q01_.ring().tryPush(item);
+    m_[kGen].queue_depth.add(
+        static_cast<double>(q01_.ring().sizeApprox()));
+    return Step::Worked;
+}
+
+Step
+PipelineRun::stepDecide()
+{
+    if (q12_.ring().full()) {
+        ++m_[kDecide].blocked;
+        return Step::Blocked;
+    }
+    GenItem item;
+    switch (popNext(q01_, item)) {
+    case Pop::Empty:
+        ++m_[kDecide].blocked;
+        return Step::Blocked;
+    case Pop::Closed:
+        q12_.close();
+        return Step::Done;
+    case Pop::Item:
+        break;
+    }
+    timedItem(kDecide, [&] {
+        // Resolve the frozen-index probes for multi-event blocks,
+        // mirroring the sequential runner's size-gated
+        // prepareBatch(). Pure read of the immutable arena with
+        // this stage's own scratch; adoption (the scheme mutation)
+        // happens in delivery order on the exec stage.
+        if (item.kind == GenItem::Kind::Block &&
+            item.events.size() > 1)
+            item.has_probes = scheme_.resolveProbes(
+                {item.events.data(), item.events.size()},
+                item.probes, scratch_);
+    });
+    q12_.ring().tryPush(item);
+    m_[kDecide].queue_depth.add(
+        static_cast<double>(q12_.ring().sizeApprox()));
+    return Step::Worked;
+}
+
+Step
+PipelineRun::stepExec()
+{
+    GenItem item;
+    switch (popNext(q12_, item)) {
+    case Pop::Empty:
+        ++m_[kExec].blocked;
+        return Step::Blocked;
+    case Pop::Closed:
+        return Step::Done;
+    case Pop::Item:
+        break;
+    }
+    m_[kExec].queue_depth.add(
+        static_cast<double>(q12_.ring().sizeApprox()));
+    timedItem(kExec, [&] {
+        if (item.kind == GenItem::Kind::Block) {
+            if (item.has_probes)
+                scheme_.adoptProbes(std::move(item.probes));
+            for (const auto &ev : item.events)
+                body_.processEvent(ev);
+        } else {
+            body_.frameEnd(item.frame_end, item.dt);
+        }
+    });
+    return Step::Worked;
+}
+
+Step
+PipelineRun::step(int s)
+{
+    switch (s) {
+    case kGen:
+        return stepGen();
+    case kDecide:
+        return stepDecide();
+    default:
+        return stepExec();
+    }
+}
+
+void
+PipelineRun::workerLoop(unsigned w, unsigned W)
+{
+    try {
+        for (;;) {
+            if (abort_.load(std::memory_order_acquire))
+                return;
+            bool all_done = true;
+            bool progressed = false;
+            for (int s = 0; s < 3; ++s) {
+                if (static_cast<unsigned>(s) % W != w ||
+                    stage_done_[s])
+                    continue;
+                Step r = step(s);
+                if (r == Step::Done)
+                    stage_done_[s] = true;
+                else
+                    all_done = false;
+                if (r == Step::Worked)
+                    progressed = true;
+            }
+            if (all_done)
+                return;
+            if (!progressed)
+                std::this_thread::yield();
+        }
+    } catch (...) {
+        {
+            std::lock_guard<std::mutex> lock(eptr_mu_);
+            if (!eptr_)
+                eptr_ = std::current_exception();
+        }
+        abort_.store(true, std::memory_order_release);
+    }
+}
+
+void
+PipelineRun::exportMetrics(uint64_t wall_ns, unsigned W)
+{
+    obs::Registry &r = *cfg_.obs;
+    r.gauge("pipeline.workers").set(static_cast<double>(W));
+    r.gauge("pipeline.queue_capacity")
+        .set(static_cast<double>(q01_.ring().capacity()));
+    for (int s = 0; s < 3; ++s) {
+        std::string p = std::string("pipeline.stage.") +
+                        kStageName[s] + ".";
+        r.counter(p + "items").add(m_[s].items);
+        r.counter(p + "busy_ns").add(m_[s].busy_ns);
+        r.counter(p + "deadline_misses").add(m_[s].deadline_misses);
+        r.counter(p + "blocked").add(m_[s].blocked);
+        r.histogram(p + "queue_depth").merge(m_[s].queue_depth);
+        r.gauge(p + "occupancy")
+            .set(wall_ns ? static_cast<double>(m_[s].busy_ns) /
+                               static_cast<double>(wall_ns)
+                         : 0.0);
+    }
+}
+
+SessionResult
+PipelineRun::run()
+{
+    unsigned W =
+        cfg_.pipeline.workers
+            ? std::clamp(cfg_.pipeline.workers, 1u, 3u)
+            : std::min(3u, util::defaultThreadCount());
+
+    auto t0 = std::chrono::steady_clock::now();
+    if (W == 1) {
+        workerLoop(0, 1);
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(W);
+        for (unsigned w = 0; w < W; ++w)
+            threads.emplace_back(
+                [this, w, W] { workerLoop(w, W); });
+        for (auto &t : threads)
+            t.join();
+    }
+    auto wall_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+
+    if (eptr_)
+        std::rethrow_exception(eptr_);
+
+    if (cfg_.obs)
+        exportMetrics(wall_ns, W);
+    return body_.finalize();
+}
+
+}  // namespace
+
+Pipeline::Pipeline(games::Game &game, Scheme &scheme,
+                   const SimulationConfig &cfg)
+    : game_(game), scheme_(scheme), cfg_(cfg)
+{
+}
+
+SessionResult
+Pipeline::run()
+{
+    game_.reset();
+    PipelineRun run(game_, scheme_, cfg_);
+    return run.run();
+}
+
+}  // namespace core
+}  // namespace snip

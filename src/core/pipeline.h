@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Pipelined async session runtime: the session loop of
+ * core::runSession restructured into three stages —
+ *
+ *   gen    — event generation / sensor sampling (detail::EventGen)
+ *   decide — SNIP probe resolution against the frozen table
+ *            (Scheme::resolveProbes, const, own scratch)
+ *   exec   — handler execution + SoC charging + accounting
+ *            (detail::SessionBody; adopts the stage-2 probes)
+ *
+ * — connected by bounded lock-free SPSC ring buffers
+ * (util::StageQueue) with backpressure, mirroring the
+ * sensor-HAL → binder → dispatch thread structure of the Android
+ * input path the paper instruments.
+ *
+ * Stages are statically pinned to workers (stage s runs on worker
+ * s mod W, W in [1, 3]); each worker round-robins its stages with a
+ * non-blocking step() per stage, so no worker ever blocks on a queue
+ * another of its own stages must drain — the pipeline is
+ * deadlock-free at every worker count, and W = 1 degenerates to a
+ * cooperative single-threaded schedule that still exercises the
+ * queues, backpressure and metrics.
+ *
+ * Determinism contract (enforced by PipelineTest): a pipelined
+ * session reproduces the sequential session's decisions, energy
+ * accounting and SessionStats **bitwise** at every queue capacity
+ * and worker count. It holds by construction: both runtimes drive
+ * the same EventGen/SessionBody objects through the same call
+ * sequence; generation never depends on execution (Game's event-gen
+ * state is disjoint from its handler state); probe resolution is a
+ * pure function of the immutable frozen arena; and everything
+ * order-dependent — SoC charging, scheme mutation, stats — stays in
+ * the exec stage, in delivery order.
+ *
+ * With SimulationConfig::obs set, exports under `pipeline.*`:
+ * per-stage occupancy gauges, items / busy_ns / blocked /
+ * deadline_miss counters and queue-depth log2-histograms, collected
+ * in per-stage shards (each written only by the owning worker) and
+ * merged into the session registry after the join.
+ */
+
+#ifndef SNIP_CORE_PIPELINE_H
+#define SNIP_CORE_PIPELINE_H
+
+#include "core/simulation.h"
+
+namespace snip {
+namespace core {
+
+/**
+ * One pipelined session run. Construct and call run() once; entered
+ * by runSession() when cfg.pipeline.enabled.
+ */
+class Pipeline
+{
+  public:
+    Pipeline(games::Game &game, Scheme &scheme,
+             const SimulationConfig &cfg);
+
+    /**
+     * Play the session through the staged runtime and return the
+     * (bitwise sequential-identical) result. Worker exceptions are
+     * rethrown here on the calling thread after the stages wind
+     * down.
+     */
+    SessionResult run();
+
+  private:
+    games::Game &game_;
+    Scheme &scheme_;
+    const SimulationConfig &cfg_;
+};
+
+}  // namespace core
+}  // namespace snip
+
+#endif  // SNIP_CORE_PIPELINE_H

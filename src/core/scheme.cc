@@ -211,16 +211,40 @@ SnipScheme::decideImpl(const games::Game &game,
     return d;
 }
 
+bool
+SnipScheme::resolveProbes(std::span<const events::EventObject> evs,
+                          PreparedProbes &out,
+                          BatchLookupScratch &scratch) const
+{
+    // Reads only the immutable frozen arena (deliberately not
+    // frozenActive_: that flag belongs to the decide thread, and a
+    // post-clear decide() ignores adopted probes anyway), so this
+    // is safe to run concurrently with decide()/observe().
+    out.probes.resize(evs.size());
+    out.seqs.resize(evs.size());
+    frozen_->probeBatch(evs, {out.probes.data(), out.probes.size()},
+                        scratch);
+    for (size_t i = 0; i < evs.size(); ++i)
+        out.seqs[i] = evs[i].seq;
+    return true;
+}
+
+void
+SnipScheme::adoptProbes(PreparedProbes &&p)
+{
+    prepared_.swap(p.probes);
+    preparedSeqs_.swap(p.seqs);
+    preparedCursor_ = 0;
+}
+
 void
 SnipScheme::prepareBatch(std::span<const events::EventObject> evs)
 {
-    prepared_.resize(evs.size());
-    preparedSeqs_.resize(evs.size());
-    preparedCursor_ = 0;
-    frozen_->probeBatch(evs, {prepared_.data(), prepared_.size()},
-                        batchScratch_);
-    for (size_t i = 0; i < evs.size(); ++i)
-        preparedSeqs_[i] = evs[i].seq;
+    // Exactly resolve + adopt, sharing the buffers back and forth
+    // through preparedTmp_ so the sequential path stays
+    // allocation-free across blocks.
+    resolveProbes(evs, preparedTmp_, batchScratch_);
+    adoptProbes(std::move(preparedTmp_));
 }
 
 void

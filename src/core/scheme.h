@@ -63,6 +63,28 @@ struct Decision {
     bool audited = false;
 };
 
+/**
+ * Probes resolved ahead of the decide loop by resolveProbes(),
+ * adopted into the scheme by adoptProbes(). The pipelined session
+ * runtime's decide stage fills one of these per event block on its
+ * own thread; the execute stage hands it to the scheme just before
+ * draining the block, which reproduces exactly what a sequential
+ * prepareBatch() call would have done.
+ */
+struct PreparedProbes {
+    /** Resolved probe per event, in delivery order. */
+    std::vector<FrozenProbe> probes;
+    /** Sequence number of the event each probe belongs to. */
+    std::vector<uint64_t> seqs;
+
+    void
+    clear()
+    {
+        probes.clear();
+        seqs.clear();
+    }
+};
+
 /** Decision policy interface. */
 class Scheme
 {
@@ -108,6 +130,37 @@ class Scheme
     {
         (void)evs;
     }
+
+    /**
+     * Stage-2 pipeline hook: resolve whatever prepareBatch() would
+     * precompute for @p evs into caller-owned storage, without
+     * touching any scheme state. Must be const and safe to call
+     * concurrently with decide()/observe() running on another
+     * thread (it may only read immutable state — for SNIP, the
+     * shared frozen arena). Returns false when the scheme has
+     * nothing to precompute (out is left untouched); then the
+     * caller skips adoptProbes() and decide() takes its normal
+     * unprepared path, exactly as a sequential session would.
+     */
+    virtual bool
+    resolveProbes(std::span<const events::EventObject> evs,
+                  PreparedProbes &out,
+                  BatchLookupScratch &scratch) const
+    {
+        (void)evs;
+        (void)out;
+        (void)scratch;
+        return false;
+    }
+
+    /**
+     * Adopt probes resolved by resolveProbes() as if
+     * prepareBatch(evs) had just run on this thread. Called by the
+     * pipeline's execute stage immediately before the block's
+     * events are decided; prepareBatch(evs) must be equivalent to
+     * resolveProbes(evs, p, scratch) + adoptProbes(move(p)).
+     */
+    virtual void adoptProbes(PreparedProbes &&p) { (void)p; }
 
     /**
      * Decide a block of events in one call. Exactly equivalent to
@@ -260,6 +313,10 @@ class SnipScheme : public Scheme
     uint32_t batchBlock() const override { return 32; }
     void prepareBatch(
         std::span<const events::EventObject> evs) override;
+    bool resolveProbes(std::span<const events::EventObject> evs,
+                       PreparedProbes &out,
+                       BatchLookupScratch &scratch) const override;
+    void adoptProbes(PreparedProbes &&p) override;
     void decideBatch(const games::Game &game,
                      std::span<const events::EventObject> evs,
                      std::span<const games::HandlerExecution> truths,
@@ -328,10 +385,13 @@ class SnipScheme : public Scheme
                         const events::EventObject &ev,
                         const FrozenLookup *pre);
 
-    /** Batched-path state: probes resolved by prepareBatch(), keyed
-     *  by event seq and consumed in order by decide(); the batch
-     *  scratch and lookup buffer back decideBatch(). */
+    /** Batched-path state: probes resolved by prepareBatch() /
+     *  adoptProbes(), keyed by event seq and consumed in order by
+     *  decide(); the batch scratch and lookup buffer back
+     *  decideBatch(); preparedTmp_ recycles the sequential
+     *  prepareBatch() path's buffers across blocks. */
     BatchLookupScratch batchScratch_;
+    PreparedProbes preparedTmp_;
     std::vector<FrozenProbe> prepared_;
     std::vector<uint64_t> preparedSeqs_;
     size_t preparedCursor_ = 0;

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Internal decomposition of the session loop, shared by the
+ * sequential runner (simulation.cc) and the staged pipeline runtime
+ * (pipeline.cc). The split mirrors the live event path of a real
+ * on-device daemon:
+ *
+ *   EventGen     — sensor-side event generation: draws the jittered
+ *                  per-mix arrivals and the event objects, frame by
+ *                  frame, in blocks. Owns the session rng and the
+ *                  game's event-generation memory (Game::makeEvent
+ *                  touches only genMem_/seq_/zipf caches — disjoint
+ *                  from the handler state SessionBody mutates, which
+ *                  is what lets the pipeline run the two on
+ *                  different threads against one Game).
+ *   SessionBody  — framework dispatch, scheme decision, handler
+ *                  execution (or its short-circuit) and all SoC
+ *                  charging/accounting. Owns the Soc, the stats and
+ *                  the scheme; everything order-dependent lives
+ *                  here, in delivery order.
+ *
+ * Both runners drive the exact same two objects through the exact
+ * same call sequence, which is what makes the pipelined session
+ * bitwise-identical to the sequential one by construction.
+ */
+
+#ifndef SNIP_CORE_SESSION_PARTS_H
+#define SNIP_CORE_SESSION_PARTS_H
+
+#include <array>
+#include <vector>
+
+#include "core/simulation.h"
+#include "events/binder.h"
+#include "events/sensor_manager.h"
+#include "trace/recorder.h"
+#include "util/rng.h"
+
+namespace snip {
+namespace core {
+namespace detail {
+
+/**
+ * One unit of the delivery stream: either a block of same-frame
+ * events (in time order) or a frame boundary. The probes fields are
+ * the pipeline decide stage's payload; the sequential runner leaves
+ * them untouched.
+ */
+struct GenItem {
+    enum class Kind : uint8_t { Block, FrameEnd };
+    Kind kind = Kind::Block;
+    /** Block: the events, in delivery order. */
+    std::vector<events::EventObject> events;
+    /** FrameEnd: the frame boundary time and its advance delta. */
+    double frame_end = 0.0;
+    double dt = 0.0;
+    /** Pipeline stage-2 payload (Scheme::resolveProbes output). */
+    PreparedProbes probes;
+    bool has_probes = false;
+};
+
+/**
+ * The event-generation half of the session loop, as an iterator.
+ * next() reproduces the sequential loop's generation order exactly:
+ * per event, makeEvent() then the arrival-jitter draw, blocks
+ * bounded by the frame, one FrameEnd item per frame (events first).
+ * Generation never depends on handler processing, so the stream is
+ * a pure function of (game params, seed, duration, block size).
+ */
+class EventGen
+{
+  public:
+    /** @p game must already be reset(); @p block >= 1. */
+    EventGen(games::Game &game, const SimulationConfig &cfg,
+             uint32_t block);
+
+    /**
+     * Produce the next item into @p item (reusing its storage).
+     * Returns false when the session's final frame has been
+     * emitted.
+     */
+    bool next(GenItem &item);
+
+  private:
+    games::Game &game_;
+    const SimulationConfig &cfg_;
+    uint32_t block_;
+    util::Rng rng_;
+    /** Per-mix-entry next arrival times (jittered periodic). */
+    std::vector<double> next_at_;
+    double frame_dt_;
+    double now_ = 0.0;
+    double frame_end_ = 0.0;
+    bool in_frame_ = false;
+    bool done_ = false;
+};
+
+/**
+ * The execution half: per-event dispatch/decide/charge and the
+ * per-frame background load + IP sleep policy + SoC advance, plus
+ * the end-of-session accounting. Single-owner: exactly one thread
+ * may call into a SessionBody at a time (the pipeline pins it to
+ * the exec stage's worker).
+ */
+class SessionBody
+{
+  public:
+    SessionBody(games::Game &game, Scheme &scheme,
+                const SimulationConfig &cfg);
+
+    /** Deliver one event through the full path, in stream order. */
+    void processEvent(const events::EventObject &ev);
+
+    /** Frame boundary: background load, sleep policy, advance. */
+    void frameEnd(double frame_end, double dt);
+
+    /** End-of-session result + obs totals. Call exactly once. */
+    SessionResult finalize();
+
+  private:
+    games::Game &game_;
+    Scheme &scheme_;
+    const SimulationConfig &cfg_;
+
+    soc::Soc soc_;
+    events::SensorManager sensorMgr_;
+    events::BinderChannel binder_;
+    trace::EventRecorder recorder_;
+    SessionStats stats_;
+
+    /** Per-IP last-use clock for the sleep policy. */
+    std::array<double, soc::kNumIpKinds> ipLastUse_;
+
+    /** Pre-resolved obs handles (null when observability is off). */
+    struct ObsHandles {
+        obs::Counter *events = nullptr;
+        obs::Counter *frames = nullptr;
+        obs::Counter *useless = nullptr;
+        obs::Counter *lookups = nullptr;
+        obs::Counter *hits = nullptr;
+        obs::Counter *misses = nullptr;
+        obs::Counter *bytes = nullptr;
+        obs::Counter *candidates = nullptr;
+        obs::Counter *shortcircuit = nullptr;
+        obs::Counter *full = nullptr;
+        obs::Counter *audited = nullptr;
+        obs::Counter *err_sc = nullptr;
+        obs::Counter *err_temp = nullptr;
+        obs::Counter *err_hist = nullptr;
+        obs::Counter *err_ext = nullptr;
+        util::Log2Histogram *bytes_hist = nullptr;
+    } oc_;
+};
+
+/**
+ * The effective event-block size of a session: cfg.batch_block, or
+ * the scheme's own preference (min 1) when unset.
+ */
+uint32_t effectiveBlock(const SimulationConfig &cfg,
+                        const Scheme &scheme);
+
+}  // namespace detail
+}  // namespace core
+}  // namespace snip
+
+#endif  // SNIP_CORE_SESSION_PARTS_H

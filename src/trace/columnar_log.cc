@@ -1,5 +1,6 @@
 #include "trace/columnar_log.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 
@@ -304,21 +305,33 @@ ColumnarLog::decode()
 util::Result<std::shared_ptr<const ColumnarLog>>
 ColumnarLog::open(const std::string &path)
 {
-    int fd = ::open(path.c_str(), O_RDONLY);
-    if (fd < 0)
+    // RAII descriptor: every exit path — including an allocation
+    // throw while building the fallback buffer or an error Status —
+    // closes it exactly once.
+    struct Fd {
+        int fd = -1;
+        ~Fd()
+        {
+            if (fd >= 0)
+                ::close(fd);
+        }
+    } fd;
+    fd.fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd.fd < 0)
         return util::Status::Errorf("columnar: cannot open '%s'",
                                     path.c_str());
     struct stat st;
-    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
-        ::close(fd);
+    if (::fstat(fd.fd, &st) != 0 || st.st_size < 0)
         return util::Status::Errorf("columnar: cannot stat '%s'",
                                     path.c_str());
-    }
     size_t size = static_cast<size_t>(st.st_size);
     if (size > 0) {
-        void *p = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
-        ::close(fd);
+        void *p =
+            ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd.fd, 0);
         if (p != MAP_FAILED) {
+            // shared_ptr(p, d) invokes d(p) if the control block
+            // cannot be allocated, so the mapping cannot leak; a
+            // failed attach() unmaps when `owner` dies.
             std::shared_ptr<const void> owner(
                 p, [size](const void *q) {
                     ::munmap(const_cast<void *>(q), size);
@@ -326,21 +339,21 @@ ColumnarLog::open(const std::string &path)
             return attach(static_cast<const uint8_t *>(p), size,
                           std::move(owner));
         }
-        fd = -1;
     }
-    // mmap unavailable (or empty file): plain read fallback.
-    std::FILE *f = std::fopen(path.c_str(), "rb");
-    if (fd >= 0)
-        ::close(fd);
-    if (!f)
-        return util::Status::Errorf("columnar: cannot open '%s'",
-                                    path.c_str());
+    // mmap unavailable (or empty file): read through the descriptor
+    // we already hold rather than reopening by path, so the bytes
+    // come from the same file the stat above measured.
     std::vector<uint8_t> bytes(size);
-    size_t got = size ? std::fread(bytes.data(), 1, size, f) : 0;
-    std::fclose(f);
-    if (got != size)
-        return util::Status::Errorf("columnar: short read on '%s'",
-                                    path.c_str());
+    size_t off = 0;
+    while (off < size) {
+        ssize_t n = ::read(fd.fd, bytes.data() + off, size - off);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            return util::Status::Errorf(
+                "columnar: short read on '%s'", path.c_str());
+        off += static_cast<size_t>(n);
+    }
     auto owned =
         std::make_shared<std::vector<uint8_t>>(std::move(bytes));
     return attach(owned->data(), owned->size(), owned);

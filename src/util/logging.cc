@@ -1,9 +1,12 @@
 #include "util/logging.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 #include <vector>
+
+#include <unistd.h>
 
 namespace snip {
 namespace util {
@@ -28,11 +31,37 @@ vformat(const char *fmt, va_list args)
     return std::string(buf.data());
 }
 
+/**
+ * Write one complete log line to stderr with a single write(2).
+ * stderr is unbuffered, so a multi-argument fprintf can reach the
+ * fd in several chunks and interleave with lines from other threads
+ * (the SNIP audit watchdog warns from whatever thread runs the
+ * session); one syscall per line keeps every line intact.
+ */
+void
+emitLine(std::string line)
+{
+    line.push_back('\n');
+    size_t off = 0;
+    while (off < line.size()) {
+        ssize_t n = ::write(STDERR_FILENO, line.data() + off,
+                            line.size() - off);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return;
+        }
+        off += static_cast<size_t>(n);
+    }
+}
+
 void
 emit(const char *prefix, const char *fmt, va_list args)
 {
-    std::string msg = vformat(fmt, args);
-    std::fprintf(stderr, "%s: %s\n", prefix, msg.c_str());
+    std::string line(prefix);
+    line += ": ";
+    line += vformat(fmt, args);
+    emitLine(std::move(line));
 }
 
 }  // namespace
@@ -91,7 +120,7 @@ fatal(const char *fmt, ...)
     va_end(args);
     if (g_throw_on_error)
         throw std::runtime_error("fatal: " + msg);
-    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    emitLine("fatal: " + msg);
     std::exit(1);
 }
 
@@ -104,7 +133,7 @@ panic(const char *fmt, ...)
     va_end(args);
     if (g_throw_on_error)
         throw std::runtime_error("panic: " + msg);
-    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    emitLine("panic: " + msg);
     std::abort();
 }
 

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Bounded lock-free single-producer/single-consumer ring buffer —
+ * the stage-to-stage channel of the pipelined session runtime
+ * (core::Pipeline). One thread pushes, one thread pops; capacity is
+ * rounded up to a power of two so the index math is a mask, and the
+ * head/tail cursors live on separate cache lines so the producer
+ * and consumer never false-share.
+ *
+ * The SPSC contract is strict: tryPush() may only ever be called by
+ * one thread at a time and tryPop() by one thread at a time (the
+ * two may differ, and either side may migrate between threads as
+ * long as the migration itself is synchronized — core::Pipeline
+ * pins each stage to exactly one worker for the whole run, which
+ * satisfies this by construction). Under that contract the acquire/
+ * release pairing below makes every popped element's writes visible
+ * to the consumer, and the buffer is wait-free on both sides.
+ */
+
+#ifndef SNIP_UTIL_RING_BUFFER_H
+#define SNIP_UTIL_RING_BUFFER_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace snip {
+namespace util {
+
+/** Round @p n up to the next power of two (min 1). */
+constexpr size_t
+ceilPow2(size_t n)
+{
+    size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+template <typename T>
+class SpscRing
+{
+  public:
+    /**
+     * @param capacity Requested slot count; rounded up to a power
+     *        of two, minimum 1. A capacity-1 ring is a valid (fully
+     *        serializing) channel.
+     */
+    explicit SpscRing(size_t capacity)
+        : slots_(ceilPow2(capacity < 1 ? 1 : capacity)),
+          mask_(slots_.size() - 1)
+    {
+    }
+
+    SpscRing(const SpscRing &) = delete;
+    SpscRing &operator=(const SpscRing &) = delete;
+
+    /** Usable slot count (power of two). */
+    size_t capacity() const { return slots_.size(); }
+
+    /**
+     * Producer: move @p v into the ring. Returns false (leaving
+     * @p v untouched) when the ring is full.
+     */
+    bool
+    tryPush(T &v)
+    {
+        uint64_t t = tail_.load(std::memory_order_relaxed);
+        uint64_t h = head_.load(std::memory_order_acquire);
+        if (t - h >= slots_.size())
+            return false;
+        slots_[t & mask_] = std::move(v);
+        tail_.store(t + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Producer: whether a tryPush() now would fail. */
+    bool
+    full() const
+    {
+        return tail_.load(std::memory_order_relaxed) -
+                   head_.load(std::memory_order_acquire) >=
+               slots_.size();
+    }
+
+    /**
+     * Consumer: move the oldest element into @p out. Returns false
+     * when the ring is empty.
+     */
+    bool
+    tryPop(T &out)
+    {
+        uint64_t h = head_.load(std::memory_order_relaxed);
+        uint64_t t = tail_.load(std::memory_order_acquire);
+        if (h == t)
+            return false;
+        out = std::move(slots_[h & mask_]);
+        head_.store(h + 1, std::memory_order_release);
+        return true;
+    }
+
+    /**
+     * Snapshot of the current element count. Exact only when read
+     * by the producer or consumer; other threads get a racy but
+     * bounded estimate (monitoring only).
+     */
+    size_t
+    sizeApprox() const
+    {
+        uint64_t t = tail_.load(std::memory_order_acquire);
+        uint64_t h = head_.load(std::memory_order_acquire);
+        return t >= h ? static_cast<size_t>(t - h) : 0;
+    }
+
+  private:
+    std::vector<T> slots_;
+    size_t mask_;
+    /** Consumer cursor (next slot to pop). */
+    alignas(64) std::atomic<uint64_t> head_{0};
+    /** Producer cursor (next slot to fill). */
+    alignas(64) std::atomic<uint64_t> tail_{0};
+    /** Keep tail_ off whatever the next object shares a line with. */
+    char pad_[64 - sizeof(std::atomic<uint64_t>)];
+};
+
+/**
+ * An SpscRing plus the close protocol pipeline stages need: the
+ * producer calls close() after its final push; the consumer treats
+ * "empty and closed" as end-of-stream. close() uses release order
+ * so everything pushed before it is visible to a consumer that
+ * observes closed().
+ */
+template <typename T>
+class StageQueue
+{
+  public:
+    explicit StageQueue(size_t capacity) : ring_(capacity) {}
+
+    SpscRing<T> &ring() { return ring_; }
+    const SpscRing<T> &ring() const { return ring_; }
+
+    void close() { closed_.store(true, std::memory_order_release); }
+    bool closed() const
+    {
+        return closed_.load(std::memory_order_acquire);
+    }
+
+  private:
+    SpscRing<T> ring_;
+    std::atomic<bool> closed_{false};
+};
+
+}  // namespace util
+}  // namespace snip
+
+#endif  // SNIP_UTIL_RING_BUFFER_H

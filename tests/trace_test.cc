@@ -396,6 +396,57 @@ TEST(ColumnarLogTest, CorruptionRejectedOrSafe)
     }
 }
 
+// The same corruption discipline through the file path: every mut
+// goes to disk and comes back through open()'s mmap'd attach (not
+// the in-memory one), so the zero-copy decode validation and the
+// mapping's cleanup on rejection are what's exercised — under asan
+// a leaked or double-unmapped mapping fails the run.
+TEST(ColumnarLogTest, MmapCorruptionRejectedCleanly)
+{
+    auto game = games::makeGame("colorphun");
+    core::SessionResult res = record("colorphun", *game, 5.0);
+    std::vector<uint8_t> bytes;
+    ASSERT_TRUE(ColumnarLog::encode(res.trace, &bytes).ok());
+    const size_t n = bytes.size();
+    std::string path = ::testing::TempDir() + "/snip_corrupt.snct";
+
+    util::Rng rng(0x5c07);
+    for (int i = 0; i < 32; ++i) {
+        std::vector<uint8_t> mut = bytes;
+        bool truncated = rng.next() % 2 == 0;
+        if (truncated) {
+            mut.resize(rng.next() % n);
+        } else {
+            size_t flips = 1 + rng.next() % 8;
+            for (size_t f = 0; f < flips; ++f)
+                mut[rng.next() % n] ^=
+                    static_cast<uint8_t>(1u + rng.next() % 255);
+        }
+        ASSERT_TRUE(ColumnarLog::save(mut, path).ok());
+        auto log = ColumnarLog::open(path);
+        if (truncated) {
+            // total_size can no longer match the buffer size.
+            EXPECT_FALSE(log.ok()) << "truncation accepted";
+            continue;
+        }
+        if (!log.ok())
+            continue;  // structural validation caught the flip
+        EXPECT_TRUE(log.value()->zeroCopy());
+        events::EventObject ev;
+        for (size_t e = 0; e < log.value()->eventCount(); ++e)
+            log.value()->event(e, &ev);
+    }
+
+    // Degenerate on-disk shapes: empty file and header-only stub
+    // must come back as clean errors, not crashes or leaks.
+    ASSERT_TRUE(ColumnarLog::save({}, path).ok());
+    EXPECT_FALSE(ColumnarLog::open(path).ok());
+    std::vector<uint8_t> stub(bytes.begin(), bytes.begin() + 16);
+    ASSERT_TRUE(ColumnarLog::save(stub, path).ok());
+    EXPECT_FALSE(ColumnarLog::open(path).ok());
+    std::remove(path.c_str());
+}
+
 // encode() must reject a trace whose per-type rows do not share one
 // field-id set in one order (the columns would be ill-formed).
 TEST(ColumnarLogTest, EncodeRejectsNonUniformFieldSets)

@@ -8,9 +8,17 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <limits>
 #include <set>
 #include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "util/bytes.h"
 #include "util/crc32.h"
@@ -664,6 +672,67 @@ TEST_P(RngRangeTest, UniformIntMeanIsCentered)
 INSTANTIATE_TEST_SUITE_P(Ranges, RngRangeTest,
                          ::testing::Values(1, 2, 7, 16, 100, 1023,
                                            65535));
+
+// ------------------------------------------------------------ Logging
+
+/**
+ * Log lines must reach stderr as single atomic writes: the SNIP
+ * audit watchdog warns from whatever thread runs a session, and a
+ * multi-chunk fprintf to the unbuffered stderr interleaves lines
+ * from concurrent sessions. Redirect stderr to a file, hammer warn()
+ * from 8 threads, and require every line to come back whole.
+ */
+TEST(Logging, ConcurrentWarnLinesStayIntact)
+{
+    const std::string path =
+        ::testing::TempDir() + "/snip_warn_lines.txt";
+    const std::string filler(40, '-');
+
+    int saved = ::dup(STDERR_FILENO);
+    ASSERT_GE(saved, 0);
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0600);
+    ASSERT_GE(fd, 0);
+    ASSERT_GE(::dup2(fd, STDERR_FILENO), 0);
+    ::close(fd);
+
+    constexpr int kThreads = 8;
+    constexpr int kLines = 200;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t) {
+        pool.emplace_back([t, &filler] {
+            for (int i = 0; i < kLines; ++i)
+                warn("t%d line %d %s", t, i, filler.c_str());
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+
+    ::dup2(saved, STDERR_FILENO);
+    ::close(saved);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    std::set<std::pair<int, int>> seen;
+    std::string line;
+    size_t total = 0;
+    while (std::getline(in, line)) {
+        ++total;
+        int t = -1, i = -1;
+        char tail[64] = {0};
+        ASSERT_EQ(std::sscanf(line.c_str(), "warn: t%d line %d %63s",
+                              &t, &i, tail),
+                  3)
+            << "mangled line: '" << line << "'";
+        EXPECT_TRUE(t >= 0 && t < kThreads) << line;
+        EXPECT_TRUE(i >= 0 && i < kLines) << line;
+        EXPECT_EQ(filler, tail) << line;
+        EXPECT_TRUE(seen.emplace(t, i).second)
+            << "duplicate line: '" << line << "'";
+    }
+    EXPECT_EQ(total, static_cast<size_t>(kThreads) * kLines);
+    EXPECT_EQ(seen.size(), static_cast<size_t>(kThreads) * kLines);
+    std::remove(path.c_str());
+}
 
 }  // namespace
 }  // namespace util

@@ -18,9 +18,14 @@
 # lookup benchmark must be present with zero allocs), then fuzz the
 # OTA model codec and the frozen "SNPF" arena with corrupt packages
 # under asan (truncations and random bit flips must be rejected
-# cleanly — no crashes, no sanitizer reports), and finally replay a
-# 10k-event stream through decideBatch/lookupBatch under asan
-# asserting bitwise-identical decisions against the scalar path.
+# cleanly — no crashes, no sanitizer reports, including the mmap'd
+# SNCT attach path), and finally replay a 10k-event stream through
+# decideBatch/lookupBatch under asan asserting bitwise-identical
+# decisions against the scalar path. The pipelined session runtime
+# gets three stages of its own: the sequential-vs---pipeline bitwise
+# equivalence replay under asan, the fig11 --pipeline --obs-json
+# export check (per-stage occupancy/items/queue-depth must be
+# present and consistent), and the pipeline TSan smokes.
 #
 # Usage: tools/ci.sh [jobs]   (jobs defaults to nproc)
 set -euo pipefail
@@ -80,7 +85,8 @@ if d['timers']['span.shrink']['sum_s'] <= 0.0:
 EOF
 
 echo "==> micro_lookup smoke (hot-path zero-alloc + frozen equivalence)"
-( cd build && ./bench/micro_lookup --benchmark_min_time=0.05s \
+( cd build && ./bench/micro_lookup --pipeline \
+    --benchmark_min_time=0.05s \
     --benchmark_out=micro_lookup_ci.json \
     --benchmark_out_format=json >/dev/null )
 python3 - <<'EOF'
@@ -108,13 +114,49 @@ cmake --preset asan-ubsan >/dev/null
 cmake --build --preset asan-ubsan -j "$JOBS"
 ctest --preset asan-ubsan -j "$JOBS"
 
-echo "==> tsan smoke (concurrent lookups + parallel Shrink phase)"
+echo "==> pipeline bitwise-equivalence replay (sequential vs --pipeline, asan)"
+./build-asan/tests/parallel_test \
+    --gtest_filter='PipelineTest.MatchesSequentialBitwise:PipelineTest.DeterminismFuzz:PipelineTest.BaselineSchemeMatchesSequential'
+
+echo "==> pipeline obs export smoke (fig11 --pipeline --obs-json)"
+./build/bench/fig11_schemes --quick --pipeline \
+    --obs-json build/fig11_obs_pipeline.json >/dev/null
+python3 - <<'EOF'
+import json, sys
+
+with open('build/fig11_obs_pipeline.json') as f:
+    d = json.load(f)
+
+missing = []
+for stage in ('gen', 'decide', 'exec'):
+    for section, key in [
+        ('gauges', f'pipeline.stage.{stage}.occupancy'),
+        ('counters', f'pipeline.stage.{stage}.items'),
+        ('counters', f'pipeline.stage.{stage}.blocked'),
+        ('counters', f'pipeline.stage.{stage}.deadline_misses'),
+        ('histograms', f'pipeline.stage.{stage}.queue_depth'),
+    ]:
+        if key not in d.get(section, {}):
+            missing.append(f'{section}/{key}')
+if missing:
+    sys.exit('fig11 --pipeline --obs-json missing: ' +
+             ', '.join(missing))
+for stage in ('gen', 'exec'):
+    occ = d['gauges'][f'pipeline.stage.{stage}.occupancy']
+    if occ <= 0.0:
+        sys.exit(f'pipeline.stage.{stage}.occupancy not positive')
+if (d['counters']['pipeline.stage.gen.items'] !=
+        d['counters']['pipeline.stage.exec.items']):
+    sys.exit('pipeline: gen/exec item counts disagree')
+EOF
+
+echo "==> tsan smoke (concurrent lookups + parallel Shrink phase + pipeline)"
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "$JOBS" --target parallel_test \
     --target obs_test --target micro_train
 TSAN_OPTIONS="halt_on_error=1" \
     ./build-tsan/tests/parallel_test \
-    --gtest_filter='ParallelRunnerTest.ConcurrentLookupsOnSharedConstTable:ParallelRunnerTest.ConcurrentLookupsOnSharedConstFrozenTable:ParallelRunnerTest.ConcurrentBatchLookupsOnSharedConstFrozenTable:ParallelRunnerTest.RunSessionsMatchesSerialBitwise:ShrinkParallelTest.*'
+    --gtest_filter='ParallelRunnerTest.ConcurrentLookupsOnSharedConstTable:ParallelRunnerTest.ConcurrentLookupsOnSharedConstFrozenTable:ParallelRunnerTest.ConcurrentBatchLookupsOnSharedConstFrozenTable:ParallelRunnerTest.RunSessionsMatchesSerialBitwise:ShrinkParallelTest.*:PipelineTest.MatchesSequentialBitwise:PipelineTest.ConcurrentPipelinedSessionsOnSharedFrozenTable'
 TSAN_OPTIONS="halt_on_error=1" \
     ./build-tsan/tests/obs_test \
     --gtest_filter='ShardedRegistry.*'
@@ -129,6 +171,8 @@ SNIP_FUZZ_ITERS=512 \
 SNIP_FUZZ_ITERS=512 \
     ./build-asan/tests/core_test \
     --gtest_filter='*FrozenArenaCorruptionFuzz*'
+./build-asan/tests/trace_test \
+    --gtest_filter='ColumnarLogTest.MmapCorruptionRejectedCleanly:ColumnarLogTest.CorruptionRejectedOrSafe'
 
 echo "==> batch-equivalence fuzz (decideBatch/lookupBatch vs scalar, asan)"
 ./build-asan/tests/core_test \
