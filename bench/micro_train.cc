@@ -10,7 +10,19 @@
  *   - the forest vote path does zero heap allocations per
  *     prediction (counted by a global counting allocator);
  *   - cached-PFI selection (SelectionConfig::cache_pfi) matches the
- *     full-recompute selection exactly.
+ *     full-recompute selection exactly;
+ *   - Dataset construction does a bounded number of allocations
+ *     (never O(rows));
+ *   - training through a memory-mapped ml::ChunkedDataset — any
+ *     block size — reproduces the in-memory selection and packed
+ *     model byte for byte (the out-of-core digest contract).
+ *
+ * With --rows N the bench additionally generates an N-row synthetic
+ * SNCT v2 training trace on disk (trace::TrainingWriter, streaming,
+ * bounded memory), trains a forest through the mmap'd view, and
+ * reports rows_per_sec plus peak_rss_bytes (VmHWM) — optionally
+ * asserting the peak against --rss-cap-mb, which is how tools/ci.sh
+ * proves multi-GB-trace training stays under a fixed footprint.
  *
  * Emits JSON (default BENCH_micro_train.json, also printed to
  * stdout) so BENCH_* files carry a training-side perf trajectory,
@@ -19,7 +31,10 @@
  *
  * Flags: --quick (smaller profile/forest), --seed <n>,
  * --threads <n> (the "N" side; default: all cores / SNIP_THREADS),
- * --profile-s <sec>, --trees <n>, --out <path>.
+ * --profile-s <sec>, --trees <n>, --out <path>, --rows <n>
+ * (synthetic out-of-core rows; 0 = skip), --block-rows <n>,
+ * --rss-budget-mb <mb> (chunked residency budget),
+ * --rss-cap-mb <mb> (hard VmHWM assertion; 0 = report only).
  */
 
 #include <atomic>
@@ -33,12 +48,15 @@
 
 #include "bench/bench_common.h"
 #include "core/model_codec.h"
+#include "ml/chunked_dataset.h"
 #include "ml/dataset.h"
 #include "ml/feature_selection.h"
 #include "ml/random_forest.h"
+#include "trace/columnar_log.h"
 #include "util/crc32.h"
 #include "util/logging.h"
 #include "util/parallel.h"
+#include "util/rng.h"
 
 using namespace snip;
 
@@ -115,11 +133,35 @@ sameSelection(const ml::SelectionResult &a, const ml::SelectionResult &b)
            a.selected == b.selected && a.curve.size() == b.curve.size();
 }
 
+/** Peak resident set (VmHWM) of this process, in bytes. */
+uint64_t
+peakRssBytes()
+{
+    FILE *f = std::fopen("/proc/self/status", "r");
+    if (!f)
+        return 0;
+    char line[256];
+    unsigned long long kb = 0;
+    while (std::fgets(line, sizeof(line), f)) {
+        if (std::sscanf(line, "VmHWM: %llu", &kb) == 1)
+            break;
+    }
+    std::fclose(f);
+    return static_cast<uint64_t>(kb) * 1024;
+}
+
 struct Args {
     bench::BenchOptions opts;
     double profile_s = 60.0;
     int trees = 32;
     std::string out = "BENCH_micro_train.json";
+    /** Synthetic out-of-core rows; 0 = skip that stage. */
+    uint64_t rows = 0;
+    size_t block_rows = 4096;
+    /** Chunked residency budget (MB). */
+    size_t rss_budget_mb = 64;
+    /** Hard VmHWM assertion (MB); 0 = report only. */
+    size_t rss_cap_mb = 0;
 };
 
 Args
@@ -148,10 +190,27 @@ parseArgs(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--out") == 0 &&
                    i + 1 < argc) {
             a.out = argv[++i];
+        } else if (std::strcmp(argv[i], "--rows") == 0 &&
+                   i + 1 < argc) {
+            a.rows = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--block-rows") == 0 &&
+                   i + 1 < argc) {
+            a.block_rows = static_cast<size_t>(
+                std::strtoull(argv[++i], nullptr, 0));
+        } else if (std::strcmp(argv[i], "--rss-budget-mb") == 0 &&
+                   i + 1 < argc) {
+            a.rss_budget_mb = static_cast<size_t>(
+                std::strtoull(argv[++i], nullptr, 0));
+        } else if (std::strcmp(argv[i], "--rss-cap-mb") == 0 &&
+                   i + 1 < argc) {
+            a.rss_cap_mb = static_cast<size_t>(
+                std::strtoull(argv[++i], nullptr, 0));
         } else {
             util::fatal("unknown argument '%s' (expected --quick, "
                         "--seed <n>, --threads <n>, --profile-s "
-                        "<sec>, --trees <n>, --out <path>)",
+                        "<sec>, --trees <n>, --out <path>, "
+                        "--rows <n>, --block-rows <n>, "
+                        "--rss-budget-mb <mb>, --rss-cap-mb <mb>)",
                         argv[i]);
         }
     }
@@ -171,8 +230,17 @@ main(int argc, char **argv)
 
     bench::ProfiledGame pg =
         bench::profileGame("ab_evolution", args.opts, args.profile_s);
-    ml::Dataset ds(pg.profile.ofType(events::EventType::Drag),
-                   pg.game->schema());
+
+    // Dataset construction allocation contract: a fixed number of
+    // allocations (the column/label/weight arrays + the id union),
+    // never O(rows).
+    auto drag_recs = pg.profile.ofType(events::EventType::Drag);
+    uint64_t ctor_a0 = g_allocs.load(std::memory_order_relaxed);
+    ml::Dataset ds(drag_recs, pg.game->schema());
+    uint64_t ctor_allocs =
+        g_allocs.load(std::memory_order_relaxed) - ctor_a0;
+    bool ctor_bounded = ctor_allocs <= 16;
+
     std::vector<size_t> cols(ds.numFeatures());
     for (size_t i = 0; i < cols.size(); ++i)
         cols[i] = i;
@@ -291,10 +359,169 @@ main(int argc, char **argv)
     ok = ok && model_identical;
     uint32_t model_digest = util::crc32(pkg1.data().data(),
                                         pkg1.size());
+    ok = ok && ctor_bounded;
+
+    // ---- 6. out-of-core equivalence (mmap'd training trace) -----
+    // Convert the profile to an SNCT v2 training trace on disk,
+    // train through the memory-mapped ChunkedDataset view, and
+    // require selection + packed model bytes identical to the
+    // in-memory path — at two different block sizes.
+    ml::ChunkedConfig ccfg;
+    ccfg.block_rows = args.block_rows;
+    ccfg.residency_budget_bytes = args.rss_budget_mb << 20;
+    bool chunked_sel_identical = false;
+    bool chunked_blocks_identical = false;
+    bool chunked_model_identical = false;
+    std::string tpath = args.out + ".profile.snct";
+    {
+        std::vector<uint8_t> tbytes;
+        util::Status enc =
+            trace::ColumnarLog::encodeTraining(pg.profile, &tbytes);
+        if (!enc.ok())
+            util::fatal("encodeTraining: %s", enc.message().c_str());
+        util::Status sv = trace::ColumnarLog::save(tbytes, tpath);
+        if (!sv.ok())
+            util::fatal("save: %s", sv.message().c_str());
+        auto tlog = trace::ColumnarLog::open(tpath);
+        if (!tlog.ok())
+            util::fatal("open: %s", tlog.status().message().c_str());
+
+        auto cds = ml::ChunkedDataset::attach(
+            tlog.value(), events::EventType::Drag, pg.game->schema(),
+            ccfg);
+        if (!cds.ok())
+            util::fatal("chunked attach: %s",
+                        cds.status().message().c_str());
+        ml::SelectionConfig c = sc;
+        c.pfi.threads = 1;
+        ml::SelectionResult sel_c =
+            ml::selectNecessaryInputs(*cds.value(), c);
+        chunked_sel_identical = sameSelection(sel_1, sel_c);
+
+        ml::ChunkedConfig ccfg_b = ccfg;
+        ccfg_b.block_rows = ccfg.block_rows == 64 ? 4096 : 64;
+        auto cds_b = ml::ChunkedDataset::attach(
+            tlog.value(), events::EventType::Drag, pg.game->schema(),
+            ccfg_b);
+        if (!cds_b.ok())
+            util::fatal("chunked attach: %s",
+                        cds_b.status().message().c_str());
+        ml::SelectionResult sel_cb =
+            ml::selectNecessaryInputs(*cds_b.value(), c);
+        chunked_blocks_identical = sameSelection(sel_c, sel_cb);
+
+        core::SnipConfig s1 = scfg;
+        s1.threads = 1;
+        auto cm = core::buildSnipModel(tlog.value(), *pg.game, s1,
+                                       ccfg);
+        if (!cm.ok())
+            util::fatal("chunked buildSnipModel: %s",
+                        cm.status().message().c_str());
+        util::ByteBuffer cpkg;
+        core::packModel(cm.value(), cpkg);
+        chunked_model_identical = cpkg.data() == pkg1.data();
+    }
+    std::remove(tpath.c_str());
+    ok = ok && chunked_sel_identical && chunked_blocks_identical &&
+         chunked_model_identical;
+
+    // ---- 7. synthetic out-of-core training (--rows) -------------
+    double oo_wall = 0.0;
+    double rows_per_sec = 0.0;
+    uint64_t oo_fingerprint = 0;
+    bool oo_threads_identical = true;
+    int oo_trees = args.opts.quick ? 2 : 4;
+    std::string spath = args.out + ".synth.snct";
+    if (args.rows > 0) {
+        // Borrow real Drag field ids so the synthetic section
+        // validates against the game schema.
+        std::vector<uint32_t> fids, oids;
+        {
+            std::vector<uint8_t> tbytes;
+            util::Status enc = trace::ColumnarLog::encodeTraining(
+                pg.profile.truncated(64), &tbytes);
+            if (!enc.ok())
+                util::fatal("encodeTraining: %s",
+                            enc.message().c_str());
+            auto small = trace::ColumnarLog::attach(
+                tbytes.data(), tbytes.size(), nullptr);
+            if (!small.ok())
+                util::fatal("attach: %s",
+                            small.status().message().c_str());
+            const auto *tc =
+                small.value()->training(events::EventType::Drag);
+            if (!tc)
+                util::fatal("profile has no Drag training section");
+            fids.assign(tc->feat_ids, tc->feat_ids + tc->nfeat);
+            oids.assign(tc->out_ids, tc->out_ids + tc->nout);
+        }
+        std::printf("out-of-core: writing %llu synthetic rows x %zu "
+                    "features...\n",
+                    static_cast<unsigned long long>(args.rows),
+                    fids.size());
+        trace::TrainingWriter w;
+        util::Status st = w.create(spath, "synthetic",
+                                   events::EventType::Drag, fids,
+                                   oids, args.rows);
+        util::Rng rng(util::mixCombine(args.opts.seed, 0x00cULL));
+        std::vector<uint64_t> feat(fids.size()), outv(oids.size());
+        for (uint64_t r = 0; st.ok() && r < args.rows; ++r) {
+            for (size_t f = 0; f < feat.size(); ++f)
+                feat[f] = rng.uniformInt(0, 15);
+            uint64_t label = util::mixCombine(
+                feat[0], feat.size() > 1 ? feat[1] : 0) & 7;
+            for (size_t o = 0; o < outv.size(); ++o)
+                outv[o] = label + o;
+            st = w.addRow(feat.data(), label, 1 + (r % 97),
+                          outv.data());
+        }
+        if (st.ok())
+            st = w.finish();
+        if (!st.ok())
+            util::fatal("TrainingWriter: %s", st.message().c_str());
+
+        auto slog = trace::ColumnarLog::open(spath);
+        if (!slog.ok())
+            util::fatal("open synthetic: %s",
+                        slog.status().message().c_str());
+        auto sds = ml::ChunkedDataset::attach(
+            slog.value(), events::EventType::Drag, pg.game->schema(),
+            ccfg);
+        if (!sds.ok())
+            util::fatal("attach synthetic: %s",
+                        sds.status().message().c_str());
+        std::vector<size_t> scols(sds.value()->numFeatures());
+        for (size_t i = 0; i < scols.size(); ++i)
+            scols[i] = i;
+        ml::ForestConfig ofc;
+        ofc.num_trees = oo_trees;
+        ofc.threads = 1;
+        ml::RandomForest oforest(ofc);
+        oo_wall = wallSeconds(
+            [&] { oforest.train(*sds.value(), scols); });
+        rows_per_sec = static_cast<double>(args.rows) * oo_trees /
+                       (oo_wall > 0 ? oo_wall : 1e-9);
+        oo_fingerprint = oforest.fingerprint();
+        if (nthreads > 1) {
+            ml::ForestConfig nfc = ofc;
+            nfc.threads = nthreads;
+            ml::RandomForest nforest(nfc);
+            nforest.train(*sds.value(), scols);
+            oo_threads_identical =
+                nforest.fingerprint() == oo_fingerprint;
+        }
+        ok = ok && oo_threads_identical;
+    }
+    std::remove(spath.c_str());
+
+    uint64_t peak_rss = peakRssBytes();
+    uint64_t rss_cap = static_cast<uint64_t>(args.rss_cap_mb) << 20;
+    bool rss_ok = rss_cap == 0 || peak_rss <= rss_cap;
+    ok = ok && rss_ok;
 
     // ---- JSON ---------------------------------------------------
     std::string json;
-    char buf[2048];
+    char buf[4096];
     std::snprintf(
         buf, sizeof(buf),
         "{\n"
@@ -317,6 +544,16 @@ main(int argc, char **argv)
         "\"allocs_per_row_batched\": %.4f},\n"
         "  \"model_codec\": {\"bytes\": %zu, "
         "\"identical_across_threads\": %s, \"digest\": \"%08x\"},\n"
+        "  \"dataset_ctor\": {\"allocs\": %llu, \"bounded\": %s},\n"
+        "  \"chunked\": {\"block_rows\": %zu, "
+        "\"sel_identical\": %s, \"blocks_identical\": %s, "
+        "\"model_identical\": %s},\n"
+        "  \"out_of_core\": {\"rows\": %llu, \"trees\": %d, "
+        "\"wall_s\": %.3f, \"rows_per_sec\": %.0f, "
+        "\"fingerprint\": \"%016llx\", \"threads_identical\": %s},\n"
+        "  \"rows_per_sec\": %.0f,\n"
+        "  \"peak_rss_bytes\": %llu, \"rss_cap_bytes\": %llu, "
+        "\"rss_ok\": %s,\n"
         "  \"contracts_ok\": %s\n"
         "}\n",
         ds.numRows(), ds.numFeatures(), nthreads, args.trees,
@@ -336,6 +573,20 @@ main(int argc, char **argv)
         sel_identical ? "true" : "false", digest,
         allocs_per_pred, allocs_per_row_batched, pkg1.size(),
         model_identical ? "true" : "false", model_digest,
+        static_cast<unsigned long long>(ctor_allocs),
+        ctor_bounded ? "true" : "false",
+        args.block_rows,
+        chunked_sel_identical ? "true" : "false",
+        chunked_blocks_identical ? "true" : "false",
+        chunked_model_identical ? "true" : "false",
+        static_cast<unsigned long long>(args.rows), oo_trees,
+        oo_wall, rows_per_sec,
+        static_cast<unsigned long long>(oo_fingerprint),
+        oo_threads_identical ? "true" : "false",
+        rows_per_sec,
+        static_cast<unsigned long long>(peak_rss),
+        static_cast<unsigned long long>(rss_cap),
+        rss_ok ? "true" : "false",
         ok ? "true" : "false");
     json = buf;
     std::fputs(json.c_str(), stdout);

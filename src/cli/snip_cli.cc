@@ -12,11 +12,14 @@
  *   snip select --in events.bin --out profile.bin [--verbose]
  *       Replay the stream offline, run PFI selection, report the
  *       necessary inputs per event type (the cloud-side step).
- *   snip convert --in A --out B
+ *   snip convert --in A --out B [--training]
  *       Convert a recorded event trace between the row transport
  *       encoding ("SNPE") and the mmap-friendly binary columnar
  *       replay format ("SNCT"); direction is detected from the
- *       input's magic.
+ *       input's magic. With --training, replay the trace through
+ *       the game and emit SNCT v2 per-type training sections (the
+ *       feature/label/weight columns ml::ChunkedDataset maps for
+ *       out-of-core Shrink) instead of the event stream.
  *   snip eval --game G [--seconds S] [--scheme snip|baseline|
  *             maxcpu|maxip|nooverheads] [--audit N]
  *       Profile + deploy + evaluate one scheme; prints savings,
@@ -270,6 +273,44 @@ cmdConvert(const Args &args)
                     "magic", in.c_str());
     uint32_t magic;
     std::memcpy(&magic, buf.data().data(), 4);
+
+    if (!args.get("training").empty()) {
+        // Any trace -> SNCT v2 training sections: replay the events
+        // through the game and encode the per-type feature/label/
+        // weight columns ml::ChunkedDataset maps for out-of-core
+        // Shrink.
+        trace::EventTrace tr;
+        if (magic == trace::kColumnarMagic) {
+            auto log = trace::ColumnarLog::attach(buf.data().data(),
+                                                  buf.size(),
+                                                  nullptr);
+            if (!log.ok())
+                util::fatal("convert: %s",
+                            log.status().message().c_str());
+            log.value()->toTrace(&tr);
+        } else {
+            st = trace::decodeEventTrace(buf, &tr);
+            if (!st.ok())
+                util::fatal("convert: %s", st.message().c_str());
+        }
+        auto game = games::makeGame(tr.game);
+        trace::Profile profile = trace::Replayer::replay(tr, *game);
+        std::vector<uint8_t> bytes;
+        st = trace::ColumnarLog::encodeTraining(profile, &bytes);
+        if (!st.ok())
+            util::fatal("convert: %s", st.message().c_str());
+        st = trace::ColumnarLog::save(bytes, out);
+        if (!st.ok())
+            util::fatal("convert: %s", st.message().c_str());
+        std::printf("trace -> training columns: %zu records of %s "
+                    "-> %s (%s)\n",
+                    profile.records.size(), tr.game.c_str(),
+                    out.c_str(),
+                    util::formatSize(static_cast<double>(
+                                         bytes.size()))
+                        .c_str());
+        return 0;
+    }
 
     if (magic == trace::kColumnarMagic) {
         // Columnar -> rows.
@@ -620,7 +661,11 @@ usage()
         "  characterize --game G [--seconds S]  baseline stats\n"
         "  record --game G --out F [--seconds S] record events\n"
         "  select --in F [--out P] [--verbose]  replay + PFI\n"
-        "  convert --in F --out F               rows <-> columnar trace\n"
+        "  convert --in F --out F [--training]  rows <-> columnar trace\n"
+        "                                       (--training: replay and\n"
+        "                                       emit SNCT v2 training\n"
+        "                                       columns for out-of-core\n"
+        "                                       Shrink)\n"
         "  eval --game G [--scheme S] [--audit N] deploy + measure\n"
         "  learn --game G [--epochs E] [--gate]  continuous learning\n"
         "  pack --game G --out F                 build + serialize OTA model\n"

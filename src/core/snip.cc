@@ -1,11 +1,135 @@
 #include "core/snip.h"
 
+#include <algorithm>
+#include <cstring>
+
 #include "ml/dataset.h"
 #include "obs/span.h"
+#include "util/crc32.h"
 #include "util/logging.h"
 
 namespace snip {
 namespace core {
+
+namespace {
+
+/** Streaming CRC of @p n u64s through the view's residency hooks. */
+uint32_t
+crcOfU64(const ml::DatasetView &ds, const uint64_t *p, size_t n)
+{
+    size_t blk = std::max<size_t>(1, ds.streamBlockRows());
+    uint32_t crc = 0;
+    for (size_t base = 0; base < n; base += blk) {
+        size_t m = std::min(blk, n - base);
+        crc = util::crc32(p + base, m * sizeof(uint64_t), crc);
+        ds.noteStreamed(m * sizeof(uint64_t));
+    }
+    return crc;
+}
+
+/**
+ * Content digest of everything a type's selection outcome is a
+ * function of: the dataset (per-column values + ids, labels,
+ * weights) and the selection-relevant config. Equal keys imply a
+ * cached TypeModel replays bit-identically.
+ */
+uint64_t
+datasetKey(const ml::DatasetView &ds, events::EventType t,
+           const SnipConfig &cfg,
+           const std::vector<events::FieldId> &forced)
+{
+    size_t n = ds.numRows();
+    uint64_t h = util::mixCombine(0x5112cac4eULL,
+                                  static_cast<uint64_t>(t));
+    h = util::mixCombine(h, static_cast<uint64_t>(n));
+    uint64_t me, mce;
+    std::memcpy(&me, &cfg.max_error, 8);
+    std::memcpy(&mce, &cfg.max_conditional_error, 8);
+    h = util::mixCombine(h, me);
+    h = util::mixCombine(h, mce);
+    h = util::mixCombine(h, static_cast<uint64_t>(cfg.pfi_repeats));
+    h = util::mixCombine(h, cfg.seed);
+    for (events::FieldId fid : forced)
+        h = util::mixCombine(h, static_cast<uint64_t>(fid));
+    h = util::mixCombine(h, crcOfU64(ds, ds.labelData(), n));
+    h = util::mixCombine(h, crcOfU64(ds, ds.weightData(), n));
+    h = util::mixCombine(h, static_cast<uint64_t>(ds.numFeatures()));
+    for (size_t c = 0; c < ds.numFeatures(); ++c) {
+        uint64_t ch = util::mixCombine(
+            static_cast<uint64_t>(c),
+            static_cast<uint64_t>(ds.featureField(c)));
+        ch = util::mixCombine(ch, crcOfU64(ds, ds.columnData(c), n));
+        h = util::mixCombine(h, ch);
+    }
+    return h ? h : 1;
+}
+
+/**
+ * Selection for one event type over any DatasetView storage — the
+ * single path both the in-memory and the out-of-core builds go
+ * through. With cfg.caches set, an unchanged (dataset, config)
+ * replays the cached TypeModel and skips selection entirely.
+ */
+TypeModel
+selectForType(const ml::DatasetView &ds, events::EventType t,
+              const SnipConfig &cfg,
+              const std::vector<events::FieldId> &forced)
+{
+    ShrinkCaches::TypeCache *cache =
+        cfg.caches ? &cfg.caches->types[static_cast<int>(t)]
+                   : nullptr;
+    uint64_t key = 0;
+    if (cache) {
+        key = datasetKey(ds, t, cfg, forced);
+        if (cache->valid && cache->dataset_key == key) {
+            if (cfg.obs)
+                cfg.obs->counter("shrink.types_cached").add(1);
+            return cache->model;
+        }
+    }
+
+    ml::SelectionConfig sel;
+    sel.max_error = cfg.max_error;
+    sel.max_conditional_error = cfg.max_conditional_error;
+    sel.pfi.repeats = cfg.pfi_repeats;
+    sel.pfi.seed = util::mixCombine(cfg.seed,
+                                    static_cast<uint64_t>(t));
+    sel.pfi.threads = cfg.threads;
+    sel.pfi.cache = cache ? &cache->pfi : nullptr;
+    sel.obs = cfg.obs;
+    for (events::FieldId fid : forced) {
+        if (ds.columnOf(fid) != SIZE_MAX)
+            sel.forced_keep.push_back(fid);
+    }
+
+    TypeModel tm;
+    tm.type = t;
+    tm.records = ds.numRows();
+    tm.selection = ml::selectNecessaryInputs(ds, sel);
+    if (cache) {
+        cache->valid = true;
+        cache->dataset_key = key;
+        cache->model = tm;
+    }
+    return tm;
+}
+
+/** Resolve force-keep override names; fatal on unknown names. */
+std::vector<events::FieldId>
+resolveForced(const games::Game &game, const SnipConfig &cfg)
+{
+    std::vector<events::FieldId> forced;
+    for (const auto &name : cfg.overrides.force_keep) {
+        events::FieldId fid = game.schema().find(name);
+        if (fid == events::kInvalidField)
+            util::fatal("developer override names unknown field '%s'",
+                        name.c_str());
+        forced.push_back(fid);
+    }
+    return forced;
+}
+
+}  // namespace
 
 uint64_t
 SnipModel::selectedBytes() const
@@ -52,14 +176,7 @@ buildSnipModel(const trace::Profile &profile, const games::Game &game,
     model.table = std::make_unique<MemoTable>(game.schema());
     obs::Span shrink_span(cfg.obs, "shrink");
 
-    std::vector<events::FieldId> forced;
-    for (const auto &name : cfg.overrides.force_keep) {
-        events::FieldId fid = game.schema().find(name);
-        if (fid == events::kInvalidField)
-            util::fatal("developer override names unknown field '%s'",
-                        name.c_str());
-        forced.push_back(fid);
-    }
+    std::vector<events::FieldId> forced = resolveForced(game, cfg);
 
     for (events::EventType t : profile.typesPresent()) {
         auto records = profile.ofType(t);
@@ -72,24 +189,7 @@ buildSnipModel(const trace::Profile &profile, const games::Game &game,
             continue;
         }
         ml::Dataset ds(std::move(records), game.schema());
-
-        ml::SelectionConfig sel;
-        sel.max_error = cfg.max_error;
-        sel.max_conditional_error = cfg.max_conditional_error;
-        sel.pfi.repeats = cfg.pfi_repeats;
-        sel.pfi.seed = util::mixCombine(cfg.seed,
-                                        static_cast<uint64_t>(t));
-        sel.pfi.threads = cfg.threads;
-        sel.obs = cfg.obs;
-        for (events::FieldId fid : forced) {
-            if (ds.columnOf(fid) != SIZE_MAX)
-                sel.forced_keep.push_back(fid);
-        }
-
-        TypeModel tm;
-        tm.type = t;
-        tm.records = ds.numRows();
-        tm.selection = ml::selectNecessaryInputs(ds, sel);
+        TypeModel tm = selectForType(ds, t, cfg, forced);
         model.table->setSelected(t, tm.selection.selected);
         model.types.push_back(std::move(tm));
         if (cfg.obs)
@@ -102,6 +202,71 @@ buildSnipModel(const trace::Profile &profile, const games::Game &game,
     if (cfg.obs)
         model.table->recordStats(*cfg.obs);
     return model;
+}
+
+util::Result<SnipModel>
+buildSnipModel(std::shared_ptr<const trace::ColumnarLog> tlog,
+               const games::Game &game, const SnipConfig &cfg,
+               const ml::ChunkedConfig &chunked)
+{
+    if (!tlog)
+        return util::Status::Error("snip: null trace");
+    std::vector<events::EventType> ttypes = tlog->trainingTypes();
+    if (ttypes.empty())
+        return util::Status::Error(
+            "snip: trace carries no training sections "
+            "(re-record with `snip convert --training`)");
+
+    SnipModel model;
+    model.game = tlog->game();
+    model.table = std::make_unique<MemoTable>(game.schema());
+    obs::Span shrink_span(cfg.obs, "shrink");
+
+    std::vector<events::FieldId> forced = resolveForced(game, cfg);
+
+    // Every section gets a bounded-RSS view (prefill needs even the
+    // undeployed types); selection runs only on types with evidence.
+    std::vector<std::shared_ptr<const ml::ChunkedDataset>> views;
+    views.reserve(ttypes.size());
+    for (events::EventType t : ttypes) {
+        auto dsr = ml::ChunkedDataset::attach(tlog, t, game.schema(),
+                                              chunked);
+        if (!dsr.ok())
+            return dsr.status();
+        const auto &ds = *dsr.value();
+        views.push_back(dsr.value());
+        if (ds.numRows() < cfg.min_records_per_type) {
+            util::warn("snip: %s has only %zu records of %s; leaving "
+                       "type undeployed", model.game.c_str(),
+                       ds.numRows(), events::eventTypeName(t));
+            if (cfg.obs)
+                cfg.obs->counter("shrink.types_skipped").add(1);
+            continue;
+        }
+        TypeModel tm = selectForType(ds, t, cfg, forced);
+        model.table->setSelected(t, tm.selection.selected);
+        model.types.push_back(std::move(tm));
+        if (cfg.obs)
+            cfg.obs->counter("shrink.types_deployed").add(1);
+    }
+
+    // Pre-fill grouped by type: MemoTable buckets per type and keeps
+    // within-type insertion order, so this builds the same table as
+    // the profile-order walk in the in-memory path.
+    games::HandlerExecution rec;
+    for (const auto &view : views) {
+        size_t blk = view->streamBlockRows();
+        size_t row_bytes = (view->numFeatures() + 2) * 8;
+        for (size_t row = 0; row < view->numRows(); ++row) {
+            view->materializeRecord(row, &rec);
+            model.table->insert(rec);
+            if ((row + 1) % blk == 0)
+                view->noteStreamed(blk * row_bytes);
+        }
+    }
+    if (cfg.obs)
+        model.table->recordStats(*cfg.obs);
+    return util::Result<SnipModel>(std::move(model));
 }
 
 }  // namespace core

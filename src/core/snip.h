@@ -9,12 +9,14 @@
 #ifndef SNIP_CORE_SNIP_H
 #define SNIP_CORE_SNIP_H
 
+#include <array>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/frozen_table.h"
 #include "core/memo_table.h"
+#include "ml/chunked_dataset.h"
 #include "ml/feature_selection.h"
 #include "trace/profile.h"
 
@@ -32,6 +34,8 @@ struct DeveloperOverrides {
      */
     std::vector<std::string> tolerate_errors;
 };
+
+struct ShrinkCaches;
 
 /** Pipeline knobs. */
 struct SnipConfig {
@@ -61,6 +65,12 @@ struct SnipConfig {
      * Never alters the built model.
      */
     obs::Registry *obs = nullptr;
+    /**
+     * Optional persistent caches (nullptr = off): skip per-type
+     * selection and per-refresh PFI whose inputs are bit-identical
+     * to a previous build. Never alters the built model.
+     */
+    ShrinkCaches *caches = nullptr;
 };
 
 /** Per-event-type selection outcome. */
@@ -70,6 +80,28 @@ struct TypeModel {
     /** Profiled records of this type behind the selection — the
      *  evidence weight of selection.selected_error. */
     uint64_t records = 0;
+};
+
+/**
+ * Persistent caches for incremental Shrink across buildSnipModel
+ * calls (continuous-learning epochs). Exactness is key-based: a
+ * type's cached selection replays only when the content digest of
+ * its dataset AND the selection-relevant config are unchanged, and
+ * the nested PFI cache keys cover everything an importance is a
+ * function of (see ml::pfiCacheKey) — so enabling the caches never
+ * changes a produced model, it only skips recomputing identical
+ * results (counters shrink.types_cached / shrink.pfi.cols_cached).
+ */
+struct ShrinkCaches {
+    struct TypeCache {
+        bool valid = false;
+        /** Digest of the dataset + config the model was built from. */
+        uint64_t dataset_key = 0;
+        TypeModel model;
+        /** PFI results, reusable even when the selection re-runs. */
+        ml::PfiCache pfi;
+    };
+    std::array<TypeCache, events::kNumEventTypes> types{};
 };
 
 /** The deployable artifact: selections + initial table. */
@@ -117,6 +149,23 @@ struct SnipModel {
 SnipModel buildSnipModel(const trace::Profile &profile,
                          const games::Game &game,
                          const SnipConfig &cfg = {});
+
+/**
+ * Out-of-core variant: run the same pipeline over the training
+ * sections of a (typically mmap-backed) columnar trace, training
+ * through bounded-RSS ml::ChunkedDataset views instead of an
+ * in-memory Dataset. Selections and the pre-filled table are
+ * bitwise identical to the in-memory path over the same records
+ * (the table prefill walks types in enum order; MemoTable buckets
+ * are per-type with insertion order preserved within a type, so
+ * grouped insertion builds the same table as profile order).
+ * Errors (rather than panicking) on a trace without training
+ * sections or one recorded against a different game.
+ */
+util::Result<SnipModel>
+buildSnipModel(std::shared_ptr<const trace::ColumnarLog> tlog,
+               const games::Game &game, const SnipConfig &cfg = {},
+               const ml::ChunkedConfig &chunked = {});
 
 }  // namespace core
 }  // namespace snip

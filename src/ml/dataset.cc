@@ -1,62 +1,22 @@
 #include "ml/dataset.h"
 
 #include <algorithm>
-#include <set>
 
 #include "util/logging.h"
 
 namespace snip {
 namespace ml {
 
-Dataset::Dataset(std::vector<const games::HandlerExecution *> records,
-                 const events::FieldSchema &schema)
-    : records_(std::move(records)), schema_(&schema)
-{
-    rows_ = records_.size();
-    if (rows_ == 0)
-        util::fatal("Dataset: no records");
-
-    std::set<events::FieldId> fields;
-    for (const auto *r : records_) {
-        if (r->type != records_[0]->type)
-            util::fatal("Dataset: mixed event types");
-        for (const auto &fv : r->inputs)
-            fields.insert(fv.id);
-    }
-    featureFields_.assign(fields.begin(), fields.end());
-
-    values_.assign(featureFields_.size() * rows_, kAbsent);
-    labels_.resize(rows_);
-    weights_.resize(rows_);
-    for (size_t row = 0; row < rows_; ++row) {
-        const auto *r = records_[row];
-        // Inputs are canonicalized (sorted by id); walk both sorted
-        // sequences in lockstep.
-        size_t col = 0;
-        for (const auto &fv : r->inputs) {
-            while (col < featureFields_.size() &&
-                   featureFields_[col] < fv.id)
-                ++col;
-            if (col < featureFields_.size() &&
-                featureFields_[col] == fv.id)
-                values_[col * rows_ + row] = fv.value;
-        }
-        labels_[row] = events::hashFields(r->outputs);
-        weights_[row] = std::max<uint64_t>(1, r->cpu_instructions);
-        totalWeight_ += weights_[row];
-    }
-}
-
 events::FieldId
-Dataset::featureField(size_t col) const
+DatasetView::featureField(size_t col) const
 {
     if (col >= featureFields_.size())
-        util::panic("Dataset::featureField: bad column %zu", col);
+        util::panic("DatasetView::featureField: bad column %zu", col);
     return featureFields_[col];
 }
 
 size_t
-Dataset::columnOf(events::FieldId fid) const
+DatasetView::columnOf(events::FieldId fid) const
 {
     auto it = std::lower_bound(featureFields_.begin(),
                                featureFields_.end(), fid);
@@ -66,18 +26,73 @@ Dataset::columnOf(events::FieldId fid) const
 }
 
 uint32_t
-Dataset::featureBytes(size_t col) const
+DatasetView::featureBytes(size_t col) const
 {
     return schema_->def(featureField(col)).size_bytes;
 }
 
 uint64_t
-Dataset::bytesOfColumns(const std::vector<size_t> &cols) const
+DatasetView::bytesOfColumns(const std::vector<size_t> &cols) const
 {
     uint64_t total = 0;
     for (size_t c : cols)
         total += featureBytes(c);
     return total;
+}
+
+Dataset::Dataset(
+    std::span<const games::HandlerExecution *const> records,
+    const events::FieldSchema &schema)
+{
+    schema_ = &schema;
+    rows_ = records.size();
+    if (rows_ == 0)
+        util::fatal("Dataset: no records");
+
+    // Field-id union without a node-based set: one counting pass to
+    // reserve, one gather pass, then sort + unique — a fixed number
+    // of allocations however many rows/fields there are.
+    size_t total_inputs = 0;
+    for (const auto *r : records) {
+        if (r->type != records[0]->type)
+            util::fatal("Dataset: mixed event types");
+        total_inputs += r->inputs.size();
+    }
+    featureFields_.reserve(total_inputs);
+    for (const auto *r : records)
+        for (const auto &fv : r->inputs)
+            featureFields_.push_back(fv.id);
+    std::sort(featureFields_.begin(), featureFields_.end());
+    featureFields_.erase(
+        std::unique(featureFields_.begin(), featureFields_.end()),
+        featureFields_.end());
+    featureFields_.shrink_to_fit();
+
+    ownedValues_.assign(featureFields_.size() * rows_, kAbsent);
+    ownedLabels_.resize(rows_);
+    ownedWeights_.resize(rows_);
+    for (size_t row = 0; row < rows_; ++row) {
+        const auto *r = records[row];
+        // Inputs are canonicalized (sorted by id); walk both sorted
+        // sequences in lockstep. Everything below writes into the
+        // pre-sized arrays — no allocation per row.
+        size_t col = 0;
+        for (const auto &fv : r->inputs) {
+            while (col < featureFields_.size() &&
+                   featureFields_[col] < fv.id)
+                ++col;
+            if (col < featureFields_.size() &&
+                featureFields_[col] == fv.id)
+                ownedValues_[col * rows_ + row] = fv.value;
+        }
+        ownedLabels_[row] = events::hashFields(r->outputs);
+        ownedWeights_[row] =
+            std::max<uint64_t>(1, r->cpu_instructions);
+        totalWeight_ += ownedWeights_[row];
+    }
+    values_ = ownedValues_.data();
+    labels_ = ownedLabels_.data();
+    weights_ = ownedWeights_.data();
 }
 
 }  // namespace ml

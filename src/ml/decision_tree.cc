@@ -31,12 +31,46 @@ gini(const std::vector<uint64_t> &tally, uint64_t total)
     return g;
 }
 
+/**
+ * Cells budget of the distinct-value x label histogram. Splits whose
+ * matrix would exceed it (e.g. a row-unique blob column against many
+ * labels) fall back to the per-threshold rescan, which evaluates the
+ * identical integers — the histogram is purely a one-pass
+ * acceleration of the same tallies.
+ */
+constexpr size_t kHistCells = size_t{1} << 21;
+
+/**
+ * Residency charged for gathering @p n frontier rows from one mapped
+ * column, inside a scan that visits @p scan_rows rows of that column
+ * in total. Node frontiers are bootstrap-shuffled, so each touched
+ * row can fault in a whole page; deep in the tree the nodes are tiny
+ * and byte-accurate accounting (n * 8) would never reach the release
+ * threshold while the sparse touches quietly fault in every page of
+ * every candidate column. Charging min(page, column / scan_rows) per
+ * row tracks the true fresh residency at both ends: a dense scan
+ * amortizes to the column's own bytes (its pages are shared between
+ * rows), a sparse leaf-node scan pays a page per row. Purely
+ * advisory — in-memory datasets no-op the hook.
+ */
+constexpr size_t kGatherPage = 4096;
+
+size_t
+gatherBytes(const DatasetView &ds, size_t n, size_t scan_rows)
+{
+    size_t col = ds.numRows() * 8;
+    size_t per_row = std::min(
+        kGatherPage,
+        std::max<size_t>(8, col / std::max<size_t>(1, scan_rows)));
+    return n * per_row;
+}
+
 }  // namespace
 
 DecisionTree::DecisionTree(TreeConfig cfg) : cfg_(cfg) {}
 
 void
-DecisionTree::train(const Dataset &ds,
+DecisionTree::train(const DatasetView &ds,
                     const std::vector<size_t> &feature_cols)
 {
     std::vector<size_t> rows(ds.numRows());
@@ -46,7 +80,7 @@ DecisionTree::train(const Dataset &ds,
 }
 
 void
-DecisionTree::trainOnRows(const Dataset &ds,
+DecisionTree::trainOnRows(const DatasetView &ds,
                           const std::vector<size_t> &feature_cols,
                           const std::vector<size_t> &rows)
 {
@@ -67,28 +101,46 @@ DecisionTree::trainOnRows(const Dataset &ds,
             std::lower_bound(labels_.begin(), labels_.end(),
                              ds.label(r)) -
             labels_.begin());
+    ds.noteStreamed(gatherBytes(ds, rows.size(), rows.size()));
     tally_.assign(labels_.size(), 0);
     lt_.assign(labels_.size(), 0);
     rt_.assign(labels_.size(), 0);
     repr_.assign(labels_.size(), SIZE_MAX);
 
-    std::vector<size_t> work = rows;
+    // One frontier array for the whole build; build() partitions it
+    // in place and recurses on [lo, hi) ranges.
+    frontier_.assign(rows.begin(), rows.end());
+    vals_.reserve(frontier_.size());
     util::Rng rng(cfg_.seed);
-    build(ds, feature_cols, work, 0, rng);
+    build(ds, feature_cols, 0, frontier_.size(), 0, rng);
+
+    // Everything but the node array is build-time scratch. Release
+    // it (capacity included) so a trained tree holds O(nodes), not
+    // O(rows) — across a sequentially-trained out-of-core forest the
+    // retained frontiers would otherwise multiply by the tree count.
+    for (auto *v : {&labels_, &tally_, &lt_, &rt_, &vals_, &hist_,
+                    &histW_})
+        std::vector<uint64_t>().swap(*v);
+    std::vector<uint32_t>().swap(row_label_idx_);
+    std::vector<size_t>().swap(repr_);
+    std::vector<size_t>().swap(frontier_);
+    std::vector<size_t>().swap(partScratch_);
 }
 
 int
-DecisionTree::makeLeaf(const Dataset &ds, const std::vector<size_t> &rows)
+DecisionTree::makeLeaf(const DatasetView &ds, size_t lo, size_t hi)
 {
     Node n;
     std::fill(tally_.begin(), tally_.end(), 0);
     std::fill(repr_.begin(), repr_.end(), SIZE_MAX);
-    for (size_t r : rows) {
+    for (size_t i = lo; i < hi; ++i) {
+        size_t r = frontier_[i];
         uint32_t li = row_label_idx_[r];
         tally_[li] += ds.weight(r);
         if (repr_[li] == SIZE_MAX)
             repr_[li] = r;  // first row seen, as before
     }
+    ds.noteStreamed(gatherBytes(ds, hi - lo, hi - lo));
     // Strict > over ascending labels keeps the smallest-label
     // tie-break of the ordered-map scan.
     uint64_t best = 0;
@@ -104,20 +156,23 @@ DecisionTree::makeLeaf(const Dataset &ds, const std::vector<size_t> &rows)
 }
 
 int
-DecisionTree::build(const Dataset &ds, const std::vector<size_t> &cols,
-                    std::vector<size_t> &rows, int depth, util::Rng &rng)
+DecisionTree::build(const DatasetView &ds,
+                    const std::vector<size_t> &cols, size_t lo,
+                    size_t hi, int depth, util::Rng &rng)
 {
+    size_t nrows = hi - lo;
     // Homogeneous or tiny partitions become leaves.
     bool uniform = true;
-    for (size_t i = 1; i < rows.size(); ++i) {
-        if (ds.label(rows[i]) != ds.label(rows[0])) {
+    for (size_t i = lo + 1; i < hi; ++i) {
+        if (ds.label(frontier_[i]) != ds.label(frontier_[lo])) {
             uniform = false;
             break;
         }
     }
+    ds.noteStreamed(gatherBytes(ds, nrows, nrows));
     if (uniform || depth >= cfg_.max_depth ||
-        rows.size() < cfg_.min_samples_split)
-        return makeLeaf(ds, rows);
+        nrows < cfg_.min_samples_split)
+        return makeLeaf(ds, lo, hi);
 
     // Candidate feature set.
     std::vector<size_t> cand = cols;
@@ -132,80 +187,159 @@ DecisionTree::build(const Dataset &ds, const std::vector<size_t> &cols,
 
     std::fill(tally_.begin(), tally_.end(), 0);
     uint64_t total_w = 0;
-    for (size_t r : rows) {
+    for (size_t i = lo; i < hi; ++i) {
+        size_t r = frontier_[i];
         tally_[row_label_idx_[r]] += ds.weight(r);
         total_w += ds.weight(r);
     }
+    ds.noteStreamed(gatherBytes(ds, nrows, nrows));
     double parent_gini = gini(tally_, total_w);
 
     double best_gain = 1e-12;
     size_t best_col = SIZE_MAX;
     uint64_t best_thr = 0;
+    size_t nlabels = labels_.size();
+    size_t blk = std::max<size_t>(1, ds.streamBlockRows());
 
     for (size_t col : cand) {
         // Distinct values as threshold candidates (capped). The
-        // contiguous column keeps the two scans below cache-linear
-        // in the column even though rows is a bootstrap subset.
+        // contiguous column keeps the scans below cache-linear in
+        // the column even though the node rows are a bootstrap
+        // subset; block-sized passes let a mapped store release
+        // pages behind the scan.
         const uint64_t *colv = ds.columnData(col);
-        std::vector<uint64_t> values;
-        values.reserve(rows.size());
-        for (size_t r : rows)
-            values.push_back(colv[r]);
-        std::sort(values.begin(), values.end());
-        values.erase(std::unique(values.begin(), values.end()),
-                     values.end());
-        if (values.size() < 2)
+        vals_.clear();
+        for (size_t base = 0; base < nrows; base += blk) {
+            size_t n = std::min(blk, nrows - base);
+            for (size_t i = 0; i < n; ++i)
+                vals_.push_back(colv[frontier_[lo + base + i]]);
+            ds.noteStreamed(gatherBytes(ds, n, nrows));
+        }
+        std::sort(vals_.begin(), vals_.end());
+        vals_.erase(std::unique(vals_.begin(), vals_.end()),
+                    vals_.end());
+        size_t nvals = vals_.size();
+        if (nvals < 2)
             continue;
         size_t step = std::max<size_t>(
-            1, values.size() /
-                   static_cast<size_t>(cfg_.threshold_candidates));
-        for (size_t i = 0; i + 1 < values.size(); i += step) {
-            uint64_t thr = values[i];
+            1, nvals / static_cast<size_t>(cfg_.threshold_candidates));
+
+        bool use_hist =
+            nlabels != 0 && nvals <= kHistCells / nlabels;
+        if (use_hist) {
+            // One pass: per-(distinct value, label) weight tallies,
+            // then a running prefix over ascending distinct values
+            // yields the exact left/right tallies at each threshold.
+            // Everything is uint64, so the result is bitwise equal
+            // to rescanning the rows per threshold.
+            hist_.assign(nvals * nlabels, 0);
+            histW_.assign(nvals, 0);
+            for (size_t base = 0; base < nrows; base += blk) {
+                size_t n = std::min(blk, nrows - base);
+                for (size_t i = 0; i < n; ++i) {
+                    size_t r = frontier_[lo + base + i];
+                    size_t di = static_cast<size_t>(
+                        std::lower_bound(vals_.begin(), vals_.end(),
+                                         colv[r]) -
+                        vals_.begin());
+                    uint64_t w = ds.weight(r);
+                    hist_[di * nlabels + row_label_idx_[r]] += w;
+                    histW_[di] += w;
+                }
+                ds.noteStreamed(2 * gatherBytes(ds, n, nrows));
+            }
             std::fill(lt_.begin(), lt_.end(), 0);
-            std::fill(rt_.begin(), rt_.end(), 0);
-            uint64_t lw = 0, rw = 0;
-            for (size_t r : rows) {
-                uint64_t w = ds.weight(r);
-                if (colv[r] <= thr) {
-                    lt_[row_label_idx_[r]] += w;
-                    lw += w;
-                } else {
-                    rt_[row_label_idx_[r]] += w;
-                    rw += w;
+            uint64_t lw = 0;
+            size_t next_di = 0;
+            for (size_t i = 0; i + 1 < nvals; i += step) {
+                for (; next_di <= i; ++next_di) {
+                    const uint64_t *h = &hist_[next_di * nlabels];
+                    for (size_t l = 0; l < nlabels; ++l)
+                        lt_[l] += h[l];
+                    lw += histW_[next_di];
+                }
+                uint64_t rw = total_w - lw;
+                if (lw == 0 || rw == 0)
+                    continue;
+                for (size_t l = 0; l < nlabels; ++l)
+                    rt_[l] = tally_[l] - lt_[l];
+                double child =
+                    (static_cast<double>(lw) * gini(lt_, lw) +
+                     static_cast<double>(rw) * gini(rt_, rw)) /
+                    static_cast<double>(total_w);
+                double gain = parent_gini - child;
+                if (gain > best_gain) {
+                    best_gain = gain;
+                    best_col = col;
+                    best_thr = vals_[i];
                 }
             }
-            if (lw == 0 || rw == 0)
-                continue;
-            double child =
-                (static_cast<double>(lw) * gini(lt_, lw) +
-                 static_cast<double>(rw) * gini(rt_, rw)) /
-                static_cast<double>(total_w);
-            double gain = parent_gini - child;
-            if (gain > best_gain) {
-                best_gain = gain;
-                best_col = col;
-                best_thr = thr;
+        } else {
+            // Oversized matrix (row-unique blob columns): the
+            // legacy per-threshold rescan, identical tallies.
+            for (size_t i = 0; i + 1 < nvals; i += step) {
+                uint64_t thr = vals_[i];
+                std::fill(lt_.begin(), lt_.end(), 0);
+                std::fill(rt_.begin(), rt_.end(), 0);
+                uint64_t lw = 0, rw = 0;
+                for (size_t j = lo; j < hi; ++j) {
+                    size_t r = frontier_[j];
+                    uint64_t w = ds.weight(r);
+                    if (colv[r] <= thr) {
+                        lt_[row_label_idx_[r]] += w;
+                        lw += w;
+                    } else {
+                        rt_[row_label_idx_[r]] += w;
+                        rw += w;
+                    }
+                }
+                ds.noteStreamed(2 * gatherBytes(ds, nrows, nrows));
+                if (lw == 0 || rw == 0)
+                    continue;
+                double child =
+                    (static_cast<double>(lw) * gini(lt_, lw) +
+                     static_cast<double>(rw) * gini(rt_, rw)) /
+                    static_cast<double>(total_w);
+                double gain = parent_gini - child;
+                if (gain > best_gain) {
+                    best_gain = gain;
+                    best_col = col;
+                    best_thr = thr;
+                }
             }
         }
     }
 
     if (best_col == SIZE_MAX)
-        return makeLeaf(ds, rows);
+        return makeLeaf(ds, lo, hi);
 
+    // Stable in-place partition of the frontier range: left rows
+    // compact forward in original order, right rows return from the
+    // scratch in original order — the same sequences the legacy
+    // left/right vectors held, without O(rows) memory per node.
     const uint64_t *bestv = ds.columnData(best_col);
-    std::vector<size_t> left, right;
-    for (size_t r : rows) {
-        if (bestv[r] <= best_thr)
-            left.push_back(r);
-        else
-            right.push_back(r);
+    partScratch_.clear();
+    size_t w = lo;
+    for (size_t base = 0; base < nrows; base += blk) {
+        size_t n = std::min(blk, nrows - base);
+        for (size_t i = 0; i < n; ++i) {
+            size_t r = frontier_[lo + base + i];
+            if (bestv[r] <= best_thr)
+                frontier_[w++] = r;
+            else
+                partScratch_.push_back(r);
+        }
+        ds.noteStreamed(gatherBytes(ds, n, nrows));
     }
+    std::copy(partScratch_.begin(), partScratch_.end(),
+              frontier_.begin() + static_cast<long>(w));
+    size_t mid = w;
 
     // Reserve this node's slot before recursing.
     nodes_.emplace_back();
     int self = static_cast<int>(nodes_.size() - 1);
-    int li = build(ds, cols, left, depth + 1, rng);
-    int ri = build(ds, cols, right, depth + 1, rng);
+    int li = build(ds, cols, lo, mid, depth + 1, rng);
+    int ri = build(ds, cols, mid, hi, depth + 1, rng);
     Node &n = nodes_[static_cast<size_t>(self)];
     n.leaf = false;
     n.col = best_col;
@@ -216,8 +350,8 @@ DecisionTree::build(const Dataset &ds, const std::vector<size_t> &cols,
 }
 
 int
-DecisionTree::walk(const Dataset &ds, size_t row, size_t override_col,
-                   uint64_t override_value) const
+DecisionTree::walk(const DatasetView &ds, size_t row,
+                   size_t override_col, uint64_t override_value) const
 {
     if (nodes_.empty())
         util::panic("DecisionTree::walk before train()");
@@ -233,7 +367,8 @@ DecisionTree::walk(const Dataset &ds, size_t row, size_t override_col,
 }
 
 uint64_t
-DecisionTree::predict(const Dataset &ds, size_t row, size_t override_col,
+DecisionTree::predict(const DatasetView &ds, size_t row,
+                      size_t override_col,
                       uint64_t override_value) const
 {
     return nodes_[static_cast<size_t>(
@@ -242,7 +377,7 @@ DecisionTree::predict(const Dataset &ds, size_t row, size_t override_col,
 }
 
 size_t
-DecisionTree::predictRow(const Dataset &ds, size_t row,
+DecisionTree::predictRow(const DatasetView &ds, size_t row,
                          size_t override_col,
                          uint64_t override_value) const
 {
@@ -252,7 +387,7 @@ DecisionTree::predictRow(const Dataset &ds, size_t row,
 }
 
 void
-DecisionTree::predictRows(const Dataset &ds, size_t row_begin,
+DecisionTree::predictRows(const DatasetView &ds, size_t row_begin,
                           size_t row_end, uint64_t *out_labels,
                           size_t override_col,
                           const uint64_t *override_values) const
@@ -265,6 +400,24 @@ DecisionTree::predictRows(const Dataset &ds, size_t row_begin,
                        walk(ds, r, override_col, ov))]
                 .label;
     }
+}
+
+uint64_t
+DecisionTree::fingerprint() const
+{
+    uint64_t h = util::mixCombine(0x7ee5f1ULL, nodes_.size());
+    for (const Node &n : nodes_) {
+        h = util::mixCombine(h, n.leaf ? 1 : 0);
+        h = util::mixCombine(h, static_cast<uint64_t>(n.col));
+        h = util::mixCombine(h, n.threshold);
+        h = util::mixCombine(
+            h, static_cast<uint64_t>(static_cast<int64_t>(n.left)));
+        h = util::mixCombine(
+            h, static_cast<uint64_t>(static_cast<int64_t>(n.right)));
+        h = util::mixCombine(h, n.label);
+        h = util::mixCombine(h, static_cast<uint64_t>(n.representative));
+    }
+    return h ? h : 1;
 }
 
 }  // namespace ml

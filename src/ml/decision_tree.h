@@ -4,6 +4,20 @@
  * features, used as a reference learner in the predictor ablation
  * (and as the building block of RandomForest, the model family the
  * PFI literature [6] is defined on).
+ *
+ * Construction is streaming / out-of-core friendly: nodes reference
+ * [begin, end) ranges of ONE row-index frontier that is partitioned
+ * in place (stable, left rows first), instead of materializing
+ * per-node row vectors — index memory is O(rows) for the whole
+ * build, while the O(rows x features) value matrix is only ever
+ * *read* through DatasetView columns in block-sized passes
+ * (ds.noteStreamed() fires every streamBlockRows() rows so a
+ * memory-mapped store can cap its residency). Split evaluation
+ * tallies a per-distinct-value weight histogram in one pass and
+ * prefix-sums it across thresholds; all tallies are uint64, so the
+ * restructuring is bitwise identical to the legacy per-threshold
+ * rescan — the Gini doubles are computed from the exact same
+ * integers in the same order.
  */
 
 #ifndef SNIP_ML_DECISION_TREE_H
@@ -35,23 +49,23 @@ class DecisionTree : public Predictor
   public:
     explicit DecisionTree(TreeConfig cfg = {});
 
-    void train(const Dataset &ds,
+    void train(const DatasetView &ds,
                const std::vector<size_t> &feature_cols) override;
 
     /** Train on a row subset (bootstrap sample) — forest use. */
-    void trainOnRows(const Dataset &ds,
+    void trainOnRows(const DatasetView &ds,
                      const std::vector<size_t> &feature_cols,
                      const std::vector<size_t> &rows);
 
-    uint64_t predict(const Dataset &ds, size_t row,
+    uint64_t predict(const DatasetView &ds, size_t row,
                      size_t override_col = SIZE_MAX,
                      uint64_t override_value = 0) const override;
 
-    size_t predictRow(const Dataset &ds, size_t row,
+    size_t predictRow(const DatasetView &ds, size_t row,
                       size_t override_col = SIZE_MAX,
                       uint64_t override_value = 0) const override;
 
-    void predictRows(const Dataset &ds, size_t row_begin,
+    void predictRows(const DatasetView &ds, size_t row_begin,
                      size_t row_end, uint64_t *out_labels,
                      size_t override_col = SIZE_MAX,
                      const uint64_t *override_values =
@@ -65,7 +79,7 @@ class DecisionTree : public Predictor
      * path descends once and reads label/representative by node id
      * instead of descending again per query.
      */
-    size_t leafIndex(const Dataset &ds, size_t row,
+    size_t leafIndex(const DatasetView &ds, size_t row,
                      size_t override_col = SIZE_MAX,
                      uint64_t override_value = 0) const
     {
@@ -85,6 +99,9 @@ class DecisionTree : public Predictor
         return nodes_[node].representative;
     }
 
+    /** Structural hash of the trained tree (see Predictor). */
+    uint64_t fingerprint() const override;
+
   private:
     struct Node {
         bool leaf = true;
@@ -96,10 +113,10 @@ class DecisionTree : public Predictor
         size_t representative = SIZE_MAX;
     };
 
-    int build(const Dataset &ds, const std::vector<size_t> &cols,
-              std::vector<size_t> &rows, int depth, util::Rng &rng);
-    int makeLeaf(const Dataset &ds, const std::vector<size_t> &rows);
-    int walk(const Dataset &ds, size_t row, size_t override_col,
+    int build(const DatasetView &ds, const std::vector<size_t> &cols,
+              size_t lo, size_t hi, int depth, util::Rng &rng);
+    int makeLeaf(const DatasetView &ds, size_t lo, size_t hi);
+    int walk(const DatasetView &ds, size_t row, size_t override_col,
              uint64_t override_value) const;
 
     TreeConfig cfg_;
@@ -119,6 +136,21 @@ class DecisionTree : public Predictor
     std::vector<uint64_t> tally_, lt_, rt_;
     /** First training row seen per label (leaf representatives). */
     std::vector<size_t> repr_;
+
+    /**
+     * The row-index frontier: one array holding every training row,
+     * partitioned in place as the tree grows. Nodes under
+     * construction reference [lo, hi) ranges of it.
+     */
+    std::vector<size_t> frontier_;
+    /** Right-side rows during the stable in-place partition. */
+    std::vector<size_t> partScratch_;
+    /** Gathered column values of the current node (sorted/uniqued). */
+    std::vector<uint64_t> vals_;
+    /** distinct-value x label weight histogram (one split pass). */
+    std::vector<uint64_t> hist_;
+    /** Per-distinct-value total weight (parallel to vals_). */
+    std::vector<uint64_t> histW_;
 };
 
 }  // namespace ml

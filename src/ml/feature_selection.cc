@@ -30,7 +30,7 @@ struct HoldoutEval {
 };
 
 HoldoutEval
-evaluateHoldout(TablePredictor &model, const Dataset &ds,
+evaluateHoldout(TablePredictor &model, const DatasetView &ds,
                 const std::vector<size_t> &holdout)
 {
     // Prequential walk: misses are inserted (first-wins), exactly
@@ -62,7 +62,7 @@ evaluateHoldout(TablePredictor &model, const Dataset &ds,
 }  // namespace
 
 SelectionResult
-selectNecessaryInputs(const Dataset &ds, const SelectionConfig &cfg)
+selectNecessaryInputs(const DatasetView &ds, const SelectionConfig &cfg)
 {
     SelectionResult out;
     obs::Span sel_span(cfg.obs, "select");

@@ -102,7 +102,7 @@ struct SelectionConfig {
 };
 
 /** Run the iterative trimming on one event type's dataset. */
-SelectionResult selectNecessaryInputs(const Dataset &ds,
+SelectionResult selectNecessaryInputs(const DatasetView &ds,
                                       const SelectionConfig &cfg = {});
 
 }  // namespace ml

@@ -8,7 +8,7 @@ namespace snip {
 namespace ml {
 
 void
-Predictor::predictRows(const Dataset &ds, size_t row_begin,
+Predictor::predictRows(const DatasetView &ds, size_t row_begin,
                        size_t row_end, uint64_t *out_labels,
                        size_t override_col,
                        const uint64_t *override_values) const
@@ -24,7 +24,7 @@ Predictor::predictRows(const Dataset &ds, size_t row_begin,
 }
 
 double
-weightedErrorRate(const Predictor &p, const Dataset &ds)
+weightedErrorRate(const Predictor &p, const DatasetView &ds)
 {
     // Batched so forests pay the per-range cost once, in blocks
     // small enough to stay cache-resident.

@@ -30,7 +30,7 @@ class Predictor
     /**
      * Fit on @p ds using only @p feature_cols (column indices).
      */
-    virtual void train(const Dataset &ds,
+    virtual void train(const DatasetView &ds,
                        const std::vector<size_t> &feature_cols) = 0;
 
     /**
@@ -39,7 +39,7 @@ class Predictor
      * != SIZE_MAX, the value of that column is @p override_value
      * (how PFI permutes a column without copying the matrix).
      */
-    virtual uint64_t predict(const Dataset &ds, size_t row,
+    virtual uint64_t predict(const DatasetView &ds, size_t row,
                              size_t override_col = SIZE_MAX,
                              uint64_t override_value = 0) const = 0;
 
@@ -48,7 +48,7 @@ class Predictor
      * predicted label, or SIZE_MAX when unavailable. Lets callers
      * recover concrete output field values behind a prediction.
      */
-    virtual size_t predictRow(const Dataset &ds, size_t row,
+    virtual size_t predictRow(const DatasetView &ds, size_t row,
                               size_t override_col = SIZE_MAX,
                               uint64_t override_value = 0) const = 0;
 
@@ -63,11 +63,21 @@ class Predictor
      * (the forest walks each tree once over the range instead of
      * re-descending every tree per row).
      */
-    virtual void predictRows(const Dataset &ds, size_t row_begin,
+    virtual void predictRows(const DatasetView &ds, size_t row_begin,
                              size_t row_end, uint64_t *out_labels,
                              size_t override_col = SIZE_MAX,
                              const uint64_t *override_values =
                                  nullptr) const;
+
+    /**
+     * Content fingerprint of the trained model: equal fingerprints
+     * must imply identical prediction behaviour for identical
+     * inputs. 0 means "unfingerprintable" and disables any caching
+     * keyed on it (the base-class default; concrete predictors hash
+     * their trained state). Never 0 from an implementation that
+     * supports it.
+     */
+    virtual uint64_t fingerprint() const { return 0; }
 };
 
 /**
@@ -75,7 +85,7 @@ class Predictor
  * (weights = dynamic instructions, matching the paper's
  * "% execution" accounting).
  */
-double weightedErrorRate(const Predictor &p, const Dataset &ds);
+double weightedErrorRate(const Predictor &p, const DatasetView &ds);
 
 }  // namespace ml
 }  // namespace snip

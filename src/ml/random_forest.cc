@@ -37,7 +37,7 @@ constexpr size_t kVoteBlock = 64;
 RandomForest::RandomForest(ForestConfig cfg) : cfg_(cfg) {}
 
 void
-RandomForest::train(const Dataset &ds,
+RandomForest::train(const DatasetView &ds,
                     const std::vector<size_t> &feature_cols)
 {
     size_t num_trees = static_cast<size_t>(cfg_.num_trees);
@@ -120,7 +120,7 @@ RandomForest::majorityIndex(const uint32_t *votes) const
 }
 
 uint64_t
-RandomForest::predict(const Dataset &ds, size_t row,
+RandomForest::predict(const DatasetView &ds, size_t row,
                       size_t override_col,
                       uint64_t override_value) const
 {
@@ -137,7 +137,7 @@ RandomForest::predict(const Dataset &ds, size_t row,
 }
 
 size_t
-RandomForest::predictRow(const Dataset &ds, size_t row,
+RandomForest::predictRow(const DatasetView &ds, size_t row,
                          size_t override_col,
                          uint64_t override_value) const
 {
@@ -166,7 +166,7 @@ RandomForest::predictRow(const Dataset &ds, size_t row,
 }
 
 void
-RandomForest::predictRows(const Dataset &ds, size_t row_begin,
+RandomForest::predictRows(const DatasetView &ds, size_t row_begin,
                           size_t row_end, uint64_t *out_labels,
                           size_t override_col,
                           const uint64_t *override_values) const
@@ -201,7 +201,23 @@ RandomForest::predictRows(const Dataset &ds, size_t row_begin,
             out_labels[r - row_begin] = labels_[majorityIndex(
                 s.votes.data() + (r - b0) * num_labels)];
         }
+        // Blocks walk the rows in order, so each descent reads a
+        // consecutive slice of whichever columns its path tests;
+        // charging every feature column for the block upper-bounds
+        // the fresh residency (no-op on in-memory datasets).
+        ds.noteStreamed(block * 8 * ds.numFeatures());
     }
+}
+
+uint64_t
+RandomForest::fingerprint() const
+{
+    uint64_t h = util::mixCombine(0xf02e57f9ULL, trees_.size());
+    for (const auto &t : trees_)
+        h = util::mixCombine(h, t->fingerprint());
+    for (uint64_t lbl : labels_)
+        h = util::mixCombine(h, lbl);
+    return h ? h : 1;
 }
 
 }  // namespace ml

@@ -46,18 +46,18 @@ class RandomForest : public Predictor
   public:
     explicit RandomForest(ForestConfig cfg = {});
 
-    void train(const Dataset &ds,
+    void train(const DatasetView &ds,
                const std::vector<size_t> &feature_cols) override;
 
-    uint64_t predict(const Dataset &ds, size_t row,
+    uint64_t predict(const DatasetView &ds, size_t row,
                      size_t override_col = SIZE_MAX,
                      uint64_t override_value = 0) const override;
 
-    size_t predictRow(const Dataset &ds, size_t row,
+    size_t predictRow(const DatasetView &ds, size_t row,
                       size_t override_col = SIZE_MAX,
                       uint64_t override_value = 0) const override;
 
-    void predictRows(const Dataset &ds, size_t row_begin,
+    void predictRows(const DatasetView &ds, size_t row_begin,
                      size_t row_end, uint64_t *out_labels,
                      size_t override_col = SIZE_MAX,
                      const uint64_t *override_values =
@@ -68,6 +68,9 @@ class RandomForest : public Predictor
 
     /** Distinct leaf labels across the forest (vote-buffer width). */
     size_t labelCount() const { return labels_.size(); }
+
+    /** Structural hash over all trees (see Predictor). */
+    uint64_t fingerprint() const override;
 
   private:
     /** Majority label index from a tally, ties to smallest label. */

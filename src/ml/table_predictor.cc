@@ -47,7 +47,7 @@ TablePredictor::find(uint64_t key) const
 }
 
 uint64_t
-TablePredictor::keyOf(const Dataset &ds, size_t row, size_t override_col,
+TablePredictor::keyOf(const DatasetView &ds, size_t row, size_t override_col,
                       uint64_t override_value) const
 {
     uint64_t h = 0x5eedf00d5eedULL;
@@ -60,7 +60,7 @@ TablePredictor::keyOf(const Dataset &ds, size_t row, size_t override_col,
 }
 
 void
-TablePredictor::train(const Dataset &ds,
+TablePredictor::train(const DatasetView &ds,
                       const std::vector<size_t> &feature_cols)
 {
     std::vector<size_t> rows(ds.numRows());
@@ -70,7 +70,7 @@ TablePredictor::train(const Dataset &ds,
 }
 
 void
-TablePredictor::trainOnRows(const Dataset &ds,
+TablePredictor::trainOnRows(const DatasetView &ds,
                             const std::vector<size_t> &feature_cols,
                             const std::vector<size_t> &rows)
 {
@@ -163,7 +163,7 @@ TablePredictor::trainOnRows(const Dataset &ds,
 }
 
 uint64_t
-TablePredictor::predict(const Dataset &ds, size_t row,
+TablePredictor::predict(const DatasetView &ds, size_t row,
                         size_t override_col,
                         uint64_t override_value) const
 {
@@ -172,7 +172,7 @@ TablePredictor::predict(const Dataset &ds, size_t row,
 }
 
 void
-TablePredictor::predictRows(const Dataset &ds, size_t row_begin,
+TablePredictor::predictRows(const DatasetView &ds, size_t row_begin,
                             size_t row_end, uint64_t *out_labels,
                             size_t override_col,
                             const uint64_t *override_values) const
@@ -188,7 +188,7 @@ TablePredictor::predictRows(const Dataset &ds, size_t row_begin,
 }
 
 size_t
-TablePredictor::predictRow(const Dataset &ds, size_t row,
+TablePredictor::predictRow(const DatasetView &ds, size_t row,
                            size_t override_col,
                            uint64_t override_value) const
 {
@@ -197,7 +197,7 @@ TablePredictor::predictRow(const Dataset &ds, size_t row,
 }
 
 bool
-TablePredictor::lookupLabel(const Dataset &ds, size_t row,
+TablePredictor::lookupLabel(const DatasetView &ds, size_t row,
                             uint64_t &label) const
 {
     Hit h = find(keyOf(ds, row, SIZE_MAX, 0));
@@ -208,7 +208,7 @@ TablePredictor::lookupLabel(const Dataset &ds, size_t row,
 }
 
 void
-TablePredictor::insertRow(const Dataset &ds, size_t row)
+TablePredictor::insertRow(const DatasetView &ds, size_t row)
 {
     // Online inserts never touch the frozen arrays; first-wins
     // semantics across both layers (frozen keys shadow the delta).
@@ -220,6 +220,34 @@ TablePredictor::insertRow(const Dataset &ds, size_t row)
     e.representative_row = row;
     e.distinct_labels = 1;
     delta_[key] = e;
+}
+
+uint64_t
+TablePredictor::fingerprint() const
+{
+    uint64_t h = util::mixCombine(0x7ab1ef9ULL, fkeys_.size());
+    for (size_t c : cols_)
+        h = util::mixCombine(h, c);
+    for (size_t i = 0; i < fkeys_.size(); ++i) {
+        h = util::mixCombine(h, fkeys_[i]);
+        h = util::mixCombine(h, flabels_[i]);
+        h = util::mixCombine(h, static_cast<uint64_t>(freprs_[i]));
+    }
+    h = util::mixCombine(h, fallbackLabel_);
+    h = util::mixCombine(h, static_cast<uint64_t>(fallbackRow_));
+    std::vector<uint64_t> dkeys;
+    dkeys.reserve(delta_.size());
+    for (const auto &kv : delta_)
+        dkeys.push_back(kv.first);
+    std::sort(dkeys.begin(), dkeys.end());
+    for (uint64_t k : dkeys) {
+        const Entry &e = delta_.at(k);
+        h = util::mixCombine(h, k);
+        h = util::mixCombine(h, e.majority_label);
+        h = util::mixCombine(
+            h, static_cast<uint64_t>(e.representative_row));
+    }
+    return h ? h : 1;
 }
 
 double

@@ -21,23 +21,23 @@ namespace ml {
 class TablePredictor : public Predictor
 {
   public:
-    void train(const Dataset &ds,
+    void train(const DatasetView &ds,
                const std::vector<size_t> &feature_cols) override;
 
     /** Train on a row subset (for held-out evaluation). */
-    void trainOnRows(const Dataset &ds,
+    void trainOnRows(const DatasetView &ds,
                      const std::vector<size_t> &feature_cols,
                      const std::vector<size_t> &rows);
 
-    uint64_t predict(const Dataset &ds, size_t row,
+    uint64_t predict(const DatasetView &ds, size_t row,
                      size_t override_col = SIZE_MAX,
                      uint64_t override_value = 0) const override;
 
-    size_t predictRow(const Dataset &ds, size_t row,
+    size_t predictRow(const DatasetView &ds, size_t row,
                       size_t override_col = SIZE_MAX,
                       uint64_t override_value = 0) const override;
 
-    void predictRows(const Dataset &ds, size_t row_begin,
+    void predictRows(const DatasetView &ds, size_t row_begin,
                      size_t row_end, uint64_t *out_labels,
                      size_t override_col = SIZE_MAX,
                      const uint64_t *override_values =
@@ -49,7 +49,7 @@ class TablePredictor : public Predictor
      * Misses fall back to full processing and are therefore not
      * errors, the distinction the feature selector relies on.
      */
-    bool lookupLabel(const Dataset &ds, size_t row,
+    bool lookupLabel(const DatasetView &ds, size_t row,
                      uint64_t &label) const;
 
     /**
@@ -57,7 +57,7 @@ class TablePredictor : public Predictor
      * key already exists (append-only, first wins — the deployed
      * table's semantics between cloud re-learns).
      */
-    void insertRow(const Dataset &ds, size_t row);
+    void insertRow(const DatasetView &ds, size_t row);
 
     /** Number of distinct keys in the trained table. */
     size_t tableRows() const { return fkeys_.size() + delta_.size(); }
@@ -75,6 +75,13 @@ class TablePredictor : public Predictor
         return ambiguousWeightFraction_;
     }
 
+    /**
+     * Content hash over the full table state (see Predictor):
+     * covers the frozen columns, the fallback, AND the online delta
+     * (sorted by key), since insertRow() changes predictions too.
+     */
+    uint64_t fingerprint() const override;
+
   private:
     struct Entry {
         uint64_t majority_label = kNoLabel;
@@ -82,7 +89,7 @@ class TablePredictor : public Predictor
         uint32_t distinct_labels = 0;
     };
 
-    uint64_t keyOf(const Dataset &ds, size_t row, size_t override_col,
+    uint64_t keyOf(const DatasetView &ds, size_t row, size_t override_col,
                    uint64_t override_value) const;
 
     /** Frozen-table probe: entry index for @p key, or SIZE_MAX. */

@@ -10,7 +10,7 @@
  *
  * Layout (little-endian, all array offsets 8-aligned):
  *
- *   header (72 B): magic "SNCT", version, total_size u64,
+ *   header (72 B, v1): magic "SNCT", version, total_size u64,
  *     nevents u64, ntypes u32, game_len u32, then five u64 offsets:
  *     type_off  -> u8[nevents]   event type codes
  *     row_off   -> u32[nevents]  per-type row index (O(1) random
@@ -25,13 +25,35 @@
  *     u64[nrows * nfields] *column-major* (field f's values are
  *     adjacent: cols[f * nrows .. (f + 1) * nrows)).
  *
+ * Version 2 extends the header to 88 B for *training sections* —
+ * per-type feature/label/weight columns in exactly the shape the ML
+ * layer trains on (ml::ChunkedDataset maps them directly):
+ *
+ *   header v2 additions: train_dir_off u64 at 72, ntrain u32 at 80,
+ *     pad u32 at 84; the game name moves to offset 88.
+ *   training directory record (80 B): type u32, nfeat u32, nout u32,
+ *     crc u32, nrows u64, then six u64 offsets — feat_ids ->
+ *     u32[nfeat] (ascending field ids), feat_cols ->
+ *     u64[nfeat * nrows] column-major feature values (the
+ *     union-of-locations matrix; kTrainingAbsent marks "record did
+ *     not read this location"), labels -> u64[nrows] output-
+ *     signature hashes, weights -> u64[nrows] max(1, instructions),
+ *     out_ids -> u32[nout] and out_cols -> u64[nout * nrows] (the
+ *     output fields, for reconstructing records, e.g. table
+ *     prefill) — and a reserved u64. crc chains the per-column
+ *     crc32 words (see columnar_log.cc) so bit flips anywhere in a
+ *     section are rejected at attach() time.
+ *
  * Events of one type always carry exactly the handler's event
  * fields in canonical order, which is what makes uniform per-type
  * columns valid; encode() rejects a trace violating that.
  *
  * Like the SNPE decoder, attach()/open() validate everything before
  * trusting it: a malformed, truncated, or bit-flipped file yields
- * an error Status, never UB.
+ * an error Status, never UB. Training-section payloads are CRC-
+ * verified with a streaming scan (block-sized, with MADV_DONTNEED
+ * between blocks on mmap-backed views, so verifying a multi-GB
+ * trace never grows RSS past one block).
  */
 
 #ifndef SNIP_TRACE_COLUMNAR_LOG_H
@@ -50,8 +72,17 @@ namespace trace {
 
 /** Columnar trace magic ("SNCT"), first word of the layout. */
 constexpr uint32_t kColumnarMagic = 0x534e4354;
-/** Columnar trace format version. */
-constexpr uint32_t kColumnarVersion = 1;
+/** Columnar trace format version (2 adds training sections). */
+constexpr uint32_t kColumnarVersion = 2;
+/** Oldest version attach() still reads. */
+constexpr uint32_t kColumnarMinVersion = 1;
+
+/**
+ * "Record did not read this location" marker in training feature /
+ * output columns. ml::kAbsent mirrors this value (static_assert'd
+ * where the two meet) so mapped columns feed the ML layer verbatim.
+ */
+constexpr uint64_t kTrainingAbsent = 0xab5e9700ab5e9700ULL;
 
 /**
  * Immutable reader over a columnar trace buffer. All methods are
@@ -69,14 +100,28 @@ class ColumnarLog
                                std::vector<uint8_t> *out);
 
     /**
+     * Encode a profile's per-type training sections (v2): for every
+     * event type with records, the union-of-locations feature
+     * matrix, output-signature labels, instruction weights and
+     * output columns, in the exact shape ml::ChunkedDataset maps.
+     * The result carries no event stream (nevents = 0).
+     */
+    static util::Status encodeTraining(const Profile &profile,
+                                       std::vector<uint8_t> *out);
+
+    /**
      * Attach a validated view over columnar bytes. Every offset,
-     * count and type code is bounds-checked before the view is
-     * returned. @p owner keeps the backing buffer alive (zero-copy);
-     * misaligned buffers are copied into owned aligned storage.
+     * count and type code is bounds-checked — and training sections
+     * CRC-verified — before the view is returned. @p owner keeps
+     * the backing buffer alive (zero-copy); misaligned buffers are
+     * copied into owned aligned storage. @p mmap_backed marks the
+     * buffer as a private file mapping whose clean pages the reader
+     * may drop (releaseResidency / the streaming CRC verify).
      */
     static util::Result<std::shared_ptr<const ColumnarLog>>
     attach(const uint8_t *data, size_t size,
-           std::shared_ptr<const void> owner);
+           std::shared_ptr<const void> owner,
+           bool mmap_backed = false);
 
     /**
      * Open a columnar trace file: mmap(2) when available (the
@@ -96,6 +141,39 @@ class ColumnarLog
     size_t eventCount() const { return nevents_; }
     /** Whether the buffer is a borrowed (mmap/attach) view. */
     bool zeroCopy() const { return owned_.empty(); }
+    /** Whether the buffer is a droppable private file mapping. */
+    bool mmapBacked() const { return mmap_backed_; }
+
+    /** Mapped training section of one event type (v2). */
+    struct TrainingCols {
+        uint32_t nfeat = 0;
+        uint32_t nout = 0;
+        uint64_t nrows = 0;
+        const uint32_t *feat_ids = nullptr;  // ascending field ids
+        const uint64_t *feat_cols = nullptr; // column-major
+        const uint64_t *labels = nullptr;
+        const uint64_t *weights = nullptr;
+        const uint32_t *out_ids = nullptr;   // ascending field ids
+        const uint64_t *out_cols = nullptr;  // column-major
+    };
+
+    /** Training section for @p t, or nullptr when absent. */
+    const TrainingCols *training(events::EventType t) const
+    {
+        int i = static_cast<int>(t);
+        return has_training_[i] ? &training_[i] : nullptr;
+    }
+
+    /** Event types with training sections, in enum order. */
+    std::vector<events::EventType> trainingTypes() const;
+
+    /**
+     * Drop resident pages of an mmap-backed view (MADV_DONTNEED on
+     * the private read-only mapping: clean pages refault from the
+     * page cache on next touch). No-op otherwise; never changes the
+     * bytes seen through the view.
+     */
+    void releaseResidency() const;
 
     /**
      * Decode event @p i into @p ev, reusing its field storage (no
@@ -127,6 +205,7 @@ class ColumnarLog
 
     std::string game_;
     size_t nevents_ = 0;
+    bool mmap_backed_ = false;
     const uint8_t *type_ = nullptr;
     const uint32_t *row_ = nullptr;
     const uint64_t *seq_ = nullptr;
@@ -134,6 +213,55 @@ class ColumnarLog
     std::array<TypeCols, events::kNumEventTypes> types_{};
     /** Directory entry present for this type code. */
     std::array<bool, events::kNumEventTypes> has_type_{};
+    std::array<TrainingCols, events::kNumEventTypes> training_{};
+    std::array<bool, events::kNumEventTypes> has_training_{};
+};
+
+/**
+ * Streaming writer of a v2 trace that holds ONE training section,
+ * for generating / converting multi-GB training files with bounded
+ * memory: the full layout (declared row count) is reserved up
+ * front, rows are appended through a fixed-size buffer that flushes
+ * each column slice to its file offset (pwrite), per-column CRCs
+ * are chained across flushes, and finish() patches the section CRC.
+ * The file is invalid (attach() rejects it) until finish() returns
+ * Ok with exactly the declared number of rows added.
+ */
+class TrainingWriter
+{
+  public:
+    TrainingWriter();
+    ~TrainingWriter();
+    TrainingWriter(const TrainingWriter &) = delete;
+    TrainingWriter &operator=(const TrainingWriter &) = delete;
+
+    /**
+     * Create @p path and reserve the layout. @p feat_ids /
+     * @p out_ids must be ascending; @p nrows is the exact row count
+     * finish() will require.
+     */
+    util::Status create(const std::string &path,
+                        const std::string &game, events::EventType t,
+                        const std::vector<uint32_t> &feat_ids,
+                        const std::vector<uint32_t> &out_ids,
+                        uint64_t nrows);
+
+    /**
+     * Append one row: @p feat / @p out are parallel to the id
+     * arrays given to create() (kTrainingAbsent for unread
+     * locations); @p weight must be >= 1.
+     */
+    util::Status addRow(const uint64_t *feat, uint64_t label,
+                        uint64_t weight, const uint64_t *out);
+
+    /** Flush, patch CRCs, close. Errors unless rows == declared. */
+    util::Status finish();
+
+  private:
+    util::Status flush();
+
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
 };
 
 }  // namespace trace

@@ -10,8 +10,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <set>
 
+#include "ml/chunked_dataset.h"
 #include "ml/dataset.h"
 #include "ml/decision_tree.h"
 #include "ml/feature_selection.h"
@@ -609,6 +611,274 @@ TEST_P(SelectionSizeTest, ErrorWithinBudget)
 
 INSTANTIATE_TEST_SUITE_P(Sizes, SelectionSizeTest,
                          ::testing::Values(32, 100, 400, 1500));
+
+// ----------------------------------------------------- ChunkedDataset
+
+/** Synthetic records encoded as an SNCT v2 training trace. */
+std::shared_ptr<const trace::ColumnarLog>
+trainingLog(const Synthetic &syn)
+{
+    trace::Profile p;
+    p.game = "synthetic";
+    p.records = syn.records;
+    auto bytes = std::make_shared<std::vector<uint8_t>>();
+    util::Status st =
+        trace::ColumnarLog::encodeTraining(p, bytes.get());
+    EXPECT_TRUE(st.ok()) << st.message();
+    auto log = trace::ColumnarLog::attach(bytes->data(),
+                                          bytes->size(), bytes);
+    EXPECT_TRUE(log.ok()) << log.status().message();
+    return log.value();
+}
+
+void
+expectSameSelection(const SelectionResult &a, const SelectionResult &b)
+{
+    EXPECT_EQ(a.selected, b.selected);
+    EXPECT_EQ(a.selected_bytes, b.selected_bytes);
+    EXPECT_EQ(a.selected_error, b.selected_error);
+    EXPECT_EQ(a.selected_hit_rate, b.selected_hit_rate);
+    ASSERT_EQ(a.curve.size(), b.curve.size());
+    for (size_t i = 0; i < a.curve.size(); ++i) {
+        EXPECT_EQ(a.curve[i].dropped, b.curve[i].dropped);
+        EXPECT_EQ(a.curve[i].error, b.curve[i].error);
+    }
+}
+
+// The mmap-shaped view must be cell-for-cell the in-memory Dataset:
+// same columns, values, absent markers, labels, weights — and
+// therefore train bitwise-identical models and selections.
+TEST(ChunkedDatasetTest, MatchesInMemoryDataset)
+{
+    Synthetic syn(400);
+    // Punch holes so the absent marker crosses the format too.
+    for (size_t i = 0; i < syn.records.size(); i += 3)
+        syn.records[i].inputs.erase(syn.records[i].inputs.begin() +
+                                    2);
+    Dataset mem(syn.ptrs(), syn.schema);
+    auto log = trainingLog(syn);
+    auto cds = ChunkedDataset::attach(log, events::EventType::Touch,
+                                      syn.schema);
+    ASSERT_TRUE(cds.ok()) << cds.status().message();
+    const ChunkedDataset &ch = *cds.value();
+
+    ASSERT_EQ(ch.numRows(), mem.numRows());
+    ASSERT_EQ(ch.numFeatures(), mem.numFeatures());
+    EXPECT_EQ(ch.totalWeight(), mem.totalWeight());
+    for (size_t c = 0; c < mem.numFeatures(); ++c) {
+        EXPECT_EQ(ch.featureField(c), mem.featureField(c));
+        for (size_t r = 0; r < mem.numRows(); ++r)
+            ASSERT_EQ(ch.value(r, c), mem.value(r, c))
+                << "row " << r << " col " << c;
+    }
+    for (size_t r = 0; r < mem.numRows(); ++r) {
+        ASSERT_EQ(ch.label(r), mem.label(r));
+        ASSERT_EQ(ch.weight(r), mem.weight(r));
+    }
+
+    std::vector<size_t> cols(mem.numFeatures());
+    for (size_t i = 0; i < cols.size(); ++i)
+        cols[i] = i;
+    ForestConfig fc;
+    fc.num_trees = 8;
+    RandomForest fm(fc), fch(fc);
+    fm.train(mem, cols);
+    fch.train(ch, cols);
+    EXPECT_EQ(fm.fingerprint(), fch.fingerprint());
+
+    SelectionConfig sc;
+    expectSameSelection(selectNecessaryInputs(mem, sc),
+                        selectNecessaryInputs(ch, sc));
+}
+
+// materializeRecord must reconstruct exactly the records the table
+// prefill consumes: canonical input/output order, holes skipped,
+// weight carried as instructions.
+TEST(ChunkedDatasetTest, MaterializeRecordRoundTrip)
+{
+    Synthetic syn(60);
+    for (size_t i = 1; i < syn.records.size(); i += 4)
+        syn.records[i].inputs.erase(syn.records[i].inputs.begin());
+    auto log = trainingLog(syn);
+    auto cds = ChunkedDataset::attach(log, events::EventType::Touch,
+                                      syn.schema);
+    ASSERT_TRUE(cds.ok()) << cds.status().message();
+    games::HandlerExecution rec;
+    for (size_t r = 0; r < syn.records.size(); ++r) {
+        cds.value()->materializeRecord(r, &rec);
+        EXPECT_EQ(rec.type, syn.records[r].type);
+        EXPECT_EQ(rec.inputs, syn.records[r].inputs) << r;
+        EXPECT_EQ(rec.outputs, syn.records[r].outputs) << r;
+        EXPECT_EQ(rec.cpu_instructions,
+                  syn.records[r].cpu_instructions);
+    }
+}
+
+// The digest-equality contract, block-size axis: any block geometry
+// ({1, 64, 4096, all-rows}) must produce bitwise-identical forests
+// and selections — noteStreamed cadence only drops clean pages,
+// never changes bytes.
+TEST(ChunkedDatasetTest, BlockSizeInvarianceFuzz)
+{
+    Synthetic syn(500, 9);
+    auto log = trainingLog(syn);
+    std::vector<size_t> blocks = {1, 64, 4096, syn.records.size()};
+
+    uint64_t want_fp = 0;
+    SelectionResult want_sel;
+    for (size_t bi = 0; bi < blocks.size(); ++bi) {
+        ChunkedConfig cfg;
+        cfg.block_rows = blocks[bi];
+        cfg.residency_budget_bytes = 1 << 16;  // aggressive drops
+        auto cds = ChunkedDataset::attach(
+            log, events::EventType::Touch, syn.schema, cfg);
+        ASSERT_TRUE(cds.ok()) << cds.status().message();
+        std::vector<size_t> cols(cds.value()->numFeatures());
+        for (size_t i = 0; i < cols.size(); ++i)
+            cols[i] = i;
+        ForestConfig fc;
+        fc.num_trees = 6;
+        RandomForest f(fc);
+        f.train(*cds.value(), cols);
+        SelectionResult sel =
+            selectNecessaryInputs(*cds.value(), {});
+        if (bi == 0) {
+            want_fp = f.fingerprint();
+            want_sel = sel;
+        } else {
+            EXPECT_EQ(f.fingerprint(), want_fp)
+                << "block " << blocks[bi];
+            expectSameSelection(sel, want_sel);
+        }
+    }
+}
+
+// Thread axis of the same contract, on one SHARED mmap-shaped view:
+// 1 vs 8 threads must agree bitwise (and under TSan this doubles as
+// the shared-residency-accounting race smoke).
+TEST(ChunkedDatasetTest, ThreadInvarianceOnSharedView)
+{
+    Synthetic syn(400, 5);
+    auto log = trainingLog(syn);
+    ChunkedConfig cfg;
+    cfg.residency_budget_bytes = 1 << 16;
+    auto cds = ChunkedDataset::attach(log, events::EventType::Touch,
+                                      syn.schema, cfg);
+    ASSERT_TRUE(cds.ok()) << cds.status().message();
+    const ChunkedDataset &ds = *cds.value();
+    std::vector<size_t> cols(ds.numFeatures());
+    for (size_t i = 0; i < cols.size(); ++i)
+        cols[i] = i;
+
+    ForestConfig f1;
+    f1.num_trees = 8;
+    f1.threads = 1;
+    ForestConfig f8 = f1;
+    f8.threads = 8;
+    RandomForest forest1(f1), forest8(f8);
+    forest1.train(ds, cols);
+    forest8.train(ds, cols);
+    EXPECT_EQ(forest1.fingerprint(), forest8.fingerprint());
+
+    PfiConfig p1;
+    p1.threads = 1;
+    PfiConfig p8 = p1;
+    p8.threads = 8;
+    PfiResult r1 = computePfi(forest1, ds, cols, p1);
+    PfiResult r8 = computePfi(forest1, ds, cols, p8);
+    EXPECT_EQ(r1.importance, r8.importance);
+    EXPECT_EQ(r1.base_error, r8.base_error);
+}
+
+// A training section recorded against a different game must come
+// back as an error Status, never a panic or out-of-bounds read.
+TEST(ChunkedDatasetTest, RejectsForeignSchema)
+{
+    Synthetic syn(50);
+    auto log = trainingLog(syn);
+    events::FieldSchema tiny;
+    tiny.addInput("only", events::InputCategory::Event, 2);
+    auto cds = ChunkedDataset::attach(log, events::EventType::Touch,
+                                      tiny);
+    EXPECT_FALSE(cds.ok());
+    // And a type with no section at all.
+    auto none = ChunkedDataset::attach(log, events::EventType::Gps,
+                                       syn.schema);
+    EXPECT_FALSE(none.ok());
+}
+
+// ----------------------------------------------------------- PfiCache
+
+// A cache hit must be byte-exact and observable: the second run
+// re-scores nothing (shrink.pfi.cols_rescored unchanged) yet
+// returns the identical result; changing the seed misses.
+TEST(PfiTest, CacheServesExactHits)
+{
+    Synthetic syn(300);
+    Dataset ds(syn.ptrs(), syn.schema);
+    std::vector<size_t> cols(ds.numFeatures());
+    for (size_t i = 0; i < cols.size(); ++i)
+        cols[i] = i;
+    ForestConfig fc;
+    fc.num_trees = 6;
+    RandomForest forest(fc);
+    forest.train(ds, cols);
+
+    PfiCache cache;
+    obs::Registry reg;
+    PfiConfig pc;
+    pc.cache = &cache;
+    pc.obs = &reg;
+
+    PfiResult a = computePfi(forest, ds, cols, pc);
+    uint64_t rescored =
+        reg.counter("shrink.pfi.cols_rescored").value();
+    EXPECT_EQ(rescored, cols.size());
+    EXPECT_EQ(reg.counter("shrink.pfi.cols_cached").value(), 0u);
+
+    PfiResult b = computePfi(forest, ds, cols, pc);
+    EXPECT_EQ(reg.counter("shrink.pfi.cols_rescored").value(),
+              rescored);  // nothing re-scored
+    EXPECT_EQ(reg.counter("shrink.pfi.cols_cached").value(),
+              cols.size());
+    EXPECT_EQ(a.importance, b.importance);
+    EXPECT_EQ(a.base_error, b.base_error);
+
+    // A different seed is a different key: must re-score.
+    PfiConfig other = pc;
+    other.seed = pc.seed + 1;
+    (void)computePfi(forest, ds, cols, other);
+    EXPECT_GT(reg.counter("shrink.pfi.cols_rescored").value(),
+              rescored);
+}
+
+// The key must cover the dataset content: perturbing one value in a
+// scored column forces a re-score.
+TEST(PfiTest, CacheKeyTracksColumnContent)
+{
+    Synthetic syn(200);
+    Dataset ds(syn.ptrs(), syn.schema);
+    std::vector<size_t> cols(ds.numFeatures());
+    for (size_t i = 0; i < cols.size(); ++i)
+        cols[i] = i;
+    ForestConfig fc;
+    fc.num_trees = 4;
+    RandomForest forest(fc);
+    forest.train(ds, cols);
+
+    PfiConfig pc;
+    uint64_t k1 = pfiCacheKey(forest, ds, cols, pc);
+    ASSERT_NE(k1, 0u);
+    EXPECT_EQ(pfiCacheKey(forest, ds, cols, pc), k1);
+
+    syn.records[7].inputs[0].value ^= 1;
+    Dataset ds2(syn.ptrs(), syn.schema);
+    EXPECT_NE(pfiCacheKey(forest, ds2, cols, pc), k1);
+
+    // Dropping a column from the scored set changes the key too.
+    std::vector<size_t> fewer(cols.begin(), cols.end() - 1);
+    EXPECT_NE(pfiCacheKey(forest, ds, fewer, pc), k1);
+}
 
 }  // namespace
 }  // namespace ml

@@ -7,7 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "core/simulation.h"
 #include "games/registry.h"
@@ -515,6 +518,237 @@ TEST(DynamicEnergy, MonotoneInWork)
     big.ip_calls.push_back({soc::IpKind::Gpu, 5.0});
     EXPECT_GT(dynamicEnergyOf(big, m), dynamicEnergyOf(small, m));
     EXPECT_GT(dynamicEnergyOf(small, m), 0.0);
+}
+
+// --------------------------------------------- Training sections (v2)
+
+/** Replay a short session into a profile. */
+Profile
+shortProfile(const std::string &game_name, double secs = 20.0)
+{
+    auto game = games::makeGame(game_name);
+    core::SessionResult res = record(game_name, *game, secs);
+    return Replayer::replay(res.trace, *game);
+}
+
+// encodeTraining must lay down, per event type, exactly the
+// union-of-locations matrix the ML layer trains on: ascending field
+// ids, column-major values with explicit absent markers, output-
+// signature labels, max(1, instructions) weights.
+TEST(TrainingSectionTest, EncodeAttachRoundTrip)
+{
+    Profile profile = shortProfile("ab_evolution");
+    ASSERT_GT(profile.records.size(), 100u);
+
+    std::vector<uint8_t> bytes;
+    ASSERT_TRUE(ColumnarLog::encodeTraining(profile, &bytes).ok());
+    auto log = ColumnarLog::attach(bytes.data(), bytes.size(),
+                                   nullptr);
+    ASSERT_TRUE(log.ok()) << log.status().message();
+    const ColumnarLog &cl = *log.value();
+    EXPECT_EQ(cl.game(), profile.game);
+    EXPECT_EQ(cl.eventCount(), 0u);  // training-only trace
+
+    std::vector<events::EventType> ttypes = cl.trainingTypes();
+    ASSERT_EQ(ttypes.size(), profile.typesPresent().size());
+
+    for (events::EventType t : ttypes) {
+        const ColumnarLog::TrainingCols *tc = cl.training(t);
+        ASSERT_NE(tc, nullptr);
+        auto recs = profile.ofType(t);
+        ASSERT_EQ(tc->nrows, recs.size());
+        for (uint32_t f = 1; f < tc->nfeat; ++f)
+            EXPECT_LT(tc->feat_ids[f - 1], tc->feat_ids[f]);
+        for (uint32_t o = 1; o < tc->nout; ++o)
+            EXPECT_LT(tc->out_ids[o - 1], tc->out_ids[o]);
+        for (size_t r = 0; r < recs.size(); ++r) {
+            EXPECT_EQ(tc->labels[r],
+                      events::hashFields(recs[r]->outputs));
+            EXPECT_EQ(tc->weights[r],
+                      std::max<uint64_t>(
+                          1, recs[r]->cpu_instructions));
+            // Every recorded input lands in its column; columns of
+            // unread locations carry the absent marker.
+            for (uint32_t f = 0; f < tc->nfeat; ++f) {
+                uint64_t got = tc->feat_cols[f * tc->nrows + r];
+                uint64_t want = kTrainingAbsent;
+                for (const auto &fv : recs[r]->inputs)
+                    if (fv.id == tc->feat_ids[f])
+                        want = fv.value;
+                ASSERT_EQ(got, want)
+                    << "type " << static_cast<int>(t) << " row "
+                    << r << " feat " << f;
+            }
+        }
+    }
+}
+
+// Training payloads are CRC-chained per column: truncation is
+// always rejected, and — unlike the event arrays, where a flip can
+// land in a stored value — any bit flip below the directory level
+// must be rejected too. Flips that do slip through (header/name
+// bytes) must still leave every column walk in bounds under asan.
+TEST(TrainingSectionTest, CorruptionFuzzRejectedOrSafe)
+{
+    Profile profile = shortProfile("colorphun", 10.0);
+    std::vector<uint8_t> bytes;
+    ASSERT_TRUE(ColumnarLog::encodeTraining(profile, &bytes).ok());
+    const size_t n = bytes.size();
+    std::string path = ::testing::TempDir() + "/snip_train.snct";
+
+    int iters = 48;
+    if (const char *env = std::getenv("SNIP_FUZZ_ITERS"))
+        iters = std::atoi(env);
+    util::Rng rng(0x7a41);
+    for (int i = 0; i < iters; ++i) {
+        std::vector<uint8_t> mut = bytes;
+        bool truncated = rng.next() % 2 == 0;
+        if (truncated) {
+            mut.resize(rng.next() % n);
+        } else {
+            size_t flips = 1 + rng.next() % 8;
+            for (size_t f = 0; f < flips; ++f)
+                mut[rng.next() % n] ^=
+                    static_cast<uint8_t>(1u + rng.next() % 255);
+        }
+        // Through the file path: open() attaches the mmap'd view,
+        // so the streaming CRC verify (with its residency drops) is
+        // what accepts or rejects.
+        ASSERT_TRUE(ColumnarLog::save(mut, path).ok());
+        auto log = ColumnarLog::open(path);
+        if (truncated) {
+            EXPECT_FALSE(log.ok()) << "truncation accepted";
+            continue;
+        }
+        if (!log.ok())
+            continue;
+        for (events::EventType t : log.value()->trainingTypes()) {
+            const auto *tc = log.value()->training(t);
+            if (tc->nrows == 0)
+                continue;
+            uint64_t sink = 0;
+            for (uint32_t f = 0; f < tc->nfeat; ++f)
+                sink ^= tc->feat_cols[f * tc->nrows];
+            for (uint64_t r = 0; r < tc->nrows; ++r)
+                sink ^= tc->labels[r] + tc->weights[r];
+            (void)sink;
+        }
+    }
+    std::remove(path.c_str());
+}
+
+// Flipping a single bit inside a LABEL column must be caught by the
+// section CRC (the targeted version of the fuzz above: labels sit
+// deep in the payload, past the structural checks).
+TEST(TrainingSectionTest, LabelColumnBitFlipRejected)
+{
+    Profile profile = shortProfile("colorphun", 10.0);
+    std::vector<uint8_t> bytes;
+    ASSERT_TRUE(ColumnarLog::encodeTraining(profile, &bytes).ok());
+    auto ok_log = ColumnarLog::attach(bytes.data(), bytes.size(),
+                                      nullptr);
+    ASSERT_TRUE(ok_log.ok());
+    auto ttypes = ok_log.value()->trainingTypes();
+    ASSERT_FALSE(ttypes.empty());
+    const auto *tc = ok_log.value()->training(ttypes[0]);
+    size_t label_off = static_cast<size_t>(
+        reinterpret_cast<const uint8_t *>(tc->labels) -
+        bytes.data());
+
+    for (uint64_t r : {uint64_t{0}, tc->nrows / 2, tc->nrows - 1}) {
+        std::vector<uint8_t> mut = bytes;
+        mut[label_off + r * 8 + 3] ^= 0x10;
+        auto log = ColumnarLog::attach(mut.data(), mut.size(),
+                                       nullptr);
+        EXPECT_FALSE(log.ok()) << "label flip at row " << r;
+        if (!log.ok())
+            EXPECT_NE(log.status().message().find("crc"),
+                      std::string::npos)
+                << log.status().message();
+    }
+}
+
+// The streaming writer must produce byte-for-byte the section
+// encodeTraining lays down for the same rows — same offsets, same
+// values, same chained CRC — so converted and generated traces are
+// interchangeable.
+TEST(TrainingWriterTest, MatchesEncodeTraining)
+{
+    Profile profile = shortProfile("colorphun", 10.0);
+    std::vector<uint8_t> bytes;
+    ASSERT_TRUE(ColumnarLog::encodeTraining(profile, &bytes).ok());
+    auto ref = ColumnarLog::attach(bytes.data(), bytes.size(),
+                                   nullptr);
+    ASSERT_TRUE(ref.ok());
+    auto ttypes = ref.value()->trainingTypes();
+    ASSERT_FALSE(ttypes.empty());
+    events::EventType t = ttypes[0];
+    const auto *rc = ref.value()->training(t);
+
+    std::vector<uint32_t> fids(rc->feat_ids,
+                               rc->feat_ids + rc->nfeat);
+    std::vector<uint32_t> oids(rc->out_ids, rc->out_ids + rc->nout);
+    std::string path = ::testing::TempDir() + "/snip_writer.snct";
+    TrainingWriter w;
+    ASSERT_TRUE(w.create(path, profile.game, t, fids, oids,
+                         rc->nrows)
+                    .ok());
+    std::vector<uint64_t> feat(rc->nfeat), outv(rc->nout);
+    for (uint64_t r = 0; r < rc->nrows; ++r) {
+        for (uint32_t f = 0; f < rc->nfeat; ++f)
+            feat[f] = rc->feat_cols[f * rc->nrows + r];
+        for (uint32_t o = 0; o < rc->nout; ++o)
+            outv[o] = rc->out_cols[o * rc->nrows + r];
+        ASSERT_TRUE(w.addRow(feat.data(), rc->labels[r],
+                             rc->weights[r], outv.data())
+                        .ok());
+    }
+    ASSERT_TRUE(w.finish().ok());
+
+    auto got = ColumnarLog::open(path);
+    ASSERT_TRUE(got.ok()) << got.status().message();
+    EXPECT_EQ(got.value()->game(), profile.game);
+    const auto *gc = got.value()->training(t);
+    ASSERT_NE(gc, nullptr);
+    ASSERT_EQ(gc->nrows, rc->nrows);
+    ASSERT_EQ(gc->nfeat, rc->nfeat);
+    ASSERT_EQ(gc->nout, rc->nout);
+    EXPECT_EQ(0, std::memcmp(gc->feat_cols, rc->feat_cols,
+                             rc->nfeat * rc->nrows * 8));
+    EXPECT_EQ(0, std::memcmp(gc->labels, rc->labels, rc->nrows * 8));
+    EXPECT_EQ(0,
+              std::memcmp(gc->weights, rc->weights, rc->nrows * 8));
+    EXPECT_EQ(0, std::memcmp(gc->out_cols, rc->out_cols,
+                             rc->nout * rc->nrows * 8));
+    std::remove(path.c_str());
+}
+
+// Misuse must come back as Status, and an unfinished file must be
+// rejected at attach (its section CRC is still the 0 placeholder).
+TEST(TrainingWriterTest, RejectsMisuseAndUnfinishedFiles)
+{
+    std::string path = ::testing::TempDir() + "/snip_writer2.snct";
+    std::vector<uint32_t> bad_ids = {3, 1};  // not ascending
+    TrainingWriter w0;
+    EXPECT_FALSE(w0.create(path, "g", events::EventType::Touch,
+                           bad_ids, {}, 4)
+                     .ok());
+
+    std::vector<uint32_t> fids = {0, 2};
+    std::vector<uint32_t> oids = {5};
+    TrainingWriter w;
+    ASSERT_TRUE(w.create(path, "g", events::EventType::Touch, fids,
+                         oids, 3)
+                    .ok());
+    uint64_t feat[2] = {7, 9}, outv[1] = {1};
+    EXPECT_FALSE(w.addRow(feat, 11, 0, outv).ok());  // zero weight
+    ASSERT_TRUE(w.addRow(feat, 11, 1, outv).ok());
+    EXPECT_FALSE(w.finish().ok());  // 1 of 3 declared rows
+
+    // Partially written file on disk: must not attach.
+    auto log = ColumnarLog::open(path);
+    EXPECT_FALSE(log.ok());
+    std::remove(path.c_str());
 }
 
 }  // namespace

@@ -4,7 +4,10 @@
 # across runs, and the binary itself exits non-zero on any broken
 # determinism/zero-alloc contract), validate the snip::obs telemetry
 # export (fig11 --obs-json must parse and carry the hit-rate /
-# erroneous-field-rate / per-Shrink-phase-timing signals), build +
+# erroneous-field-rate / per-Shrink-phase-timing signals), run the
+# out-of-core micro_train stage (2M synthetic rows trained through
+# the mmap'd SNCT view under a hard RSS cap, with the forest
+# fingerprint required identical across two block geometries), build +
 # test the asan/ubsan config (which reruns the obs, Log2Histogram,
 # and EmpiricalCdf regression tests under sanitizers), run the TSan
 # smokes of the shared-const concurrency contracts (parallel session
@@ -47,6 +50,24 @@ DIGESTS_A=$(grep -o '"digest": "[^"]*"' build/micro_train_a.json)
 DIGESTS_B=$(grep -o '"digest": "[^"]*"' build/micro_train_b.json)
 if [ -z "$DIGESTS_A" ] || [ "$DIGESTS_A" != "$DIGESTS_B" ]; then
     echo "micro_train: selection/model digests differ across runs" >&2
+    exit 1
+fi
+
+echo "==> out-of-core micro_train (bounded RSS + block-size invariance)"
+# 2M synthetic rows trained through the mmap'd SNCT view under a hard
+# in-binary RSS cap (micro_train exits non-zero if VmHWM exceeds it),
+# at two block geometries — the forest fingerprints must agree.
+./build/bench/micro_train --quick --rows 2000000 --block-rows 4096 \
+    --rss-budget-mb 64 --rss-cap-mb 512 \
+    --out build/micro_train_oo_a.json >/dev/null
+./build/bench/micro_train --quick --rows 2000000 --block-rows 512 \
+    --rss-budget-mb 64 --rss-cap-mb 512 \
+    --out build/micro_train_oo_b.json >/dev/null
+OO_A=$(grep -o '"fingerprint": "[^"]*"' build/micro_train_oo_a.json)
+OO_B=$(grep -o '"fingerprint": "[^"]*"' build/micro_train_oo_b.json)
+if [ -z "$OO_A" ] || [ "$OO_A" != "$OO_B" ]; then
+    echo "micro_train: out-of-core fingerprints differ across" \
+         "block sizes" >&2
     exit 1
 fi
 
@@ -153,7 +174,10 @@ EOF
 echo "==> tsan smoke (concurrent lookups + parallel Shrink phase + pipeline)"
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "$JOBS" --target parallel_test \
-    --target obs_test --target micro_train
+    --target obs_test --target ml_test --target micro_train
+TSAN_OPTIONS="halt_on_error=1" \
+    ./build-tsan/tests/ml_test \
+    --gtest_filter='ChunkedDatasetTest.ThreadInvarianceOnSharedView'
 TSAN_OPTIONS="halt_on_error=1" \
     ./build-tsan/tests/parallel_test \
     --gtest_filter='ParallelRunnerTest.ConcurrentLookupsOnSharedConstTable:ParallelRunnerTest.ConcurrentLookupsOnSharedConstFrozenTable:ParallelRunnerTest.ConcurrentBatchLookupsOnSharedConstFrozenTable:ParallelRunnerTest.RunSessionsMatchesSerialBitwise:ShrinkParallelTest.*:PipelineTest.MatchesSequentialBitwise:PipelineTest.ConcurrentPipelinedSessionsOnSharedFrozenTable'
@@ -173,6 +197,11 @@ SNIP_FUZZ_ITERS=512 \
     --gtest_filter='*FrozenArenaCorruptionFuzz*'
 ./build-asan/tests/trace_test \
     --gtest_filter='ColumnarLogTest.MmapCorruptionRejectedCleanly:ColumnarLogTest.CorruptionRejectedOrSafe'
+SNIP_FUZZ_ITERS=256 \
+    ./build-asan/tests/trace_test \
+    --gtest_filter='TrainingSectionTest.CorruptionFuzzRejectedOrSafe:TrainingSectionTest.LabelColumnBitFlipRejected:TrainingWriterTest.RejectsMisuseAndUnfinishedFiles'
+./build-asan/tests/ml_test \
+    --gtest_filter='ChunkedDatasetTest.BlockSizeInvarianceFuzz:ChunkedDatasetTest.RejectsForeignSchema'
 
 echo "==> batch-equivalence fuzz (decideBatch/lookupBatch vs scalar, asan)"
 ./build-asan/tests/core_test \
