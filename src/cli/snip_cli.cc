@@ -42,6 +42,15 @@
  *       outcomes, erroneous-shortcircuit classes, per-Shrink-phase
  *       wall times, and table gauges, printed as tables (and
  *       optionally exported as JSON).
+ *   snip fleet publish --registry D --in model.bin [--game G]
+ *       Add a package to an on-disk versioned model registry
+ *       (content-digest version ids, parent-per-epoch lineage).
+ *   snip fleet diff --from old.bin --to new.bin --out patch.snpd
+ *       Byte-level SNPD delta patch between two packages (the
+ *       delta-OTA wire format).
+ *   snip fleet apply --base old.bin --patch patch.snpd --out new.bin
+ *       Apply a patch the way a device does: corruption-safe, with
+ *       an optional --full fallback package.
  *
  * Every command is deterministic under --seed (obs span timers
  * measure host wall time and are the one exception).
@@ -58,6 +67,8 @@
 #include "core/qoe.h"
 #include "core/simulation.h"
 #include "core/snip.h"
+#include "fleet/delta.h"
+#include "fleet/registry.h"
 #include "games/registry.h"
 #include "obs/sink.h"
 #include "trace/columnar_log.h"
@@ -109,7 +120,16 @@ parseArgs(int argc, char **argv)
     if (argc < 2)
         return args;
     args.command = argv[1];
-    for (int i = 2; i < argc; ++i) {
+    int first_opt = 2;
+    // `fleet` carries a positional subcommand: fold it into the
+    // command so dispatch stays a flat string match.
+    if (args.command == "fleet" && argc >= 3 &&
+        argv[2][0] != '-') {
+        args.command += ' ';
+        args.command += argv[2];
+        first_opt = 3;
+    }
+    for (int i = first_opt; i < argc; ++i) {
         std::string a = argv[i];
         if (a.rfind("--", 0) == 0) {
             std::string key = a.substr(2);
@@ -650,6 +670,156 @@ cmdStats(const Args &args)
     return 0;
 }
 
+int
+cmdFleetPublish(const Args &args)
+{
+    std::string dir = args.get("registry");
+    std::string in = args.get("in");
+    if (dir.empty() || in.empty())
+        util::fatal("fleet publish: --registry <dir> and --in "
+                    "<model.bin> are required");
+
+    // Open (or start) the on-disk registry.
+    fleet::ModelRegistry reg;
+    auto loaded = fleet::ModelRegistry::loadDir(dir);
+    if (loaded.ok())
+        reg = std::move(loaded.value());
+
+    auto pkg = std::make_shared<util::ByteBuffer>();
+    util::Status st = trace::loadBuffer(in, pkg.get());
+    if (!st.ok())
+        util::fatal("fleet publish: %s", st.message().c_str());
+
+    // The game line is read from the package itself unless pinned.
+    std::string game = args.get("game");
+    if (game.empty()) {
+        util::ByteBuffer probe;
+        probe.putBytes(pkg->data().data(), pkg->size());
+        util::Result<core::SnipModel> m = core::unpackModel(probe);
+        if (!m.ok())
+            util::fatal("fleet publish: %s is not a deployable "
+                        "package: %s", in.c_str(),
+                        m.status().message().c_str());
+        game = m.value().game;
+    }
+
+    util::Result<fleet::VersionId> id =
+        reg.publish(game, std::move(pkg),
+                    args.getU("parent", 0));
+    if (!id.ok())
+        util::fatal("fleet publish: %s",
+                    id.status().message().c_str());
+    st = reg.saveDir(dir);
+    if (!st.ok())
+        util::fatal("fleet publish: %s", st.message().c_str());
+
+    const fleet::ModelVersion *head = reg.head(game);
+    std::printf("published %s version %016llx (epoch %u, parent "
+                "%016llx) -> %s (%zu versions)\n",
+                game.c_str(),
+                static_cast<unsigned long long>(id.value()),
+                head->epoch,
+                static_cast<unsigned long long>(head->parent),
+                dir.c_str(), reg.versionCount(game));
+    return 0;
+}
+
+int
+cmdFleetDiff(const Args &args)
+{
+    std::string from = args.get("from");
+    std::string to = args.get("to");
+    std::string out = args.get("out");
+    if (from.empty() || to.empty() || out.empty())
+        util::fatal("fleet diff: --from <old.bin>, --to <new.bin> "
+                    "and --out <patch.snpd> are required");
+    util::ByteBuffer a, b;
+    util::Status st = trace::loadBuffer(from, &a);
+    if (st.ok())
+        st = trace::loadBuffer(to, &b);
+    if (!st.ok())
+        util::fatal("fleet diff: %s", st.message().c_str());
+
+    util::ByteBuffer patch;
+    fleet::diffBytes(std::span<const uint8_t>(a.data()),
+                     std::span<const uint8_t>(b.data()), patch);
+    st = trace::saveBuffer(patch, out);
+    if (!st.ok())
+        util::fatal("fleet diff: %s", st.message().c_str());
+
+    fleet::PatchInfo info;
+    st = fleet::inspectPatch(patch, &info);
+    if (!st.ok())
+        util::fatal("fleet diff: produced patch fails inspection: "
+                    "%s", st.message().c_str());
+    std::printf("%s -> %s: patch %s (full package %s, %.1f%%); %u "
+                "copy ops reuse %s, %u inserts carry %s\n",
+                from.c_str(), to.c_str(),
+                util::formatSize(static_cast<double>(patch.size()))
+                    .c_str(),
+                util::formatSize(static_cast<double>(b.size()))
+                    .c_str(),
+                b.size() ? 100.0 * static_cast<double>(patch.size()) /
+                               static_cast<double>(b.size())
+                         : 0.0,
+                info.copy_ops,
+                util::formatSize(
+                    static_cast<double>(info.copied_bytes))
+                    .c_str(),
+                info.insert_ops,
+                util::formatSize(
+                    static_cast<double>(info.inserted_bytes))
+                    .c_str());
+    return 0;
+}
+
+int
+cmdFleetApply(const Args &args)
+{
+    std::string base = args.get("base");
+    std::string patch_path = args.get("patch");
+    std::string out = args.get("out");
+    if (base.empty() || patch_path.empty() || out.empty())
+        util::fatal("fleet apply: --base <old.bin>, --patch "
+                    "<patch.snpd> and --out <new.bin> are required");
+    util::ByteBuffer src, patch;
+    util::Status st = trace::loadBuffer(base, &src);
+    if (st.ok())
+        st = trace::loadBuffer(patch_path, &patch);
+    if (!st.ok())
+        util::fatal("fleet apply: %s", st.message().c_str());
+
+    util::Result<util::ByteBuffer> got =
+        fleet::applyPatch(std::span<const uint8_t>(src.data()),
+                          patch);
+    if (!got.ok()) {
+        // The device fallback: --full supplies the full package the
+        // fetch would retrieve when the delta is rejected.
+        std::string full = args.get("full");
+        if (full.empty()) {
+            std::printf("fleet apply: REJECTED: %s\n",
+                        got.status().message().c_str());
+            return 1;
+        }
+        util::ByteBuffer full_pkg;
+        st = trace::loadBuffer(full, &full_pkg);
+        if (!st.ok())
+            util::fatal("fleet apply: %s", st.message().c_str());
+        std::printf("fleet apply: delta rejected (%s); falling back "
+                    "to full package %s\n",
+                    got.status().message().c_str(), full.c_str());
+        got = std::move(full_pkg);
+    }
+    st = trace::saveBuffer(got.value(), out);
+    if (!st.ok())
+        util::fatal("fleet apply: %s", st.message().c_str());
+    std::printf("reconstructed %s (%s)\n", out.c_str(),
+                util::formatSize(
+                    static_cast<double>(got.value().size()))
+                    .c_str());
+    return 0;
+}
+
 void
 usage()
 {
@@ -672,6 +842,14 @@ usage()
         "  inspect --in F [--verbose]            show a packed model\n"
         "  verify --in F                         integrity-check a model\n"
         "  stats --game G [--audit N] [--json F] obs metrics of a deploy\n"
+        "  fleet publish --registry D --in F [--game G] [--parent H]\n"
+        "                                       add a package to the\n"
+        "                                       versioned model registry\n"
+        "  fleet diff --from F --to F --out P    SNPD delta patch between\n"
+        "                                       two packages\n"
+        "  fleet apply --base F --patch P --out F [--full F]\n"
+        "                                       apply a patch (falls back\n"
+        "                                       to --full when rejected)\n"
         "common: --seed N\n");
 }
 
@@ -703,6 +881,12 @@ main(int argc, char **argv)
         return cmdVerify(args);
     if (args.command == "stats")
         return cmdStats(args);
+    if (args.command == "fleet publish")
+        return cmdFleetPublish(args);
+    if (args.command == "fleet diff")
+        return cmdFleetDiff(args);
+    if (args.command == "fleet apply")
+        return cmdFleetApply(args);
     usage();
     return args.command.empty() ? 0 : 1;
 }

@@ -91,6 +91,8 @@ ContinuousLearner::run()
             // until the next epoch's push.
             auto pkg = std::make_shared<util::ByteBuffer>();
             packModel(built, *pkg);
+            if (cfg_.on_publish)
+                cfg_.on_publish(*pkg);
             if (cfg_.ota_tamper)
                 cfg_.ota_tamper(*pkg);
             payload_bytes = pkg->size();

@@ -70,6 +70,15 @@ struct LearningConfig {
     std::function<void(util::ByteBuffer &)> ota_tamper;
 
     /**
+     * Optional deploy-seam tap, handed each epoch's serialized
+     * package as packed — *before* any ota_tamper transport loss —
+     * so a backend (e.g. the fleet model registry) can archive the
+     * exact bytes the learner shipped. Must not mutate the buffer's
+     * contents; null means no one is listening.
+     */
+    std::function<void(const util::ByteBuffer &)> on_publish;
+
+    /**
      * Optional metrics sink (nullptr = observability off): per-
      * epoch `learn.*` counters/gauges (deployed / gate-withheld /
      * rejected-package counts, payload-byte histogram), the

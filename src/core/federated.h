@@ -58,6 +58,17 @@ struct FederatedResult {
 };
 
 /**
+ * Votes a field needs to clear `vote_fraction` of `num_users`:
+ * ceil(vote_fraction * num_users), computed with exact integer
+ * arithmetic on the double's mantissa — no epsilon fudge — so e.g.
+ * 0.5 of 2 users is exactly 1 vote and 1.0 of 10 users is exactly
+ * 10, regardless of how the product rounds in floating point.
+ * Non-positive fractions need 1 vote (a kept field must be selected
+ * by someone); num_users <= 0 needs 0.
+ */
+size_t federatedVotesNeeded(double vote_fraction, int num_users);
+
+/**
  * Build a model the centralized way: merge all users' replayed
  * profiles and run a single selection.
  *
@@ -83,7 +94,7 @@ struct FederatedEval {
     double energy_savings = 0.0;
 };
 FederatedEval evaluateModel(const std::string &game_name,
-                            SnipModel &model, uint64_t seed,
+                            const SnipModel &model, uint64_t seed,
                             double session_s = 45.0);
 
 }  // namespace core

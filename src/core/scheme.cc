@@ -94,12 +94,36 @@ frozenOf(SnipModel &model)
     return model.frozen;
 }
 
+/** Const models must already be deployable (frozen set). */
+std::shared_ptr<const FrozenTable>
+frozenOf(const SnipModel &model)
+{
+    if (!model.frozen)
+        util::fatal("SnipScheme: const model is not frozen "
+                    "(call freeze() before constructing)");
+    return model.frozen;
+}
+
 }  // namespace
 
 SnipScheme::SnipScheme(SnipModel &model, SnipRuntimeConfig cfg,
                        bool charge_overheads)
     : model_(model), cfg_(cfg), chargeOverheads_(charge_overheads),
       frozen_(frozenOf(model)), overlay_(frozen_->schema())
+{
+    initRuntime();
+}
+
+SnipScheme::SnipScheme(const SnipModel &model, SnipRuntimeConfig cfg,
+                       bool charge_overheads)
+    : model_(model), cfg_(cfg), chargeOverheads_(charge_overheads),
+      frozen_(frozenOf(model)), overlay_(frozen_->schema())
+{
+    initRuntime();
+}
+
+void
+SnipScheme::initRuntime()
 {
     for (int t = 0; t < events::kNumEventTypes; ++t) {
         events::EventType type = static_cast<events::EventType>(t);

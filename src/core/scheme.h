@@ -295,6 +295,15 @@ class SnipScheme : public Scheme
     SnipScheme(SnipModel &model, SnipRuntimeConfig cfg = {},
                bool charge_overheads = true);
 
+    /**
+     * Const overload for models already in deployable form: @p model
+     * must have `frozen` set (freeze() it first, or deployModel()
+     * did) — a scheme never mutates a const model, so an unfrozen
+     * one is a fatal() usage error, not a silent freeze.
+     */
+    SnipScheme(const SnipModel &model, SnipRuntimeConfig cfg = {},
+               bool charge_overheads = true);
+
     SchemeKind kind() const override
     {
         return chargeOverheads_ ? SchemeKind::Snip
@@ -346,7 +355,7 @@ class SnipScheme : public Scheme
     uint64_t tableClears() const { return tableClears_; }
 
   private:
-    SnipModel &model_;
+    const SnipModel &model_;
     SnipRuntimeConfig cfg_;
     bool chargeOverheads_;
 
@@ -377,6 +386,9 @@ class SnipScheme : public Scheme
 
     /** Reusable gather buffers: zero-allocation lookups. */
     LookupScratch scratch_;
+
+    /** Shared ctor tail: overlay selections, hit counters, obs. */
+    void initRuntime();
 
     /** Shared decide body: @p pre, when set, is the event's frozen
      *  lookup precomputed by decideBatch (ignored after a watchdog

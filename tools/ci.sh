@@ -28,7 +28,15 @@
 # gets three stages of its own: the sequential-vs---pipeline bitwise
 # equivalence replay under asan, the fig11 --pipeline --obs-json
 # export check (per-stage occupancy/items/queue-depth must be
-# present and consistent), and the pipeline TSan smokes.
+# present and consistent), and the pipeline TSan smokes. The fleet
+# OTA backend gets three more: the fleet_sim --quick epoch push
+# (delta payload must undercut the full baseline, sharded
+# aggregation must stay bitwise-identical to serial, and the
+# per-cohort staleness report must be present and sane), the SNPD
+# patch corruption fuzz under asan (every real mutation of a patch
+# must be rejected and the device receive path must still converge
+# on the published head via full-fetch fallback), and the TSan
+# sharded-merge equivalence smoke.
 #
 # Usage: tools/ci.sh [jobs]   (jobs defaults to nproc)
 set -euo pipefail
@@ -130,6 +138,38 @@ if bad:
     sys.exit('micro_lookup: nonzero allocs_per_iter: %r' % bad)
 EOF
 
+echo "==> fleet OTA smoke (fleet_sim --quick epoch push)"
+./build/bench/fleet_sim --quick --out build/fleet_sim_ci.json \
+    >/dev/null
+python3 - <<'EOF'
+import json, sys
+
+with open('build/fleet_sim_ci.json') as f:
+    d = json.load(f)
+
+missing = [k for k in (
+    'ota_full_bytes', 'ota_delta_bytes', 'delta_ratio',
+    'delta_beats_full', 'fallbacks', 'staleness_skew',
+    'sharded_identical', 'agg_serial_s', 'agg_sharded_s',
+    'cohorts') if k not in d]
+if missing:
+    sys.exit('fleet_sim json missing: ' + ', '.join(missing))
+if not d['delta_beats_full']:
+    sys.exit('fleet_sim: delta OTA payload does not beat the '
+             'full-package baseline')
+if not d['sharded_identical']:
+    sys.exit('fleet_sim: sharded aggregation diverged from serial')
+for c in d['cohorts']:
+    for k in ('name', 'devices', 'versions_behind', 'patch_bytes',
+              'full_bytes', 'delta_bytes', 'used_delta',
+              'stale_hit_rate'):
+        if k not in c:
+            sys.exit(f'fleet_sim cohort missing field: {k}')
+    if not 0.0 <= c['stale_hit_rate'] <= 1.0:
+        sys.exit('fleet_sim: stale_hit_rate out of range: %r'
+                 % c['stale_hit_rate'])
+EOF
+
 echo "==> asan/ubsan build + ctest"
 cmake --preset asan-ubsan >/dev/null
 cmake --build --preset asan-ubsan -j "$JOBS"
@@ -174,7 +214,8 @@ EOF
 echo "==> tsan smoke (concurrent lookups + parallel Shrink phase + pipeline)"
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "$JOBS" --target parallel_test \
-    --target obs_test --target ml_test --target micro_train
+    --target obs_test --target ml_test --target micro_train \
+    --target fleet_test
 TSAN_OPTIONS="halt_on_error=1" \
     ./build-tsan/tests/ml_test \
     --gtest_filter='ChunkedDatasetTest.ThreadInvarianceOnSharedView'
@@ -187,6 +228,11 @@ TSAN_OPTIONS="halt_on_error=1" \
 TSAN_OPTIONS="halt_on_error=1" \
     ./build-tsan/bench/micro_train --quick --profile-s 10 --trees 8 \
     --threads 4 --out build-tsan/micro_train_tsan.json >/dev/null
+
+echo "==> tsan sharded-merge equivalence (fleet aggregation)"
+TSAN_OPTIONS="halt_on_error=1" \
+    ./build-tsan/tests/fleet_test \
+    --gtest_filter='FleetAggregateTest.*'
 
 echo "==> corruption fuzz smoke (OTA model codec + SNPF arena, asan)"
 SNIP_FUZZ_ITERS=512 \
@@ -202,6 +248,11 @@ SNIP_FUZZ_ITERS=256 \
     --gtest_filter='TrainingSectionTest.CorruptionFuzzRejectedOrSafe:TrainingSectionTest.LabelColumnBitFlipRejected:TrainingWriterTest.RejectsMisuseAndUnfinishedFiles'
 ./build-asan/tests/ml_test \
     --gtest_filter='ChunkedDatasetTest.BlockSizeInvarianceFuzz:ChunkedDatasetTest.RejectsForeignSchema'
+
+echo "==> SNPD patch corruption fuzz (delta OTA receive path, asan)"
+SNIP_FUZZ_ITERS=512 \
+    ./build-asan/tests/fleet_test \
+    --gtest_filter='Fleet*Fuzz*'
 
 echo "==> batch-equivalence fuzz (decideBatch/lookupBatch vs scalar, asan)"
 ./build-asan/tests/core_test \
