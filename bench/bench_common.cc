@@ -35,11 +35,17 @@ parseOptions(int argc, char **argv)
             opts.trace_cache = argv[++i];
         } else if (std::strcmp(argv[i], "--pipeline") == 0) {
             opts.pipeline = true;
+        } else if (std::strcmp(argv[i], "--epochs") == 0 &&
+                   i + 1 < argc) {
+            opts.epochs = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 0));
+            if (opts.epochs == 0)
+                util::fatal("--epochs must be >= 1");
         } else {
             util::fatal("unknown argument '%s' (expected --quick, "
                         "--csv <path>, --seed <n>, --threads <n>, "
                         "--obs-json <path>, --trace-cache <dir>, "
-                        "--pipeline)",
+                        "--pipeline, --epochs <n>)",
                         argv[i]);
         }
     }
@@ -138,7 +144,14 @@ writeObsJson(const obs::Registry &reg, const BenchOptions &opts)
 {
     if (opts.obs_json.empty())
         return;
-    util::Status st = obs::writeJsonFile(reg, opts.obs_json);
+    // The pool gauges snapshot process-lifetime totals; stamp them
+    // into an export-side copy (after any shard merging in the
+    // bench) so a merged registry reports them exactly once and the
+    // caller's registry stays untouched.
+    obs::Registry out;
+    out.merge(reg);
+    obs::exportTaskPoolStats(out);
+    util::Status st = obs::writeJsonFile(out, opts.obs_json);
     if (!st.ok())
         util::fatal("--obs-json: %s", st.message().c_str());
     std::printf("obs metrics -> %s\n", opts.obs_json.c_str());

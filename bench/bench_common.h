@@ -63,6 +63,13 @@ struct BenchOptions {
      * carries the `pipeline.*` stage metrics.
      */
     bool pipeline = false;
+    /**
+     * Epoch-count override for the continuous-learning benches
+     * (0 = the bench's default). Used by CI to run a short fixed
+     * number of epochs when checking per-epoch invariants (e.g.
+     * that `pool.threads_spawned` stays flat across epochs).
+     */
+    unsigned epochs = 0;
 
     /** Profiling session length (s). */
     double profileSeconds() const { return quick ? 90.0 : 300.0; }

@@ -31,7 +31,7 @@ main(int argc, char **argv)
         "within ~40 epochs of record/replay/re-learn");
 
     core::LearningConfig cfg;
-    cfg.epochs = opts.quick ? 16 : 48;
+    cfg.epochs = opts.epochs ? opts.epochs : (opts.quick ? 16 : 48);
     cfg.session_s = opts.quick ? 8.0 : 10.0;
     cfg.initial_profile_records = 24;
     cfg.max_profile_records = 16000;

@@ -30,11 +30,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <new>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/frozen_table.h"
@@ -44,6 +46,7 @@
 #include "core/snip.h"
 #include "games/registry.h"
 #include "trace/recorder.h"
+#include "util/parallel.h"
 
 using namespace snip;
 
@@ -330,6 +333,95 @@ BM_EventGeneration(benchmark::State &state)
 }
 BENCHMARK(BM_EventGeneration);
 
+// ------------------------------------------------ parallel dispatch
+
+/** Fan-out used by both dispatch benches (explicit, so SNIP_THREADS
+ *  and the container's core count don't change what is measured). */
+constexpr unsigned kDispatchThreads = 4;
+
+/**
+ * The verbatim pre-pool util::parallelFor engine: spawn and join
+ * fresh std::threads per call. Kept here (not in the library) as
+ * the dispatch-latency baseline for BM_ParallelDispatch.
+ */
+void
+spawnParallelFor(size_t n, const std::function<void(size_t)> &fn,
+                 unsigned threads)
+{
+    unsigned workers =
+        static_cast<unsigned>(std::min<size_t>(threads, n));
+    std::atomic<size_t> next{0};
+    auto body = [&] {
+        for (;;) {
+            size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            fn(i);
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (unsigned w = 1; w < workers; ++w)
+        pool.emplace_back(body);
+    body();
+    for (auto &t : pool)
+        t.join();
+}
+
+/**
+ * ns/dispatch of a small-n parallel loop on the persistent pool.
+ * Each iteration is one complete parallelFor (submit + drain +
+ * wind-down); the body is a token so the measurement is dispatch
+ * latency, not compute. The caller thread must not allocate per
+ * dispatch — Job is stack-resident, the callable is a FunctionRef,
+ * and tickets ride preallocated rings — so allocs_per_iter feeds
+ * the binary's alloc self-check like the lookup benches.
+ */
+void
+BM_ParallelDispatch(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    std::atomic<uint64_t> sink{0};
+    auto body = [&](size_t i) {
+        sink.fetch_add(i + 1, std::memory_order_relaxed);
+    };
+    // Warm the pool: worker spawn is a one-time cost by design and
+    // must not land in the timed loop (or the alloc counter).
+    util::parallelFor(n, body, kDispatchThreads);
+    uint64_t allocs_before = t_allocs;
+    for (auto _ : state) {
+        util::parallelFor(n, body, kDispatchThreads);
+    }
+    uint64_t allocs = t_allocs - allocs_before;
+    if (allocs != 0)
+        g_alloc_violations.fetch_add(1, std::memory_order_relaxed);
+    state.counters["allocs_per_iter"] = benchmark::Counter(
+        static_cast<double>(allocs) /
+        static_cast<double>(state.iterations()));
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ParallelDispatch)->Arg(4)->Arg(64)->UseRealTime();
+
+/** The same loop on the old spawn-per-call engine, for the ratio. */
+void
+BM_ParallelDispatchSpawn(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    std::atomic<uint64_t> sink{0};
+    auto body = [&](size_t i) {
+        sink.fetch_add(i + 1, std::memory_order_relaxed);
+    };
+    for (auto _ : state) {
+        spawnParallelFor(n, body, kDispatchThreads);
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ParallelDispatchSpawn)->Arg(4)->Arg(64)->UseRealTime();
+
 }  // namespace
 
 int
@@ -583,8 +675,51 @@ main(int argc, char **argv)
                          "worker/queue configs\n",
                          std::size(combos));
     }
+    // Self-check 5: warm pool dispatch must beat spawn-per-call
+    // decisively. The acceptance bar is 10x; the runtime gate is 5x
+    // to keep CI robust against scheduler noise on small containers
+    // (the measured ratio on this hardware is far above both).
+    uint64_t dispatch_fail = 0;
+    {
+        const size_t kN = 4;
+        const int kReps = 5000;
+        std::atomic<uint64_t> sink{0};
+        auto body = [&](size_t i) {
+            sink.fetch_add(i + 1, std::memory_order_relaxed);
+        };
+        util::parallelFor(kN, body, kDispatchThreads);  // warm
+        auto t0 = std::chrono::steady_clock::now();
+        for (int r = 0; r < kReps; ++r)
+            util::parallelFor(kN, body, kDispatchThreads);
+        auto t1 = std::chrono::steady_clock::now();
+        for (int r = 0; r < kReps; ++r)
+            spawnParallelFor(kN, body, kDispatchThreads);
+        auto t2 = std::chrono::steady_clock::now();
+        double pool_ns =
+            std::chrono::duration<double, std::nano>(t1 - t0)
+                .count() / kReps;
+        double spawn_ns =
+            std::chrono::duration<double, std::nano>(t2 - t1)
+                .count() / kReps;
+        double ratio = pool_ns > 0 ? spawn_ns / pool_ns : 0.0;
+        if (ratio < 5.0) {
+            ++dispatch_fail;
+            std::fprintf(stderr,
+                         "FAIL: pool dispatch only %.1fx faster "
+                         "than spawn-per-call (%.0f vs %.0f "
+                         "ns/dispatch, need >= 5x)\n",
+                         ratio, pool_ns, spawn_ns);
+        } else {
+            std::fprintf(stderr,
+                         "dispatch: pool %.0f ns vs spawn %.0f ns "
+                         "per parallelFor (%.1fx)\n",
+                         pool_ns, spawn_ns, ratio);
+        }
+        benchmark::DoNotOptimize(sink);
+    }
     return (alloc_violations != 0 || mismatches != 0 ||
-            batch_mismatches != 0 || pipeline_mismatches != 0)
+            batch_mismatches != 0 || pipeline_mismatches != 0 ||
+            dispatch_fail != 0)
                ? 1
                : 0;
 }

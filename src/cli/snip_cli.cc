@@ -653,6 +653,7 @@ cmdStats(const Args &args)
     // deployed layout (frozen arena + whatever online fill grew in
     // the overlay during the session), not the build-side table.
     scheme.recordTableStats(reg);
+    obs::exportTaskPoolStats(reg);
 
     std::printf("obs metrics: %s, %.0f s profile + %.0f s deployed "
                 "session\n\n", game->displayName().c_str(),

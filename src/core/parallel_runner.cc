@@ -20,7 +20,7 @@ ParallelRunner::ParallelRunner(unsigned threads)
 
 void
 ParallelRunner::forEach(size_t n,
-                        const std::function<void(size_t)> &fn) const
+                        util::FunctionRef<void(size_t)> fn) const
 {
     util::parallelFor(n, fn, threads_);
 }
@@ -29,10 +29,10 @@ std::vector<SessionResult>
 ParallelRunner::runSessions(const std::vector<SessionSpec> &specs) const
 {
     // Validate every spec on the calling thread before any work is
-    // dispatched: util::fatal from inside a worker would bypass the
-    // caller's error handling entirely (an uncaught exception in a
-    // parallelFor worker is std::terminate), and with throw-on-error
-    // configured the throw must reach the caller's catch scope.
+    // dispatched: even though the pool now forwards the first worker
+    // exception to the caller, a bad spec should fail before any
+    // session has consumed cycles, and with throw-on-error configured
+    // the throw must carry the offending index.
     for (size_t i = 0; i < specs.size(); ++i) {
         if (!specs[i].make_game || !specs[i].make_scheme)
             util::fatal("ParallelRunner: session %zu lacks a game or "

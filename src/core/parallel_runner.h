@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/simulation.h"
+#include "util/function_ref.h"
 
 namespace snip {
 namespace core {
@@ -60,9 +61,11 @@ class ParallelRunner
      * Run fn(i) for every i in [0, n), distributing indices across
      * the workers. fn must only write state owned by index i (or
      * otherwise disjoint per index); under that contract results are
-     * deterministic and identical to a serial loop.
+     * deterministic and identical to a serial loop. The callable is
+     * borrowed, not copied (util::FunctionRef): it only needs to
+     * stay alive for the duration of this call.
      */
-    void forEach(size_t n, const std::function<void(size_t)> &fn) const;
+    void forEach(size_t n, util::FunctionRef<void(size_t)> fn) const;
 
     /**
      * Run every spec as one session and return the results in spec

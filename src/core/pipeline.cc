@@ -12,6 +12,7 @@
 #include "core/session_parts.h"
 #include "util/parallel.h"
 #include "util/ring_buffer.h"
+#include "util/task_pool.h"
 
 namespace snip {
 namespace core {
@@ -311,13 +312,18 @@ PipelineRun::run()
     if (W == 1) {
         workerLoop(0, 1);
     } else {
-        std::vector<std::thread> threads;
-        threads.reserve(W);
-        for (unsigned w = 0; w < W; ++w)
-            threads.emplace_back(
-                [this, w, W] { workerLoop(w, W); });
-        for (auto &t : threads)
-            t.join();
+        // Lease the extra stage workers from the process-wide task
+        // pool instead of constructing threads per run(): the caller
+        // is worker 0 and the lease guarantees workers 1..W-1 start
+        // even when the pool is busy. Static stage -> worker
+        // ownership (s % W == w) is untouched; lease.wait()'s
+        // completion ordering publishes the workers' StageMetrics
+        // writes before exportMetrics reads them.
+        auto body = [this, W](unsigned i) { workerLoop(i + 1, W); };
+        util::TaskPool::WorkerLease lease =
+            util::TaskPool::instance().lease(W - 1, body);
+        workerLoop(0, W);
+        lease.wait();
     }
     auto wall_ns = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(

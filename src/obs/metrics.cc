@@ -1,5 +1,7 @@
 #include "obs/metrics.h"
 
+#include "util/task_pool.h"
+
 namespace snip {
 namespace obs {
 
@@ -125,6 +127,20 @@ ShardedRegistry::mergeInto(Registry &target) const
     std::lock_guard<std::mutex> lock(mu_);
     for (const Registry &r : shards_)
         target.merge(r);
+}
+
+void
+exportTaskPoolStats(Registry &reg)
+{
+    const util::TaskPool &pool = util::TaskPool::instance();
+    util::TaskPool::Stats s = pool.stats();
+    reg.gauge("pool.size").set(static_cast<double>(pool.size()));
+    reg.gauge("pool.threads_spawned")
+        .set(static_cast<double>(s.threads_spawned));
+    reg.gauge("pool.tasks").set(static_cast<double>(s.tasks));
+    reg.gauge("pool.steals").set(static_cast<double>(s.steals));
+    reg.gauge("pool.overflow").set(static_cast<double>(s.overflow));
+    reg.gauge("pool.park_ns").set(static_cast<double>(s.park_ns));
 }
 
 }  // namespace obs

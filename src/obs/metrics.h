@@ -153,6 +153,16 @@ class ShardedRegistry
     std::map<std::thread::id, Registry *> by_thread_;
 };
 
+/**
+ * Snapshot the process-wide util::TaskPool counters into `reg` as
+ * `pool.*` gauges: threads_spawned, size, tasks, steals, overflow,
+ * park_ns. Gauges (not counters) because the pool totals are
+ * process-lifetime monotonic values, not per-phase deltas — call
+ * this once per export, after any shard merging, so a merged
+ * registry doesn't double-count them.
+ */
+void exportTaskPoolStats(Registry &reg);
+
 }  // namespace obs
 }  // namespace snip
 

@@ -1,12 +1,11 @@
 #include "util/parallel.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cstdlib>
 #include <thread>
-#include <vector>
 
 #include "util/logging.h"
+#include "util/task_pool.h"
 
 namespace snip {
 namespace util {
@@ -15,8 +14,9 @@ unsigned
 defaultThreadCount()
 {
     if (const char *env = std::getenv("SNIP_THREADS")) {
-        long n = std::strtol(env, nullptr, 0);
-        if (n >= 1)
+        char *end = nullptr;
+        long n = std::strtol(env, &end, 0);
+        if (end != env && *end == '\0' && n >= 1)
             return static_cast<unsigned>(n);
         warn("ignoring SNIP_THREADS='%s' (need an integer >= 1)", env);
     }
@@ -25,8 +25,7 @@ defaultThreadCount()
 }
 
 void
-parallelFor(size_t n, const std::function<void(size_t)> &fn,
-            unsigned threads)
+parallelFor(size_t n, FunctionRef<void(size_t)> fn, unsigned threads)
 {
     if (n == 0)
         return;
@@ -39,27 +38,7 @@ parallelFor(size_t n, const std::function<void(size_t)> &fn,
             fn(i);
         return;
     }
-
-    // Work-stealing-free dynamic dispatch: a shared atomic cursor.
-    // Which worker runs which index varies run to run, but every
-    // index runs exactly once and writes only its own slot, so the
-    // aggregate result is schedule-independent.
-    std::atomic<size_t> next{0};
-    auto body = [&] {
-        for (;;) {
-            size_t i = next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= n)
-                return;
-            fn(i);
-        }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(workers - 1);
-    for (unsigned w = 1; w < workers; ++w)
-        pool.emplace_back(body);
-    body();  // the calling thread is worker 0
-    for (auto &t : pool)
-        t.join();
+    TaskPool::instance().parallelFor(n, fn, workers);
 }
 
 }  // namespace util

@@ -11,33 +11,45 @@
  * an atomic cursor, so *which worker* runs an index varies run to
  * run, but under the write-disjointness contract the aggregate
  * result is schedule-independent and identical to a serial loop.
+ *
+ * Execution is backed by the process-wide util::TaskPool: workers
+ * are spawned once (lazily, up to the largest thread count ever
+ * requested) and reused by every subsequent call, so a warm
+ * parallelFor costs a queue push, not a pthread_create. The callable
+ * is taken as a non-owning FunctionRef — zero heap allocations per
+ * dispatch — and lambdas at existing call sites convert implicitly.
  */
 
 #ifndef SNIP_UTIL_PARALLEL_H
 #define SNIP_UTIL_PARALLEL_H
 
 #include <cstddef>
-#include <functional>
+
+#include "util/function_ref.h"
 
 namespace snip {
 namespace util {
 
 /**
  * Worker count used when a parallel loop is given threads == 0: the
- * SNIP_THREADS environment variable when set (>= 1), otherwise
- * std::thread::hardware_concurrency(). SNIP_THREADS therefore caps
- * *all* library parallelism — session fan-out and Shrink-phase
- * training/PFI alike.
+ * SNIP_THREADS environment variable when set (a complete integer
+ * >= 1; partial parses like "4abc" are warned about and ignored),
+ * otherwise std::thread::hardware_concurrency(). SNIP_THREADS
+ * therefore caps *all* library parallelism — session fan-out and
+ * Shrink-phase training/PFI alike.
  */
 unsigned defaultThreadCount();
 
 /**
- * Run fn(i) for every i in [0, n) across a transient pool of
- * @p threads workers (0 = defaultThreadCount()). The calling thread
- * is worker 0; with one worker (or n <= 1) this degenerates to a
- * plain serial loop with no thread or atomic traffic at all.
+ * Run fn(i) for every i in [0, n) across @p threads workers
+ * (0 = defaultThreadCount()): the calling thread plus pool workers.
+ * With one worker (or n <= 1) this degenerates to a plain serial
+ * loop with no thread or atomic traffic at all. Safe to call from
+ * inside a task that is itself running on the pool (nested loops
+ * help-wait instead of deadlocking). The first exception thrown by
+ * fn is rethrown on the calling thread after the loop winds down.
  */
-void parallelFor(size_t n, const std::function<void(size_t)> &fn,
+void parallelFor(size_t n, FunctionRef<void(size_t)> fn,
                  unsigned threads = 0);
 
 }  // namespace util

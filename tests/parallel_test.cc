@@ -16,6 +16,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -34,7 +35,9 @@
 #include "obs/metrics.h"
 #include "trace/recorder.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/rng.h"
+#include "util/task_pool.h"
 #include "util/stats.h"
 
 namespace snip {
@@ -49,6 +52,31 @@ TEST(ParallelRunnerTest, DefaultThreadCountRespectsEnv)
     EXPECT_GE(defaultThreadCount(), 1u);  // falls back, never 0
     ::unsetenv("SNIP_THREADS");
     EXPECT_GE(defaultThreadCount(), 1u);
+}
+
+TEST(ParallelRunnerTest, DefaultThreadCountRejectsPartialParses)
+{
+    // A trailing-garbage value must be ignored (warn + fallback),
+    // not silently truncated to its numeric prefix.
+    unsigned fallback;
+    {
+        ::unsetenv("SNIP_THREADS");
+        fallback = defaultThreadCount();
+    }
+    ::setenv("SNIP_THREADS", "4abc", 1);
+    EXPECT_EQ(defaultThreadCount(), fallback);
+    ::setenv("SNIP_THREADS", "4 8", 1);
+    EXPECT_EQ(defaultThreadCount(), fallback);
+    ::setenv("SNIP_THREADS", "", 1);
+    EXPECT_EQ(defaultThreadCount(), fallback);
+    ::setenv("SNIP_THREADS", "0", 1);
+    EXPECT_EQ(defaultThreadCount(), fallback);
+    ::setenv("SNIP_THREADS", "-2", 1);
+    EXPECT_EQ(defaultThreadCount(), fallback);
+    // Complete parses still work, including the 0x base prefix.
+    ::setenv("SNIP_THREADS", "0x10", 1);
+    EXPECT_EQ(defaultThreadCount(), 16u);
+    ::unsetenv("SNIP_THREADS");
 }
 
 TEST(ParallelRunnerTest, SessionSeedsAreDistinct)
@@ -86,6 +114,118 @@ TEST(ParallelRunnerTest, ForEachCoversEveryIndexExactlyOnce)
     wide.forEach(3, [&](size_t) { total.fetch_add(1); });
     EXPECT_EQ(total.load(), 3);
     wide.forEach(0, [&](size_t) { ADD_FAILURE() << "fn called"; });
+}
+
+// ------------------------------------------------------- task pool
+
+TEST(TaskPoolTest, NestedParallelForCompletesAtEveryPoolSize)
+{
+    // A task running on a pool worker submits a nested loop and
+    // help-waits; at pool size 1 the owner must retire its own
+    // queued tickets, at larger sizes thieves race it. Deadlock
+    // here hangs the test binary, which is the assertion.
+    for (unsigned threads : {1u, 2u, 8u}) {
+        constexpr size_t kOuter = 6;
+        constexpr size_t kInner = 5;
+        std::vector<std::atomic<int>> counts(kOuter * kInner);
+        util::parallelFor(kOuter, [&](size_t o) {
+            util::parallelFor(kInner, [&](size_t i) {
+                counts[o * kInner + i].fetch_add(
+                    1, std::memory_order_relaxed);
+            }, threads);
+        }, threads);
+        for (size_t k = 0; k < counts.size(); ++k)
+            EXPECT_EQ(counts[k].load(), 1)
+                << "threads " << threads << " slot " << k;
+    }
+    // Three levels deep, for good measure.
+    std::atomic<int> total{0};
+    util::parallelFor(3, [&](size_t) {
+        util::parallelFor(3, [&](size_t) {
+            util::parallelFor(3, [&](size_t) {
+                total.fetch_add(1, std::memory_order_relaxed);
+            }, 8);
+        }, 8);
+    }, 8);
+    EXPECT_EQ(total.load(), 27);
+}
+
+TEST(TaskPoolTest, ConcurrentExternalCallersShareThePool)
+{
+    // Eight raw std::threads (none of them pool workers) each drive
+    // their own parallelFor against the shared pool at once — the
+    // TSan smoke for the overflow ring, parking, and reclaim paths.
+    constexpr size_t kCallers = 8;
+    constexpr size_t kN = 64;
+    std::vector<std::vector<std::atomic<int>>> counts(kCallers);
+    for (auto &c : counts) {
+        std::vector<std::atomic<int>> fresh(kN);
+        c.swap(fresh);
+    }
+    std::vector<std::thread> callers;
+    callers.reserve(kCallers);
+    for (size_t c = 0; c < kCallers; ++c) {
+        callers.emplace_back([&, c] {
+            for (int round = 0; round < 4; ++round) {
+                util::parallelFor(kN, [&, c](size_t i) {
+                    counts[c][i].fetch_add(
+                        1, std::memory_order_relaxed);
+                }, 4);
+            }
+        });
+    }
+    for (auto &t : callers)
+        t.join();
+    for (size_t c = 0; c < kCallers; ++c)
+        for (size_t i = 0; i < kN; ++i)
+            EXPECT_EQ(counts[c][i].load(), 4)
+                << "caller " << c << " index " << i;
+}
+
+TEST(TaskPoolTest, ExceptionsPropagateToTheSubmitter)
+{
+    // The first fn exception must surface on the calling thread
+    // after the loop winds down (never std::terminate), and the
+    // pool must stay usable afterwards.
+    EXPECT_THROW(
+        util::parallelFor(16, [&](size_t i) {
+            if (i % 2 == 0)
+                throw std::runtime_error("boom");
+        }, 4),
+        std::runtime_error);
+    std::atomic<int> total{0};
+    util::parallelFor(16, [&](size_t) {
+        total.fetch_add(1, std::memory_order_relaxed);
+    }, 4);
+    EXPECT_EQ(total.load(), 16);
+}
+
+TEST(TaskPoolTest, StatsAreMonotonicAndSpawnsStayBounded)
+{
+    util::TaskPool &pool = util::TaskPool::instance();
+    util::TaskPool::Stats before = pool.stats();
+    std::atomic<int> total{0};
+    for (int round = 0; round < 50; ++round) {
+        util::parallelFor(32, [&](size_t) {
+            total.fetch_add(1, std::memory_order_relaxed);
+        }, 8);
+    }
+    util::TaskPool::Stats after = pool.stats();
+    EXPECT_EQ(total.load(), 50 * 32);
+    EXPECT_GE(after.tasks, before.tasks);
+    EXPECT_GE(after.steals, before.steals);
+    EXPECT_GE(after.overflow, before.overflow);
+    // The warm-path contract: the pool grows (once) toward the
+    // largest requested fan-out — threads=8 needs 7 helpers — and
+    // repeated dispatch never creates another thread.
+    EXPECT_EQ(after.threads_spawned,
+              std::max<uint64_t>(before.threads_spawned, 7u));
+    EXPECT_EQ(after.threads_spawned,
+              static_cast<uint64_t>(pool.size()));
+    util::TaskPool::Stats again = pool.stats();
+    for (int round = 0; round < 20; ++round)
+        util::parallelFor(32, [&](size_t) {}, 8);
+    EXPECT_EQ(pool.stats().threads_spawned, again.threads_spawned);
 }
 
 /** Field-by-field equality of two session stats blocks. */

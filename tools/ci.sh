@@ -234,6 +234,38 @@ TSAN_OPTIONS="halt_on_error=1" \
     ./build-tsan/tests/fleet_test \
     --gtest_filter='FleetAggregateTest.*'
 
+echo "==> task pool (tsan parallel_test @ 8 threads + steady-state spawn check)"
+# The whole parallel suite — pool internals, nested submission,
+# concurrent external callers, leased pipeline workers — racing on
+# an 8-way shared pool under tsan.
+SNIP_THREADS=8 TSAN_OPTIONS="halt_on_error=1" \
+    ./build-tsan/tests/parallel_test
+# Zero steady-state respawns: across a 5-epoch continuous-learning
+# run every epoch's Shrink/PFI/session parallelism must reuse the
+# same resident workers, so the lifetime spawn total cannot exceed
+# the resident pool size.
+./build/bench/fig12_continuous_learning --quick --epochs 5 \
+    --threads 4 --obs-json build/fig12_obs_pool.json >/dev/null
+python3 - <<'EOF'
+import json, sys
+
+with open('build/fig12_obs_pool.json') as f:
+    d = json.load(f)
+
+g = d.get('gauges', {})
+for k in ('pool.threads_spawned', 'pool.size', 'pool.tasks',
+          'pool.steals', 'pool.overflow', 'pool.park_ns'):
+    if k not in g:
+        sys.exit('fig12 --obs-json missing gauge: ' + k)
+spawned, size = g['pool.threads_spawned'], g['pool.size']
+if spawned > size:
+    sys.exit('pool: threads_spawned %r > pool size %r — workers '
+             'were respawned across ContinuousLearner epochs'
+             % (spawned, size))
+if g['pool.tasks'] <= 0:
+    sys.exit('pool: no tasks executed despite --threads 4')
+EOF
+
 echo "==> corruption fuzz smoke (OTA model codec + SNPF arena, asan)"
 SNIP_FUZZ_ITERS=512 \
     ./build-asan/tests/model_codec_test \
